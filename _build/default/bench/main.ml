@@ -1,0 +1,200 @@
+(* Benchmark and reproduction harness.
+
+   Part 1 — Bechamel micro-benchmarks: one Test.make per computational pillar
+   under the paper's tables and figures (crossbar forward, surrogate
+   inference, Newton DC solve, DC sweep, Sobol sampling, LM fitting, a
+   variation-aware training epoch).
+
+   Part 2 — table/figure harnesses: regenerates Table I, Fig. 2, Fig. 4,
+   Table II and Table III (reduced scale by default).
+
+   Environment knobs:
+     REPRO_SCALE=quick|committed|paper   (default quick)
+     REPRO_DATASETS=iris,seeds,...       (default: all 13)
+     REPRO_SKIP_TABLES=1                 (micro-benches only)
+*)
+
+open Bechamel
+open Toolkit
+
+(* {1 Shared fixtures} *)
+
+let scale_name =
+  match Sys.getenv_opt "REPRO_SCALE" with Some s -> s | None -> "quick"
+
+let scale = Experiments.Setup.of_name scale_name
+let surrogate = lazy (Experiments.Setup.surrogate_of_scale scale)
+
+let iris = lazy (Datasets.Bench13.load "iris")
+
+let iris_fixture =
+  lazy
+    (let data = Lazy.force iris in
+     let rng = Rng.create 1 in
+     let split = Datasets.Synth.split rng data in
+     let tdata = Pnn.Training.of_split ~n_classes:3 split in
+     let config = { scale.Experiments.Setup.config with Pnn.Config.epsilon = 0.05 } in
+     let net =
+       Pnn.Network.create (Rng.create 2) config (Lazy.force surrogate) ~inputs:4
+         ~outputs:3
+     in
+     (config, net, tdata))
+
+let mid_omega = [| 255.0; 127.0; 255e3; 127e3; 255e3; 500.0; 40.0 |]
+
+(* {1 Micro-benchmarks} *)
+
+let bench_crossbar_forward =
+  (* Table II pillar: one full pNN forward pass on the iris training batch *)
+  Test.make ~name:"pnn_forward_iris_batch"
+    (Staged.stage (fun () ->
+         let config, net, tdata = Lazy.force iris_fixture in
+         ignore config;
+         let shapes = Pnn.Network.theta_shapes net in
+         let noise = Pnn.Noise.none ~theta_shapes:shapes in
+         ignore (Pnn.Network.logits net ~noise tdata.Pnn.Training.x_train)))
+
+let bench_va_epoch =
+  (* Table II pillar: one variation-aware training epoch (loss + backward) *)
+  Test.make ~name:"pnn_va_epoch_iris"
+    (Staged.stage (fun () ->
+         let config, net, tdata = Lazy.force iris_fixture in
+         let shapes = Pnn.Network.theta_shapes net in
+         let noises =
+           Pnn.Noise.draw_many (Rng.create 3) ~epsilon:0.05 ~theta_shapes:shapes
+             ~n:config.Pnn.Config.n_mc_train
+         in
+         let loss =
+           Pnn.Network.mc_loss net ~noises ~x:tdata.Pnn.Training.x_train
+             ~labels:tdata.Pnn.Training.y_train
+         in
+         Autodiff.backward loss))
+
+let bench_surrogate_inference =
+  (* Fig. 4/5 pillar: surrogate eta prediction for one omega *)
+  Test.make ~name:"surrogate_eval"
+    (Staged.stage (fun () -> ignore (Surrogate.Model.eval (Lazy.force surrogate) mid_omega)))
+
+let bench_newton_solve =
+  (* Fig. 2 pillar: one nonlinear DC operating point *)
+  let netlist, _out = Circuit.Ptanh_circuit.build (Circuit.Ptanh_circuit.omega_of_array mid_omega) in
+  Test.make ~name:"mna_newton_solve"
+    (Staged.stage (fun () ->
+         Circuit.Netlist.set_source netlist "vin" 0.5;
+         ignore (Circuit.Mna.solve Circuit.Egt.default netlist)))
+
+let bench_dc_sweep =
+  (* Fig. 2 pillar: a full 41-point transfer curve *)
+  Test.make ~name:"dc_sweep_41pts"
+    (Staged.stage (fun () ->
+         ignore
+           (Circuit.Ptanh_circuit.transfer
+              (Circuit.Ptanh_circuit.omega_of_array mid_omega))))
+
+let bench_sobol =
+  (* Fig. 3 pillar: design-space sampling *)
+  let sobol = Qmc.Sobol.create 7 in
+  Test.make ~name:"sobol_next_dim7" (Staged.stage (fun () -> ignore (Qmc.Sobol.next sobol)))
+
+let bench_lm_fit =
+  (* Fig. 4 pillar: one LM ptanh fit of a simulated curve *)
+  let vin, vout =
+    Circuit.Ptanh_circuit.transfer (Circuit.Ptanh_circuit.omega_of_array mid_omega)
+  in
+  Test.make ~name:"lm_ptanh_fit" (Staged.stage (fun () -> ignore (Fit.Ptanh.fit ~vin ~vout)))
+
+let bench_mc_eval =
+  (* Table II pillar: one Monte-Carlo test evaluation draw *)
+  Test.make ~name:"mc_eval_draw_iris"
+    (Staged.stage (fun () ->
+         let _, net, tdata = Lazy.force iris_fixture in
+         let shapes = Pnn.Network.theta_shapes net in
+         let noise = Pnn.Noise.draw (Rng.create 7) ~epsilon:0.1 ~theta_shapes:shapes in
+         ignore (Pnn.Network.predict net ~noise tdata.Pnn.Training.x_val)))
+
+let bench_matmul =
+  (* substrate pillar *)
+  let rng = Rng.create 5 in
+  let a = Tensor.uniform rng 128 64 ~lo:(-1.0) ~hi:1.0 in
+  let b = Tensor.uniform rng 64 32 ~lo:(-1.0) ~hi:1.0 in
+  Test.make ~name:"tensor_matmul_128x64x32"
+    (Staged.stage (fun () -> ignore (Tensor.matmul a b)))
+
+let micro_benchmarks () =
+  let tests =
+    Test.make_grouped ~name:"printed-neuromorphic"
+      [
+        bench_matmul;
+        bench_sobol;
+        bench_newton_solve;
+        bench_dc_sweep;
+        bench_lm_fit;
+        bench_surrogate_inference;
+        bench_crossbar_forward;
+        bench_mc_eval;
+        bench_va_epoch;
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5)
+      ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "== micro-benchmarks (monotonic clock) ==\n";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns ] -> rows := (name, ns) :: !rows
+      | Some _ | None -> ())
+    results;
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "  %-45s %s/run\n" name pretty)
+    (List.sort compare !rows);
+  print_newline ()
+
+(* {1 Table/figure harnesses} *)
+
+let section title = Printf.printf "\n===== %s =====\n%!" title
+
+let run_tables () =
+  section "Table I (design space)";
+  print_string (Experiments.Figures.render_table1 ());
+  section "Fig. 2 (characteristic curves)";
+  print_string (Experiments.Figures.render_fig2 (Experiments.Figures.fig2_curves ()));
+  section "Fig. 4 left (fit example)";
+  print_string (Experiments.Figures.render_fig4_left (Experiments.Figures.fig4_left ()));
+  section "Fig. 4 right (surrogate parity)";
+  print_string
+    (Experiments.Figures.render_fig4_right (Experiments.Figures.fig4_right ~seed:7 ()));
+  section
+    (Printf.sprintf "Table II (scale=%s; see EXPERIMENTS.md for the committed run)"
+       scale_name);
+  let datasets =
+    match Sys.getenv_opt "REPRO_DATASETS" with
+    | None -> Datasets.Bench13.load_all ()
+    | Some names -> List.map Datasets.Bench13.load (String.split_on_char ',' names)
+  in
+  let progress msg = Printf.eprintf "  [running] %s\n%!" msg in
+  let table2 = Experiments.Table2.run ~progress ~datasets scale (Lazy.force surrogate) in
+  print_string (Experiments.Table2.render table2);
+  section "Table III (ablation summary)";
+  print_string (Experiments.Table3.render (Experiments.Table3.of_table2 scale table2))
+
+let () =
+  micro_benchmarks ();
+  match Sys.getenv_opt "REPRO_SKIP_TABLES" with
+  | Some "1" -> ()
+  | Some _ | None -> run_tables ()

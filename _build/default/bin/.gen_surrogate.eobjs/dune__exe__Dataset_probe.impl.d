@@ -1,0 +1,1 @@
+bin/dataset_probe.ml: Array Datasets List Printf Rng Tensor

@@ -1,0 +1,1 @@
+bin/dataset_probe.mli:

@@ -1,0 +1,1 @@
+bin/experiment.ml: Arg Array Cmd Cmdliner Datasets Experiments Fmt_tty List Logs Logs_fmt Pnn Printf String Term Unix

@@ -1,0 +1,1 @@
+bin/gen_surrogate.ml: Arg Array Cmd Cmdliner Fmt_tty List Logs Logs_fmt Printf Rng Stats String Surrogate Sys Term Unix

@@ -1,0 +1,1 @@
+bin/pnn_train.ml: Arg Array Cmd Cmdliner Datasets Fit Fmt_tty List Logs Logs_fmt Nn Pnn Printf Rng Surrogate Term Unix

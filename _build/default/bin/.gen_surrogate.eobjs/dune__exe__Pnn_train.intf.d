@@ -1,0 +1,1 @@
+bin/pnn_train.mli:

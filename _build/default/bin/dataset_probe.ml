@@ -1,0 +1,76 @@
+(* Scratch: difficulty probes for the synthetic benchmark tasks.
+   Prints majority fraction, nearest-centroid accuracy and 1-NN accuracy
+   (train -> test) per dataset — cheap ceilings used to calibrate specs. *)
+
+let nearest_centroid (split : Datasets.Synth.split) n_classes =
+  let d = Tensor.cols split.Datasets.Synth.x_train in
+  let centroids = Array.make_matrix n_classes d 0.0 in
+  let counts = Array.make n_classes 0 in
+  Array.iteri
+    (fun i cls ->
+      counts.(cls) <- counts.(cls) + 1;
+      for j = 0 to d - 1 do
+        centroids.(cls).(j) <-
+          centroids.(cls).(j) +. Tensor.get split.Datasets.Synth.x_train i j
+      done)
+    split.Datasets.Synth.y_train;
+  Array.iteri
+    (fun cls row ->
+      if counts.(cls) > 0 then
+        Array.iteri (fun j v -> row.(j) <- v /. float_of_int counts.(cls)) row)
+    centroids;
+  let hits = ref 0 in
+  Array.iteri
+    (fun i cls ->
+      let best = ref 0 and best_d = ref infinity in
+      for c = 0 to n_classes - 1 do
+        let acc = ref 0.0 in
+        for j = 0 to d - 1 do
+          let diff = Tensor.get split.Datasets.Synth.x_test i j -. centroids.(c).(j) in
+          acc := !acc +. (diff *. diff)
+        done;
+        if !acc < !best_d then begin
+          best_d := !acc;
+          best := c
+        end
+      done;
+      if !best = cls then incr hits)
+    split.Datasets.Synth.y_test;
+  float_of_int !hits /. float_of_int (Array.length split.Datasets.Synth.y_test)
+
+let one_nn (split : Datasets.Synth.split) =
+  let d = Tensor.cols split.Datasets.Synth.x_train in
+  let n_train = Array.length split.Datasets.Synth.y_train in
+  let hits = ref 0 in
+  Array.iteri
+    (fun i cls ->
+      let best = ref 0 and best_d = ref infinity in
+      for t = 0 to n_train - 1 do
+        let acc = ref 0.0 in
+        for j = 0 to d - 1 do
+          let diff =
+            Tensor.get split.Datasets.Synth.x_test i j
+            -. Tensor.get split.Datasets.Synth.x_train t j
+          in
+          acc := !acc +. (diff *. diff)
+        done;
+        if !acc < !best_d then begin
+          best_d := !acc;
+          best := t
+        end
+      done;
+      if split.Datasets.Synth.y_train.(!best) = cls then incr hits)
+    split.Datasets.Synth.y_test;
+  float_of_int !hits /. float_of_int (Array.length split.Datasets.Synth.y_test)
+
+let () =
+  Printf.printf "%-26s %8s %8s %8s\n" "dataset" "majority" "NC-acc" "1NN-acc";
+  List.iter
+    (fun data ->
+      let spec = data.Datasets.Synth.spec in
+      let split = Datasets.Synth.split (Rng.create 5) data in
+      Printf.printf "%-26s %8.3f %8.3f %8.3f\n" spec.Datasets.Synth.name
+        (Datasets.Synth.majority_fraction data)
+        (nearest_centroid split spec.Datasets.Synth.classes)
+        (one_nn split))
+    (Datasets.Bench13.load_all ())

@@ -1,0 +1,1 @@
+examples/bespoke_activation.ml: Array Datasets Fit List Pnn Printf Rng Surrogate

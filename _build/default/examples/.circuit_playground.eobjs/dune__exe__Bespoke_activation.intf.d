@@ -1,0 +1,1 @@
+examples/bespoke_activation.mli:

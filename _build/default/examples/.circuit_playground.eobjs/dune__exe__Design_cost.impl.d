@@ -1,0 +1,1 @@
+examples/design_cost.ml: Circuit Datasets List Pnn Printf Rng Surrogate

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Datasets Fit List Nn Pnn Printf Rng Surrogate

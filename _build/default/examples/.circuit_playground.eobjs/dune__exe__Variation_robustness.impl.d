@@ -1,0 +1,1 @@
+examples/variation_robustness.ml: Datasets List Pnn Printf Rng Surrogate

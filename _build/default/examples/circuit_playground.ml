@@ -1,0 +1,32 @@
+(* Builds the parametric nonlinear subcircuit for a handful of design points
+   and prints their simulated DC transfer curves — the raw material of the
+   paper's Fig. 2.  Run with: dune exec examples/circuit_playground.exe *)
+
+let configs =
+  (* (label, omega as [r1; r2; r3; r4; r5; w_um; l_um]) *)
+  [
+    ("mid", [| 200.0; 80.0; 200e3; 80e3; 250e3; 500.0; 30.0 |]);
+    ("steep", [| 50.0; 24.0; 50e3; 24e3; 450e3; 780.0; 12.0 |]);
+    ("shift", [| 450.0; 60.0; 450e3; 60e3; 150e3; 400.0; 40.0 |]);
+    ("weak", [| 300.0; 150.0; 300e3; 150e3; 20e3; 250.0; 60.0 |]);
+  ]
+
+let () =
+  let points = 21 in
+  let curves =
+    List.map
+      (fun (label, arr) ->
+        let omega = Circuit.Ptanh_circuit.omega_of_array arr in
+        let _, vout = Circuit.Ptanh_circuit.transfer ~points omega in
+        (label, vout))
+      configs
+  in
+  let vin = Circuit.Dc_sweep.linspace 0.0 Circuit.Ptanh_circuit.vdd points in
+  Printf.printf "# ptanh transfer curves (Vin -> Vout), one column per config\n";
+  Printf.printf "vin %s\n" (String.concat " " (List.map fst curves));
+  Array.iteri
+    (fun i v ->
+      Printf.printf "%.3f" v;
+      List.iter (fun (_, vout) -> Printf.printf " %.4f" vout.(i)) curves;
+      print_newline ())
+    vin

@@ -1,0 +1,286 @@
+module T = Tensor
+
+type t = {
+  id : int;
+  value : T.t;
+  mutable grad : T.t;
+  parents : t list;
+  push : t -> unit; (* propagate self.grad into parents' grads *)
+  kind : kind;
+}
+
+and kind = Param | Const | Op
+
+let counter = ref 0
+
+let next_id () =
+  incr counter;
+  !counter
+
+let no_push _ = ()
+
+let leaf kind value =
+  {
+    id = next_id ();
+    value;
+    grad = T.zeros (T.rows value) (T.cols value);
+    parents = [];
+    push = no_push;
+    kind;
+  }
+
+let param value = leaf Param value
+let const value = leaf Const value
+let scalar v = const (T.scalar v)
+let value n = n.value
+let grad n = n.grad
+let is_param n = n.kind = Param
+let id n = n.id
+let zero_grad n = n.grad <- T.zeros (T.rows n.value) (T.cols n.value)
+
+let node value parents push =
+  {
+    id = next_id ();
+    value;
+    grad = T.zeros (T.rows value) (T.cols value);
+    parents;
+    push;
+    kind = Op;
+  }
+
+let accum p g = p.grad <- T.add p.grad g
+
+(* {1 Arithmetic} *)
+
+let add a b =
+  node (T.add a.value b.value) [ a; b ] (fun self ->
+      accum a self.grad;
+      accum b self.grad)
+
+let sub a b =
+  node (T.sub a.value b.value) [ a; b ] (fun self ->
+      accum a self.grad;
+      accum b (T.neg self.grad))
+
+let mul a b =
+  node (T.mul a.value b.value) [ a; b ] (fun self ->
+      accum a (T.mul self.grad b.value);
+      accum b (T.mul self.grad a.value))
+
+let div a b =
+  node (T.div a.value b.value) [ a; b ] (fun self ->
+      accum a (T.div self.grad b.value);
+      (* d/db (a/b) = -a / b^2 *)
+      accum b (T.neg (T.div (T.mul self.grad a.value) (T.mul b.value b.value))))
+
+let neg a = node (T.neg a.value) [ a ] (fun self -> accum a (T.neg self.grad))
+let scale k a = node (T.scale k a.value) [ a ] (fun self -> accum a (T.scale k self.grad))
+
+let add_scalar k a =
+  node (T.add_scalar k a.value) [ a ] (fun self -> accum a self.grad)
+
+let pow_const a p =
+  let y = T.map (fun x -> x ** p) a.value in
+  node y [ a ] (fun self ->
+      let d = T.map (fun x -> p *. (x ** (p -. 1.0))) a.value in
+      accum a (T.mul self.grad d))
+
+(* {1 Nonlinearities} *)
+
+let unary f df a =
+  let y = T.map f a.value in
+  node y [ a ] (fun self ->
+      let d = T.map2 df a.value y in
+      accum a (T.mul self.grad d))
+
+let tanh a = unary Stdlib.tanh (fun _ y -> 1.0 -. (y *. y)) a
+
+let sigmoid a =
+  let sg x = 1.0 /. (1.0 +. Stdlib.exp (-.x)) in
+  unary sg (fun _ y -> y *. (1.0 -. y)) a
+
+let exp a = unary Stdlib.exp (fun _ y -> y) a
+let log a = unary Stdlib.log (fun x _ -> 1.0 /. x) a
+let sqrt a = unary Stdlib.sqrt (fun _ y -> 0.5 /. y) a
+let relu a = unary (fun x -> if x > 0.0 then x else 0.0) (fun x _ -> if x > 0.0 then 1.0 else 0.0) a
+
+let abs a =
+  unary Stdlib.abs_float
+    (fun x _ -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0)
+    a
+
+(* {1 Linear algebra} *)
+
+let matmul a b =
+  node (T.matmul a.value b.value) [ a; b ] (fun self ->
+      accum a (T.matmul self.grad (T.transpose b.value));
+      accum b (T.matmul (T.transpose a.value) self.grad))
+
+let transpose a =
+  node (T.transpose a.value) [ a ] (fun self -> accum a (T.transpose self.grad))
+
+let add_rowvec m v =
+  node (T.add_rowvec m.value v.value) [ m; v ] (fun self ->
+      accum m self.grad;
+      accum v (T.sum_rows self.grad))
+
+let mul_rowvec m v =
+  node (T.mul_rowvec m.value v.value) [ m; v ] (fun self ->
+      accum m (T.mul_rowvec self.grad v.value);
+      accum v (T.sum_rows (T.mul self.grad m.value)))
+
+let div_rowvec m v =
+  let inv = T.map (fun x -> 1.0 /. x) v.value in
+  node (T.mul_rowvec m.value inv) [ m; v ] (fun self ->
+      accum m (T.mul_rowvec self.grad inv);
+      (* d/dv (m / v) = -m / v^2, summed over rows *)
+      let minus_m_over_v2 = T.mul_rowvec (T.neg m.value) (T.mul inv inv) in
+      accum v (T.sum_rows (T.mul self.grad minus_m_over_v2)))
+
+let scalar_shape_check name s =
+  if T.shape s.value <> (1, 1) then
+    invalid_arg ("Autodiff." ^ name ^ ": first argument must be 1x1")
+
+let badd s m =
+  scalar_shape_check "badd" s;
+  node (T.add_scalar (T.get s.value 0 0) m.value) [ s; m ] (fun self ->
+      accum m self.grad;
+      accum s (T.scalar (T.sum self.grad)))
+
+let bmul s m =
+  scalar_shape_check "bmul" s;
+  let sv = T.get s.value 0 0 in
+  node (T.scale sv m.value) [ s; m ] (fun self ->
+      accum m (T.scale sv self.grad);
+      accum s (T.scalar (T.sum (T.mul self.grad m.value))))
+
+(* {1 Reductions} *)
+
+let sum a =
+  node (T.scalar (T.sum a.value)) [ a ] (fun self ->
+      let g = T.get self.grad 0 0 in
+      accum a (T.full (T.rows a.value) (T.cols a.value) g))
+
+let mean a =
+  let n = float_of_int (T.numel a.value) in
+  node (T.scalar (T.mean a.value)) [ a ] (fun self ->
+      let g = T.get self.grad 0 0 /. n in
+      accum a (T.full (T.rows a.value) (T.cols a.value) g))
+
+let sum_rows a =
+  node (T.sum_rows a.value) [ a ] (fun self ->
+      (* broadcast the 1 x cols gradient back over all rows *)
+      accum a (T.mul_rowvec (T.ones (T.rows a.value) (T.cols a.value)) self.grad))
+
+(* {1 Structure} *)
+
+let concat_cols a b =
+  node (T.concat_cols a.value b.value) [ a; b ] (fun self ->
+      accum a (T.slice_cols self.grad 0 (T.cols a.value));
+      accum b (T.slice_cols self.grad (T.cols a.value) (T.cols b.value)))
+
+let slice_cols a start len =
+  node (T.slice_cols a.value start len) [ a ] (fun self ->
+      let g = T.zeros (T.rows a.value) (T.cols a.value) in
+      for r = 0 to T.rows self.grad - 1 do
+        for c = 0 to len - 1 do
+          T.set g r (start + c) (T.get self.grad r c)
+        done
+      done;
+      accum a g)
+
+let slice_rows a start len =
+  node (T.slice_rows a.value start len) [ a ] (fun self ->
+      let g = T.zeros (T.rows a.value) (T.cols a.value) in
+      for r = 0 to len - 1 do
+        for c = 0 to T.cols self.grad - 1 do
+          T.set g (start + r) c (T.get self.grad r c)
+        done
+      done;
+      accum a g)
+
+(* {1 Straight-through estimators} *)
+
+let map_ste f a =
+  node (T.map f a.value) [ a ] (fun self -> accum a self.grad)
+
+let clamp_ste ~lo ~hi a =
+  map_ste (fun x -> if x < lo then lo else if x > hi then hi else x) a
+
+(* {1 Losses} *)
+
+let softmax_rows m =
+  (* stable row-wise softmax on a plain tensor *)
+  let rows = T.rows m and cols = T.cols m in
+  let out = T.zeros rows cols in
+  for r = 0 to rows - 1 do
+    let mx = ref neg_infinity in
+    for c = 0 to cols - 1 do
+      if T.get m r c > !mx then mx := T.get m r c
+    done;
+    let z = ref 0.0 in
+    for c = 0 to cols - 1 do
+      let e = Stdlib.exp (T.get m r c -. !mx) in
+      T.set out r c e;
+      z := !z +. e
+    done;
+    for c = 0 to cols - 1 do
+      T.set out r c (T.get out r c /. !z)
+    done
+  done;
+  out
+
+let softmax_cross_entropy ~logits ~labels =
+  if T.shape logits.value <> T.shape labels then
+    invalid_arg "Autodiff.softmax_cross_entropy: logits/labels shape mismatch";
+  let probs = softmax_rows logits.value in
+  let batch = float_of_int (T.rows probs) in
+  let loss = ref 0.0 in
+  for r = 0 to T.rows probs - 1 do
+    for c = 0 to T.cols probs - 1 do
+      let y = T.get labels r c in
+      if y > 0.0 then loss := !loss -. (y *. Stdlib.log (Stdlib.max (T.get probs r c) 1e-30))
+    done
+  done;
+  node (T.scalar (!loss /. batch)) [ logits ] (fun self ->
+      let g = T.get self.grad 0 0 /. batch in
+      accum logits (T.scale g (T.sub probs labels)))
+
+let mse pred target =
+  if T.shape pred.value <> T.shape target then
+    invalid_arg "Autodiff.mse: shape mismatch";
+  let diff = T.sub pred.value target in
+  let n = float_of_int (T.numel target) in
+  node (T.scalar (T.sum (T.mul diff diff) /. n)) [ pred ] (fun self ->
+      let g = T.get self.grad 0 0 in
+      accum pred (T.scale (2.0 *. g /. n) diff))
+
+(* {1 Backward pass} *)
+
+let reachable root =
+  let seen = Hashtbl.create 256 in
+  let acc = ref [] in
+  let rec visit n =
+    if not (Hashtbl.mem seen n.id) then begin
+      Hashtbl.add seen n.id ();
+      List.iter visit n.parents;
+      acc := n :: !acc
+    end
+  in
+  visit root;
+  (* acc is in reverse topological order already: children before parents is
+     what backward needs, and we consed each node after its parents. *)
+  !acc
+
+let backward root =
+  if T.shape root.value <> (1, 1) then
+    invalid_arg "Autodiff.backward: root must be a 1x1 scalar";
+  let order = reachable root in
+  List.iter zero_grad order;
+  root.grad <- T.ones 1 1;
+  List.iter (fun n -> n.push n) order
+
+let params root =
+  let order = reachable root in
+  let ps = List.filter is_param order in
+  List.sort (fun a b -> compare a.id b.id) ps

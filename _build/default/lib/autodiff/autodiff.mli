@@ -1,0 +1,124 @@
+(** Tape-based reverse-mode automatic differentiation over {!Tensor.t}.
+
+    Building expressions with the functions below records a computation graph;
+    {!backward} then accumulates gradients of a scalar root into every
+    reachable node.  Leaves created with {!param} are the trainable tensors
+    (crossbar conductances θ, nonlinear-circuit parameters 𝔴, MLP weights);
+    leaves created with {!const} are data or frozen values and receive no
+    gradient storage traffic beyond a single buffer.
+
+    The straight-through-estimator entry points ({!clamp_ste}, {!map_ste})
+    implement the projection technique the paper uses to keep conductances in
+    the printable range: the forward pass applies an arbitrary projection, the
+    backward pass is the identity. *)
+
+type t
+
+(** {1 Leaves and inspection} *)
+
+val param : Tensor.t -> t
+(** Trainable leaf; [value] is used directly (not copied), so optimizers can
+    update it in place between graph constructions. *)
+
+val const : Tensor.t -> t
+(** Non-trainable leaf (inputs, labels, frozen weights, noise draws). *)
+
+val scalar : float -> t
+val value : t -> Tensor.t
+val grad : t -> Tensor.t
+(** Gradient accumulated by the last {!backward}; zeros before that. *)
+
+val is_param : t -> bool
+val zero_grad : t -> unit
+
+val id : t -> int
+(** Unique per-node identifier (stable for the lifetime of the node); used by
+    optimizers to key per-parameter state. *)
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Hadamard product. *)
+
+val div : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val add_scalar : float -> t -> t
+val pow_const : t -> float -> t
+
+(** {1 Nonlinearities} *)
+
+val tanh : t -> t
+val sigmoid : t -> t
+val exp : t -> t
+val log : t -> t
+val sqrt : t -> t
+val relu : t -> t
+val abs : t -> t
+(** Subgradient 0 at 0. *)
+
+(** {1 Linear algebra and broadcasting} *)
+
+val matmul : t -> t -> t
+val transpose : t -> t
+val add_rowvec : t -> t -> t
+(** [add_rowvec m v] adds a [1 × cols] vector to each row of [m]. *)
+
+val mul_rowvec : t -> t -> t
+val div_rowvec : t -> t -> t
+(** [div_rowvec m v] divides each row of [m] elementwise by [v]. *)
+
+val badd : t -> t -> t
+(** [badd s m] broadcast-adds a [1 × 1] scalar node to every entry of [m];
+    the scalar's gradient is the sum of the incoming gradients. *)
+
+val bmul : t -> t -> t
+(** [bmul s m] broadcast-multiplies every entry of [m] by a [1 × 1] scalar
+    node. *)
+
+(** {1 Reductions} *)
+
+val sum : t -> t
+(** Scalar [1 × 1] sum of all entries. *)
+
+val mean : t -> t
+val sum_rows : t -> t
+(** Column-wise sums: [1 × cols]. *)
+
+(** {1 Structure} *)
+
+val concat_cols : t -> t -> t
+val slice_cols : t -> int -> int -> t
+(** [slice_cols v start len]; gradient scatters back into the slice. *)
+
+val slice_rows : t -> int -> int -> t
+
+(** {1 Straight-through estimators} *)
+
+val clamp_ste : lo:float -> hi:float -> t -> t
+(** Forward clamps to [\[lo, hi]]; backward passes gradients unchanged. *)
+
+val map_ste : (float -> float) -> t -> t
+(** Forward applies an arbitrary elementwise projection; backward identity.
+    Used for the printable-conductance set
+    [[-Gmax,-Gmin] ∪ {0} ∪ [Gmin,Gmax]] and the R2/R4 box clipping. *)
+
+(** {1 Losses} *)
+
+val softmax_cross_entropy : logits:t -> labels:Tensor.t -> t
+(** Mean cross-entropy between row-wise softmax of [logits] and one-hot
+    [labels] (same shape). Numerically stabilized (max subtraction). *)
+
+val mse : t -> Tensor.t -> t
+(** Mean squared error against a constant target of the same shape. *)
+
+(** {1 Backward pass} *)
+
+val backward : t -> unit
+(** [backward root] requires a [1 × 1] root; zeroes gradients of all reachable
+    nodes, seeds the root gradient with 1 and back-propagates. *)
+
+val params : t -> t list
+(** All distinct {!param} leaves reachable from the node, in creation order. *)

@@ -1,0 +1,1 @@
+lib/circuit/dc_sweep.mli: Egt Mna Netlist

@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Egt Float Linalg List Netlist

@@ -1,0 +1,1 @@
+lib/circuit/ptanh_circuit.ml: Array Dc_sweep Egt Netlist Transient

@@ -1,0 +1,1 @@
+lib/circuit/ptanh_circuit.mli: Egt Netlist

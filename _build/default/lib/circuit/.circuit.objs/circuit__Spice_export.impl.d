@@ -1,0 +1,1 @@
+lib/circuit/spice_export.ml: Buffer Egt List Netlist Printf Ptanh_circuit String

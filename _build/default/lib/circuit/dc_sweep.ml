@@ -1,0 +1,16 @@
+type point = { vin : float; vout : float }
+
+let linspace lo hi n =
+  if n < 2 then invalid_arg "Dc_sweep.linspace: need n >= 2";
+  Array.init n (fun i ->
+      lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+
+let run ?(options = Mna.default_options) ~model ~netlist ~source ~output ~sweep () =
+  let guess = ref None in
+  Array.map
+    (fun vin ->
+      Netlist.set_source netlist source vin;
+      let sol = Mna.solve ~options ?initial:!guess model netlist in
+      guess := Some sol.Mna.voltages;
+      { vin; vout = sol.Mna.voltages.(output) })
+    sweep

@@ -1,0 +1,32 @@
+(** Electrolyte-gated transistor (EGT) compact model.
+
+    Printed inorganic EGTs (Rasheed et al., IEEE TED 2019) are n-type
+    enhancement devices operating below 1 V.  We use a smoothed square-law
+    model with a tanh drain-saturation characteristic — the standard compact
+    form for analog hand analysis:
+
+      I_D = K·(W/L)·ov² · tanh(V_DS / max(ov, v_eps)) · (1 + λ·V_DS)
+      ov  = α·softplus((V_GS − V_TH)/α)          (smooth overdrive)
+
+    The softplus smoothing keeps the model C¹ across the threshold, which the
+    Newton solver needs; the tanh interpolates triode → saturation.  Absolute
+    currents are calibrated so that with the Table-I load resistors and a 1 V
+    supply the inverter swings rail-to-rail (what the training flow needs is
+    the {e shape family} of the transfer curves, see DESIGN.md §2). *)
+
+type params = {
+  k_prime : float;  (** transconductance factor K (A/V²) per W/L square *)
+  v_th : float;  (** threshold voltage (V) *)
+  lambda : float;  (** channel-length modulation (1/V) *)
+  alpha : float;  (** softplus smoothing width (V) *)
+}
+
+val default : params
+(** Calibrated for the printed pPDK-like regime used in this reproduction. *)
+
+type eval = { id : float; gm : float; gds : float }
+(** Drain current and its partial derivatives w.r.t. V_GS and V_DS. *)
+
+val evaluate : params -> w_um:float -> l_um:float -> vgs:float -> vds:float -> eval
+(** Evaluate the model. Handles negative [vds] by antisymmetry (source/drain
+    swap), so the Newton solver can wander through sign changes. *)

@@ -1,0 +1,62 @@
+let solve_in_place a b =
+  let n = Array.length b in
+  if Array.length a <> n then invalid_arg "Linalg.solve: non-square system";
+  (* LU with partial pivoting, forward/back substitution fused. *)
+  for k = 0 to n - 1 do
+    (* pivot selection *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs a.(i).(k) > Float.abs a.(!piv).(k) then piv := i
+    done;
+    if Float.abs a.(!piv).(k) < 1e-300 then failwith "Linalg.solve: singular";
+    if !piv <> k then begin
+      let tmp = a.(k) in
+      a.(k) <- a.(!piv);
+      a.(!piv) <- tmp;
+      let tb = b.(k) in
+      b.(k) <- b.(!piv);
+      b.(!piv) <- tb
+    end;
+    let akk = a.(k).(k) in
+    for i = k + 1 to n - 1 do
+      let factor = a.(i).(k) /. akk in
+      if factor <> 0.0 then begin
+        a.(i).(k) <- 0.0;
+        for j = k + 1 to n - 1 do
+          a.(i).(j) <- a.(i).(j) -. (factor *. a.(k).(j))
+        done;
+        b.(i) <- b.(i) -. (factor *. b.(k))
+      end
+    done
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (a.(i).(j) *. b.(j))
+    done;
+    b.(i) <- !acc /. a.(i).(i)
+  done;
+  b
+
+let solve a b =
+  let a' = Array.map Array.copy a in
+  let b' = Array.copy b in
+  solve_in_place a' b'
+
+let matvec a x =
+  Array.map
+    (fun row ->
+      let acc = ref 0.0 in
+      Array.iteri (fun j v -> acc := !acc +. (v *. x.(j))) row;
+      !acc)
+    a
+
+let residual_norm a x b =
+  let ax = matvec a x in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      let e = Float.abs (v -. b.(i)) in
+      if e > !worst then worst := e)
+    ax;
+  !worst

@@ -1,0 +1,14 @@
+(** Small dense linear algebra for circuit analysis and curve fitting. *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] solves [a · x = b] by LU factorization with partial pivoting.
+    [a] and [b] are left unmodified.  Raises [Failure "Linalg.solve: singular"]
+    when the matrix is (numerically) singular. *)
+
+val solve_in_place : float array array -> float array -> float array
+(** Like {!solve} but destroys its inputs (used in Newton inner loops to avoid
+    allocation). The result aliases [b]. *)
+
+val matvec : float array array -> float array -> float array
+val residual_norm : float array array -> float array -> float array -> float
+(** [residual_norm a x b] is [max_i |(a·x - b)_i|]. *)

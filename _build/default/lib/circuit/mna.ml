@@ -1,0 +1,125 @@
+type options = {
+  max_iterations : int;
+  tolerance : float;
+  damping : float;
+  gmin : float;
+}
+
+let default_options =
+  { max_iterations = 200; tolerance = 1e-9; damping = 0.3; gmin = 1e-12 }
+
+type solution = { voltages : float array; iterations : int }
+
+exception No_convergence of { iterations : int; residual : float }
+
+(* Index mapping: node n (1..N-1) -> n-1 ; source s -> (N-1) + s. *)
+
+let solve ?(options = default_options) ?initial model netlist =
+  (match Netlist.validate netlist with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Mna.solve: invalid netlist: " ^ msg));
+  let n_nodes = Netlist.node_count netlist in
+  let n_v = n_nodes - 1 in
+  let elems = Netlist.elements netlist in
+  let sources =
+    List.filteri (fun _ e -> match e with Netlist.Vsource _ -> true | _ -> false) elems
+  in
+  let n_src = List.length sources in
+  let dim = n_v + n_src in
+  let volts = Array.make n_nodes 0.5 in
+  volts.(0) <- 0.0;
+  (match initial with
+  | Some init ->
+      if Array.length init <> n_nodes then invalid_arg "Mna.solve: bad initial length";
+      Array.blit init 0 volts 0 n_nodes;
+      volts.(0) <- 0.0
+  | None -> ());
+  let idx n = n - 1 in
+  let a = Array.make_matrix dim dim 0.0 in
+  let rhs = Array.make dim 0.0 in
+  let stamp_g n1 n2 g =
+    if n1 > 0 then a.(idx n1).(idx n1) <- a.(idx n1).(idx n1) +. g;
+    if n2 > 0 then a.(idx n2).(idx n2) <- a.(idx n2).(idx n2) +. g;
+    if n1 > 0 && n2 > 0 then begin
+      a.(idx n1).(idx n2) <- a.(idx n1).(idx n2) -. g;
+      a.(idx n2).(idx n1) <- a.(idx n2).(idx n1) -. g
+    end
+  in
+  (* current i flowing INTO node n from an equivalent source *)
+  let stamp_i n i = if n > 0 then rhs.(idx n) <- rhs.(idx n) +. i in
+  let rec iterate iter =
+    if iter >= options.max_iterations then
+      raise (No_convergence { iterations = iter; residual = infinity });
+    (* reset system *)
+    for r = 0 to dim - 1 do
+      rhs.(r) <- 0.0;
+      for c = 0 to dim - 1 do
+        a.(r).(c) <- 0.0
+      done
+    done;
+    for n = 1 to n_nodes - 1 do
+      a.(idx n).(idx n) <- a.(idx n).(idx n) +. options.gmin
+    done;
+    let src_i = ref 0 in
+    List.iter
+      (fun e ->
+        match e with
+        | Netlist.Resistor { a = n1; b = n2; ohms } -> stamp_g n1 n2 (1.0 /. ohms)
+        | Netlist.Vsource { plus; minus; volts = v; _ } ->
+            let k = n_v + !src_i in
+            incr src_i;
+            if plus > 0 then begin
+              a.(idx plus).(k) <- a.(idx plus).(k) +. 1.0;
+              a.(k).(idx plus) <- a.(k).(idx plus) +. 1.0
+            end;
+            if minus > 0 then begin
+              a.(idx minus).(k) <- a.(idx minus).(k) -. 1.0;
+              a.(k).(idx minus) <- a.(k).(idx minus) -. 1.0
+            end;
+            rhs.(k) <- v
+        | Netlist.Capacitor _ -> () (* open circuit in DC *)
+        | Netlist.Isource { into; out_of; amps } ->
+            stamp_i into amps;
+            stamp_i out_of (-.amps)
+        | Netlist.Transistor { gate; drain; source; w_um; l_um } ->
+            let vg = volts.(gate) and vd = volts.(drain) and vs = volts.(source) in
+            let { Egt.id; gm; gds } =
+              Egt.evaluate model ~w_um ~l_um ~vgs:(vg -. vs) ~vds:(vd -. vs)
+            in
+            (* Companion model: i_DS ≈ id0 + gm·Δvgs + gds·Δvds.
+               Current leaves the drain node and enters the source node. *)
+            let ieq = id -. (gm *. (vg -. vs)) -. (gds *. (vd -. vs)) in
+            (* gds between drain and source *)
+            stamp_g drain source gds;
+            (* gm as VCCS: current gm·(vg - vs) from drain to source *)
+            if drain > 0 then begin
+              if gate > 0 then a.(idx drain).(idx gate) <- a.(idx drain).(idx gate) +. gm;
+              if source > 0 then
+                a.(idx drain).(idx source) <- a.(idx drain).(idx source) -. gm
+            end;
+            if source > 0 then begin
+              if gate > 0 then a.(idx source).(idx gate) <- a.(idx source).(idx gate) -. gm;
+              if source > 0 then
+                a.(idx source).(idx source) <- a.(idx source).(idx source) +. gm
+            end;
+            stamp_i drain (-.ieq);
+            stamp_i source ieq)
+      elems;
+    let x = Linalg.solve_in_place (Array.map Array.copy a) (Array.copy rhs) in
+    (* damped update on node voltages *)
+    let max_delta = ref 0.0 in
+    for n = 1 to n_nodes - 1 do
+      let target = x.(idx n) in
+      let delta = target -. volts.(n) in
+      let delta =
+        if delta > options.damping then options.damping
+        else if delta < -.options.damping then -.options.damping
+        else delta
+      in
+      if Float.abs delta > !max_delta then max_delta := Float.abs delta;
+      volts.(n) <- volts.(n) +. delta
+    done;
+    if !max_delta < options.tolerance then { voltages = Array.copy volts; iterations = iter + 1 }
+    else iterate (iter + 1)
+  in
+  iterate 0

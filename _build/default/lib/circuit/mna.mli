@@ -1,0 +1,29 @@
+(** Nonlinear DC operating-point analysis by modified nodal analysis (MNA)
+    with damped Newton–Raphson.
+
+    Unknowns are the non-ground node voltages plus one branch current per
+    voltage source.  Nonlinear transistors are linearized at each iterate with
+    their companion model (gm, gds stamps + equivalent current source).  A
+    voltage step limiter (damping) keeps the iteration stable through the
+    transistor's exponential-ish region. *)
+
+type options = {
+  max_iterations : int;
+  tolerance : float;  (** convergence: max |ΔV| between iterates *)
+  damping : float;  (** max voltage change per node per iteration (V) *)
+  gmin : float;  (** shunt conductance to ground on every node (helps conditioning) *)
+}
+
+val default_options : options
+
+type solution = { voltages : float array; iterations : int }
+(** [voltages.(n)] is the solved voltage of node [n] ([voltages.(0) = 0]). *)
+
+exception No_convergence of { iterations : int; residual : float }
+
+val solve : ?options:options -> ?initial:float array -> Egt.params -> Netlist.t -> solution
+(** [solve model netlist] computes the DC operating point.  [initial] is a
+    warm-start guess of node voltages (length [node_count]); the default
+    starts every node at 0.5 V.  Raises {!No_convergence} after
+    [max_iterations], and [Invalid_argument] if the netlist fails
+    {!Netlist.validate}. *)

@@ -1,0 +1,107 @@
+type waveform = float -> float
+
+(* The step fires strictly after t0, so the t = 0 operating point is the
+   pre-step state. *)
+let step ?(t0 = 0.0) ?(from_v = 0.0) ?(to_v = 1.0) () t =
+  if t <= t0 then from_v else to_v
+
+type result = { times : float array; voltages : float array array }
+
+(* Build a per-step netlist in which each capacitor is replaced by its
+   trapezoidal companion (geq = 2C/dt between the nodes, plus a current
+   source carrying the history term).  The caps list pairs each capacitor
+   with its state (previous voltage and current). *)
+type cap_state = {
+  a : Netlist.node;
+  b : Netlist.node;
+  farads : float;
+  mutable v_prev : float;
+  mutable i_prev : float;
+}
+
+let run ?(options = Mna.default_options) ~model ~netlist ~source ~waveform ~duration
+    ~dt () =
+  if duration <= 0.0 || dt <= 0.0 then invalid_arg "Transient.run: non-positive time";
+  let n_steps = int_of_float (Float.round (duration /. dt)) in
+  if n_steps < 1 then invalid_arg "Transient.run: duration < dt";
+  (* initial DC operating point (capacitors open) *)
+  Netlist.set_source netlist source (waveform 0.0);
+  let dc = Mna.solve ~options model netlist in
+  let caps =
+    List.filter_map
+      (function
+        | Netlist.Capacitor { a; b; farads } ->
+            Some
+              {
+                a;
+                b;
+                farads;
+                v_prev = dc.Mna.voltages.(a) -. dc.Mna.voltages.(b);
+                i_prev = 0.0;
+              }
+        | Netlist.Resistor _ | Netlist.Vsource _ | Netlist.Transistor _
+        | Netlist.Isource _ ->
+            None)
+      (Netlist.elements netlist)
+  in
+  let static_elements =
+    List.filter
+      (function Netlist.Capacitor _ -> false | _ -> true)
+      (Netlist.elements netlist)
+  in
+  let times = Array.make (n_steps + 1) 0.0 in
+  let trace = Array.make (n_steps + 1) [||] in
+  trace.(0) <- Array.copy dc.Mna.voltages;
+  let guess = ref dc.Mna.voltages in
+  for k = 1 to n_steps do
+    let t = float_of_int k *. dt in
+    times.(k) <- t;
+    (* assemble this step's netlist *)
+    let nl = Netlist.create () in
+    for _ = 1 to Netlist.node_count netlist - 1 do
+      ignore (Netlist.fresh_node nl)
+    done;
+    List.iter
+      (fun e ->
+        match e with
+        | Netlist.Vsource { name; plus; minus; _ } when name = source ->
+            Netlist.add nl (Netlist.Vsource { name; plus; minus; volts = waveform t })
+        | e -> Netlist.add nl e)
+      static_elements;
+    List.iter
+      (fun c ->
+        let geq = 2.0 *. c.farads /. dt in
+        let ieq = (geq *. c.v_prev) +. c.i_prev in
+        Netlist.add nl (Netlist.Resistor { a = c.a; b = c.b; ohms = 1.0 /. geq });
+        (* ieq flows from b into a (source direction matching i = geq v - ieq) *)
+        Netlist.add nl (Netlist.Isource { into = c.a; out_of = c.b; amps = ieq }))
+      caps;
+    let sol = Mna.solve ~options ~initial:!guess model nl in
+    guess := sol.Mna.voltages;
+    trace.(k) <- Array.copy sol.Mna.voltages;
+    (* update capacitor states *)
+    List.iter
+      (fun c ->
+        let v_now = sol.Mna.voltages.(c.a) -. sol.Mna.voltages.(c.b) in
+        let geq = 2.0 *. c.farads /. dt in
+        let i_now = (geq *. (v_now -. c.v_prev)) -. c.i_prev in
+        c.v_prev <- v_now;
+        c.i_prev <- i_now)
+      caps
+  done;
+  { times; voltages = trace }
+
+let settle_time result ~node ?(tolerance = 0.02) () =
+  let n = Array.length result.times in
+  if n = 0 then None
+  else begin
+    let final = result.voltages.(n - 1).(node) in
+    let band = Stdlib.max (Float.abs final *. tolerance) 1e-6 in
+    (* last time the trace was OUTSIDE the band; settle = the next sample *)
+    let last_outside = ref (-1) in
+    for k = 0 to n - 1 do
+      if Float.abs (result.voltages.(k).(node) -. final) > band then last_outside := k
+    done;
+    if !last_outside = n - 1 then None
+    else Some result.times.(!last_outside + 1)
+  end

@@ -1,0 +1,40 @@
+(** Transient (time-domain) analysis.
+
+    Trapezoidal integration: at each time step every capacitor is replaced by
+    its companion model (a conductance [2C/dt] in parallel with a current
+    source derived from the previous step's state) and the resulting
+    nonlinear DC problem is solved with {!Mna}.  Printed electronics is slow
+    — electrolyte-gated transistors and large printed passives give printed
+    neuromorphic circuits millisecond-scale settling — which is exactly what
+    this analysis quantifies (the "high latency" the paper's introduction
+    mentions as a weakness neuromorphic architectures tolerate). *)
+
+type waveform = float -> float
+(** Source voltage as a function of time (seconds). *)
+
+val step : ?t0:float -> ?from_v:float -> ?to_v:float -> unit -> waveform
+(** [step ()] is a 0→1 V step at [t0] (default 0). *)
+
+type result = {
+  times : float array;
+  voltages : float array array;  (** [voltages.(step).(node)] *)
+}
+
+val run :
+  ?options:Mna.options ->
+  model:Egt.params ->
+  netlist:Netlist.t ->
+  source:string ->
+  waveform:waveform ->
+  duration:float ->
+  dt:float ->
+  unit ->
+  result
+(** Simulate from t = 0; the initial state is the DC operating point with the
+    source at [waveform 0.]. Raises [Invalid_argument] for non-positive
+    [duration]/[dt], and {!Mna.No_convergence} if a step fails. *)
+
+val settle_time :
+  result -> node:Netlist.node -> ?tolerance:float -> unit -> float option
+(** Time after which the node voltage stays within [tolerance] (default 2 %)
+    of its final value; [None] if it never settles within the window. *)

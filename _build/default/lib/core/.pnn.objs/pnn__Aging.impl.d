@@ -1,0 +1,1 @@
+lib/core/aging.ml: Array Config Evaluation List Network Noise Rng Stats Surrogate Tensor Training

@@ -1,0 +1,1 @@
+lib/core/aging.mli: Evaluation Network Noise Rng Tensor Training

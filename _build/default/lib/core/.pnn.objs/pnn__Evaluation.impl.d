@@ -1,0 +1,1 @@
+lib/core/evaluation.ml: Array Network Noise Stats

@@ -1,0 +1,1 @@
+lib/core/export.ml: Array Buffer Circuit Fit Float Layer List Network Nonlinear Printf Tensor

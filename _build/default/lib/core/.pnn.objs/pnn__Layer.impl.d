@@ -1,0 +1,1 @@
+lib/core/layer.ml: Autodiff Config Float Noise Nonlinear Rng Surrogate Tensor

@@ -1,0 +1,1 @@
+lib/core/layer.mli: Autodiff Config Noise Nonlinear Rng Surrogate Tensor

@@ -1,0 +1,1 @@
+lib/core/network.ml: Autodiff Config Layer List Tensor

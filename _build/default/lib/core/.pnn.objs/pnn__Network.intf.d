@@ -1,0 +1,1 @@
+lib/core/network.mli: Autodiff Config Layer Noise Rng Surrogate Tensor

@@ -1,0 +1,1 @@
+lib/core/noise.ml: List Surrogate Tensor

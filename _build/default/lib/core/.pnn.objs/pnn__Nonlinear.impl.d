@@ -1,0 +1,1 @@
+lib/core/nonlinear.ml: Array Autodiff Lazy List Surrogate Tensor

@@ -1,0 +1,1 @@
+lib/core/power.ml: Array Autodiff Circuit Float Layer List Network Noise Nonlinear Printf Stdlib String Tensor

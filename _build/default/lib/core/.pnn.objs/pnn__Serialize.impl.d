@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Array Autodiff Config Fun Layer List Network Nonlinear Printf String Tensor

@@ -1,0 +1,1 @@
+lib/core/training.ml: Autodiff Config Datasets Network Nn Noise Rng Tensor

@@ -1,0 +1,1 @@
+lib/core/training.mli: Config Datasets Network Nn Noise Rng Surrogate Tensor

@@ -1,0 +1,59 @@
+type model = { kappa_max : float; beta : float }
+
+let default_model = { kappa_max = 0.2; beta = 0.5 }
+
+let omega_dim = Surrogate.Design_space.dim
+
+(* Multipliers: conductances decay (1 - delta); circuit resistances R1..R5
+   grow (1 + delta); W and L (geometry, indices 5 and 6) do not age. *)
+let draw rng model ~t_frac ~theta_shapes =
+  if t_frac < 0.0 || t_frac > 1.0 then invalid_arg "Aging.draw: t_frac outside [0,1]";
+  let drift () = Rng.uniform rng ~lo:0.0 ~hi:model.kappa_max *. (t_frac ** model.beta) in
+  let theta_mult r c = Tensor.init r c (fun _ _ -> 1.0 -. drift ()) in
+  let omega_mult () =
+    Tensor.init 1 omega_dim (fun _ j -> if j >= 5 then 1.0 else 1.0 +. drift ())
+  in
+  List.map
+    (fun (r, c) ->
+      {
+        Noise.theta = theta_mult r c;
+        act_omega = omega_mult ();
+        neg_omega = omega_mult ();
+      })
+    theta_shapes
+
+let draw_lifetime rng model ~theta_shapes ~n =
+  List.init n (fun _ -> draw rng model ~t_frac:(Rng.float rng) ~theta_shapes)
+
+let fit_aging_aware rng model network data =
+  let config = Network.config network in
+  let shapes = Network.theta_shapes network in
+  let train_rng = Rng.copy rng in
+  let val_rng = Rng.split rng in
+  let train_sampler () =
+    draw_lifetime train_rng model ~theta_shapes:shapes ~n:config.Config.n_mc_train
+  in
+  let val_noises =
+    draw_lifetime val_rng model ~theta_shapes:shapes ~n:config.Config.n_mc_val
+  in
+  Training.fit ~train_sampler ~val_noises rng network data
+
+let accuracy_over_lifetime rng model network ~t_fracs ~n ~x ~y =
+  let shapes = Network.theta_shapes network in
+  List.map
+    (fun t_frac ->
+      let accuracies =
+        Array.init n (fun _ ->
+            let noise = draw rng model ~t_frac ~theta_shapes:shapes in
+            let pred = Network.predict network ~noise x in
+            let hits = ref 0 in
+            Array.iteri (fun i p -> if p = y.(i) then incr hits) pred;
+            float_of_int !hits /. float_of_int (Array.length y))
+      in
+      ( t_frac,
+        {
+          Evaluation.mean_accuracy = Stats.mean accuracies;
+          std_accuracy = (if n > 1 then Stats.std accuracies else 0.0);
+          accuracies;
+        } ))
+    t_fracs

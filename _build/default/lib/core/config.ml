@@ -1,0 +1,44 @@
+type t = {
+  hidden : int;
+  lr_theta : float;
+  lr_omega : float;
+  epsilon : float;
+  n_mc_train : int;
+  n_mc_val : int;
+  max_epochs : int;
+  patience : int;
+  g_min : float;
+  g_max : float;
+  logit_scale : float;
+}
+
+let default =
+  {
+    hidden = 3;
+    lr_theta = 0.05;
+    lr_omega = 0.005;
+    epsilon = 0.0;
+    n_mc_train = 5;
+    n_mc_val = 5;
+    max_epochs = 800;
+    patience = 150;
+    g_min = 0.01;
+    g_max = 1.0;
+    logit_scale = 4.0;
+  }
+
+let paper () =
+  {
+    default with
+    lr_theta = 0.1;
+    n_mc_train = 20;
+    n_mc_val = 20;
+    max_epochs = 50_000;
+    patience = 5_000;
+  }
+
+let learnable t = t.lr_omega > 0.0
+let with_epsilon t epsilon = { t with epsilon }
+
+let with_learnable t flag =
+  { t with lr_omega = (if flag then 0.005 else 0.0) }

@@ -1,0 +1,37 @@
+(** Hyperparameters for printed neural networks (paper §IV-A).
+
+    The paper's settings: topology [#input-3-#output], Adam with α_θ = 0.1
+    for the crossbar conductances and α_ω ∈ {0, 0.005} for the nonlinear
+    circuits (0 ⇒ non-learnable), variation ε ∈ {0, 5 %, 10 %}, N_train = 20
+    Monte-Carlo samples, early stopping with patience 5000.  The defaults
+    below are the scaled-down settings used by the committed experiment runs
+    (see EXPERIMENTS.md); [paper ()] restores the full-scale values. *)
+
+type t = {
+  hidden : int;  (** hidden-layer width (paper: 3) *)
+  lr_theta : float;  (** Adam learning rate for θ *)
+  lr_omega : float;  (** Adam learning rate for 𝔴; 0 disables learning it *)
+  epsilon : float;  (** component variation ε of U[1−ε, 1+ε]; 0 = nominal *)
+  n_mc_train : int;  (** Monte-Carlo samples per training step *)
+  n_mc_val : int;  (** fixed Monte-Carlo draws for the validation loss *)
+  max_epochs : int;
+  patience : int;
+  g_min : float;  (** smallest printable (normalized) conductance *)
+  g_max : float;  (** largest printable (normalized) conductance *)
+  logit_scale : float;
+      (** temperature applied to output voltages before softmax cross-entropy
+          (output voltages live in ≈[0,1], so raw differences are tiny) *)
+}
+
+val default : t
+(** Scaled-down settings for this environment. *)
+
+val paper : unit -> t
+(** The paper's full-scale hyperparameters. *)
+
+val learnable : t -> bool
+(** [lr_omega > 0]. *)
+
+val with_epsilon : t -> float -> t
+val with_learnable : t -> bool -> t
+(** Sets [lr_omega] to 0.005 or 0. *)

@@ -1,0 +1,33 @@
+type result = {
+  mean_accuracy : float;
+  std_accuracy : float;
+  accuracies : float array;
+}
+
+let accuracy_under network noise ~x ~y =
+  let pred = Network.predict network ~noise x in
+  if Array.length pred <> Array.length y then
+    invalid_arg "Evaluation.accuracy: label count mismatch";
+  let hits = ref 0 in
+  Array.iteri (fun i p -> if p = y.(i) then incr hits) pred;
+  float_of_int !hits /. float_of_int (Array.length y)
+
+let nominal_accuracy network ~x ~y =
+  let shapes = Network.theta_shapes network in
+  accuracy_under network (Noise.none ~theta_shapes:shapes) ~x ~y
+
+let mc_accuracy rng network ~epsilon ~n ~x ~y =
+  if n < 1 then invalid_arg "Evaluation.mc_accuracy: n < 1";
+  let shapes = Network.theta_shapes network in
+  let accuracies =
+    if epsilon = 0.0 then [| nominal_accuracy network ~x ~y |]
+    else
+      Array.init n (fun _ ->
+          let noise = Noise.draw rng ~epsilon ~theta_shapes:shapes in
+          accuracy_under network noise ~x ~y)
+  in
+  {
+    mean_accuracy = Stats.mean accuracies;
+    std_accuracy = (if Array.length accuracies > 1 then Stats.std accuracies else 0.0);
+    accuracies;
+  }

@@ -1,0 +1,16 @@
+(** Monte-Carlo test evaluation (paper §IV-C): a trained pNN is tested under
+    [n] independent variation draws; the mean and standard deviation of the
+    test accuracy over the draws are the paper's reported accuracy and
+    robustness. *)
+
+type result = {
+  mean_accuracy : float;
+  std_accuracy : float;
+  accuracies : float array;  (** one per Monte-Carlo draw *)
+}
+
+val mc_accuracy :
+  Rng.t -> Network.t -> epsilon:float -> n:int -> x:Tensor.t -> y:int array -> result
+(** [epsilon = 0] short-circuits to a single deterministic evaluation. *)
+
+val nominal_accuracy : Network.t -> x:Tensor.t -> y:int array -> float

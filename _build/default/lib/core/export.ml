@@ -1,0 +1,101 @@
+type circuit_check = {
+  layer : int;
+  kind : [ `Activation | `Negative_weight ];
+  omega : float array;
+  surrogate_eta : Fit.Ptanh.eta;
+  simulated_eta : Fit.Ptanh.eta;
+  curve_rmse : float;
+}
+
+let render_omega omega =
+  Printf.sprintf "R1=%.0f R2=%.0f R3=%.0fk R4=%.0fk R5=%.0fk W=%.0fum L=%.0fum"
+    omega.(0) omega.(1) (omega.(2) /. 1e3) (omega.(3) /. 1e3) (omega.(4) /. 1e3)
+    omega.(5) omega.(6)
+
+let render_eta (e : Fit.Ptanh.eta) =
+  Printf.sprintf "[%.3f; %.3f; %.3f; %.3f]" e.Fit.Ptanh.eta1 e.Fit.Ptanh.eta2
+    e.Fit.Ptanh.eta3 e.Fit.Ptanh.eta4
+
+let design_report network =
+  let config = Network.config network in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "Printed neuromorphic circuit design\n";
+  Buffer.add_string buf "===================================\n";
+  List.iteri
+    (fun li layer ->
+      let printed = Layer.printed_theta config layer in
+      let n_in = Layer.inputs layer and n_out = Layer.outputs layer in
+      Buffer.add_string buf
+        (Printf.sprintf "\nLayer %d: %d inputs -> %d neurons\n" (li + 1) n_in n_out);
+      Buffer.add_string buf
+        "  crossbar conductances (normalized; <0 = via negative-weight circuit, 0 = not printed)\n";
+      let row_label r =
+        if r < n_in then Printf.sprintf "in%-2d" (r + 1)
+        else if r = n_in then "bias"
+        else "dark"
+      in
+      for r = 0 to Tensor.rows printed - 1 do
+        Buffer.add_string buf (Printf.sprintf "    %-5s" (row_label r));
+        for c = 0 to n_out - 1 do
+          (* the dark conductance only enters the denominator; its sign is
+             meaningless, so report the printed magnitude *)
+          let v = Tensor.get printed r c in
+          let v = if r = n_in + 1 then Float.abs v else v in
+          Buffer.add_string buf (Printf.sprintf " %8.4f" v)
+        done;
+        Buffer.add_char buf '\n'
+      done;
+      let describe kind nl =
+        Buffer.add_string buf
+          (Printf.sprintf "  %s circuit: %s\n    eta = %s\n" kind
+             (render_omega (Nonlinear.omega_values nl))
+             (render_eta (Nonlinear.eta_values nl)))
+      in
+      describe "activation (ptanh)" layer.Layer.act;
+      describe "negative-weight" layer.Layer.neg)
+    (Network.layers network);
+  Buffer.contents buf
+
+let check_circuit ~points ~layer ~kind nl =
+  let omega = Nonlinear.omega_values nl in
+  let surrogate_eta = Nonlinear.eta_values nl in
+  let vin, vout =
+    Circuit.Ptanh_circuit.transfer ~points (Circuit.Ptanh_circuit.omega_of_array omega)
+  in
+  let { Fit.Ptanh.eta = simulated_eta; _ } = Fit.Ptanh.fit ~vin ~vout in
+  let curve_rmse =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i v ->
+        let d = Fit.Ptanh.eval surrogate_eta v -. vout.(i) in
+        acc := !acc +. (d *. d))
+      vin;
+    sqrt (!acc /. float_of_int (Array.length vin))
+  in
+  { layer; kind; omega; surrogate_eta; simulated_eta; curve_rmse }
+
+let verify_activations ?(points = 41) network =
+  List.concat
+    (List.mapi
+       (fun li layer ->
+         [
+           check_circuit ~points ~layer:(li + 1) ~kind:`Activation layer.Layer.act;
+           check_circuit ~points ~layer:(li + 1) ~kind:`Negative_weight layer.Layer.neg;
+         ])
+       (Network.layers network))
+
+let render_checks checks =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Surrogate honesty check (surrogate belief vs MNA simulation of the learned circuits)\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  layer %d %-16s rmse %.4f V | surrogate %s | simulated %s\n"
+           c.layer
+           (match c.kind with
+           | `Activation -> "activation"
+           | `Negative_weight -> "negative-weight")
+           c.curve_rmse (render_eta c.surrogate_eta) (render_eta c.simulated_eta)))
+    checks;
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** One printed neuron layer: resistor crossbar + negative-weight circuits +
+    ptanh activation circuits.
+
+    The crossbar implements Eq. 1.  Each output column z has surrogate
+    conductances θ with one row per input, one bias row (V_b = 1 V) and one
+    "dark" row (R_d to ground, denominator only):
+
+      V_z = (Σ_i θ⁺_i·x_i  +  θ⁻_i·inv(x_i)) / Σ_j |θ_j|
+
+    where θ⁺ = max(θ, 0), θ⁻ = max(−θ, 0).  Wherever θ has a definite sign
+    this matches the paper's semantics (|θ| printed, sign = input inverted via
+    the negative-weight circuit) while staying differentiable through zero.
+    θ magnitudes are projected onto the printable set
+    [{0} ∪ [G_min, G_max]] with a straight-through estimator. *)
+
+type t = {
+  theta : Autodiff.t;  (** (n_in + 2) × n_out; rows: inputs, bias, dark *)
+  act : Nonlinear.t;  (** this layer's ptanh circuit *)
+  neg : Nonlinear.t;  (** this layer's negative-weight circuit *)
+}
+
+val create :
+  ?init:[ `Centered | `Random_sign ] ->
+  Rng.t -> Config.t -> Surrogate.Model.t -> inputs:int -> outputs:int -> t
+(** [init] selects the θ initialization: [`Centered] (default) biases the
+    bias/dark rows so the initial crossbar output lands on the activation
+    transition; [`Random_sign] is the naive scheme (ablation). *)
+
+val of_parts :
+  Surrogate.Model.t -> theta:Tensor.t -> act_w:Tensor.t -> neg_w:Tensor.t -> t
+(** Reassemble a layer from saved parts (θ and the two raw 1 × 7 𝔴 vectors);
+    used by {!Serialize}. *)
+
+val theta_shape : t -> int * int
+val inputs : t -> int
+val outputs : t -> int
+
+val forward :
+  Config.t -> t -> noise:Noise.layer_noise -> Autodiff.t -> Autodiff.t
+(** Batch forward: [n × n_in] → [n × n_out] (after the ptanh activation). *)
+
+val preactivation :
+  Config.t -> t -> noise:Noise.layer_noise -> Autodiff.t -> Autodiff.t
+(** The crossbar output V_z before the activation circuit (for analysis). *)
+
+val printed_theta : Config.t -> t -> Tensor.t
+(** The projected conductance matrix that would be printed (signed). *)
+
+val params_theta : t -> Autodiff.t list
+val params_omega : t -> Autodiff.t list
+val snapshot : t -> Tensor.t * Tensor.t * Tensor.t
+val restore : t -> Tensor.t * Tensor.t * Tensor.t -> unit

@@ -1,0 +1,72 @@
+module A = Autodiff
+
+type t = { layers : Layer.t list; config : Config.t }
+
+let create_deep ?init rng config surrogate ~sizes =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  if List.length sizes < 2 then invalid_arg "Network.create_deep: need >= 2 sizes";
+  let layers =
+    List.map
+      (fun (inputs, outputs) -> Layer.create ?init rng config surrogate ~inputs ~outputs)
+      (pairs sizes)
+  in
+  { layers; config }
+
+let create ?init rng config surrogate ~inputs ~outputs =
+  create_deep ?init rng config surrogate ~sizes:[ inputs; config.Config.hidden; outputs ]
+
+let of_layers config layers =
+  (match layers with [] -> invalid_arg "Network.of_layers: no layers" | _ -> ());
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if Layer.outputs a <> Layer.inputs b then
+          invalid_arg "Network.of_layers: layer widths do not chain";
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check layers;
+  { layers; config }
+
+let layers t = t.layers
+let config t = t.config
+let theta_shapes t = List.map Layer.theta_shape t.layers
+
+let forward t ~noise x =
+  if List.length noise <> List.length t.layers then
+    invalid_arg "Network.forward: noise/layer count mismatch";
+  List.fold_left2
+    (fun acc layer layer_noise -> Layer.forward t.config layer ~noise:layer_noise acc)
+    x t.layers noise
+
+let logits t ~noise x =
+  A.scale t.config.Config.logit_scale (forward t ~noise (A.const x))
+
+let predict t ~noise x = Tensor.argmax_rows (A.value (logits t ~noise x))
+
+let loss t ~noise ~x ~labels =
+  A.softmax_cross_entropy ~logits:(logits t ~noise x) ~labels
+
+let mc_loss t ~noises ~x ~labels =
+  match noises with
+  | [] -> invalid_arg "Network.mc_loss: no noise draws"
+  | _ ->
+      let n = float_of_int (List.length noises) in
+      let total =
+        List.fold_left
+          (fun acc noise ->
+            let l = loss t ~noise ~x ~labels in
+            match acc with None -> Some l | Some s -> Some (A.add s l))
+          None noises
+      in
+      (match total with Some s -> A.scale (1.0 /. n) s | None -> assert false)
+
+let params_theta t = List.concat_map Layer.params_theta t.layers
+let params_omega t = List.concat_map Layer.params_omega t.layers
+
+type weights = (Tensor.t * Tensor.t * Tensor.t) list
+
+let snapshot t = List.map Layer.snapshot t.layers
+let restore t ws = List.iter2 Layer.restore t.layers ws

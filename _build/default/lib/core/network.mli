@@ -1,0 +1,48 @@
+(** A printed neural network: a stack of printed layers (paper topology
+    [#input-3-#output]). *)
+
+type t
+
+val create :
+  ?init:[ `Centered | `Random_sign ] ->
+  Rng.t -> Config.t -> Surrogate.Model.t -> inputs:int -> outputs:int -> t
+(** Two printed layers with the configured hidden width. *)
+
+val create_deep :
+  ?init:[ `Centered | `Random_sign ] ->
+  Rng.t -> Config.t -> Surrogate.Model.t -> sizes:int list -> t
+(** Arbitrary depth (sizes includes input and output widths) — used by the
+    extension experiments. *)
+
+val of_layers : Config.t -> Layer.t list -> t
+(** Reassemble a network from layers (widths must chain); used by
+    {!Serialize}. *)
+
+val layers : t -> Layer.t list
+val config : t -> Config.t
+val theta_shapes : t -> (int * int) list
+(** Per-layer θ shapes, for {!Noise.draw}. *)
+
+val forward : t -> noise:Noise.t -> Autodiff.t -> Autodiff.t
+(** Output-layer activations (voltages in ≈[0,1]), batch × outputs. *)
+
+val logits : t -> noise:Noise.t -> Tensor.t -> Autodiff.t
+(** Temperature-scaled activations for the cross-entropy loss. *)
+
+val predict : t -> noise:Noise.t -> Tensor.t -> int array
+(** Argmax classification under a given variation draw. *)
+
+val loss : t -> noise:Noise.t -> x:Tensor.t -> labels:Tensor.t -> Autodiff.t
+(** Softmax cross-entropy of one variation draw. *)
+
+val mc_loss : t -> noises:Noise.t list -> x:Tensor.t -> labels:Tensor.t -> Autodiff.t
+(** Monte-Carlo expected loss: mean of {!loss} over the draws (paper Eq. for
+    variation-aware training). *)
+
+val params_theta : t -> Autodiff.t list
+val params_omega : t -> Autodiff.t list
+
+type weights
+
+val snapshot : t -> weights
+val restore : t -> weights -> unit

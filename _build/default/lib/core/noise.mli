@@ -1,0 +1,23 @@
+(** Reparameterized printing-variation noise.
+
+    The paper models fabrication error as i.i.d. multiplicative noise
+    ε ~ U[1−ε̄, 1+ε̄] on every printed value: crossbar conductances θ and the
+    printable nonlinear-circuit values ω.  A [draw] bundles one realization
+    for a whole network. *)
+
+type layer_noise = {
+  theta : Tensor.t;  (** per-conductance multipliers, shape of θ *)
+  act_omega : Tensor.t;  (** 1 × 7 multipliers for the activation circuit *)
+  neg_omega : Tensor.t;  (** 1 × 7 multipliers for the negative-weight circuit *)
+}
+
+type t = layer_noise list
+(** One entry per layer, input side first. *)
+
+val none : theta_shapes:(int * int) list -> t
+(** All-ones noise (nominal evaluation) for the given per-layer θ shapes. *)
+
+val draw : Rng.t -> epsilon:float -> theta_shapes:(int * int) list -> t
+(** One uniform multiplicative realization; [epsilon = 0] gives {!none}. *)
+
+val draw_many : Rng.t -> epsilon:float -> theta_shapes:(int * int) list -> n:int -> t list

@@ -1,0 +1,62 @@
+module A = Autodiff
+module Ds = Surrogate.Design_space
+
+type t = { raw : A.t; surrogate : Surrogate.Model.t }
+
+let create_from surrogate ~w_init =
+  if Array.length w_init <> Ds.learnable_dim then
+    invalid_arg "Nonlinear.create_from: need 7 raw values";
+  { raw = A.param (Tensor.of_array w_init); surrogate }
+
+let create surrogate =
+  create_from surrogate ~w_init:(Array.make Ds.learnable_dim 0.0)
+
+let raw_param t = t.raw
+
+(* Denormalization bounds for the 𝔴 encoding [R1; R3; R5; W; L; k1; k2]. *)
+let w_scaler = lazy (Surrogate.Scaler.of_bounds ~lo:Ds.learnable_lo ~hi:Ds.learnable_hi)
+
+let printable_omega t ~noise =
+  let s = A.sigmoid t.raw in
+  let w = Surrogate.Scaler.inverse_ad (Lazy.force w_scaler) s in
+  let field i = A.slice_cols w i 1 in
+  let r1 = field 0 and r3 = field 1 and r5 = field 2 in
+  let wd = field 3 and ld = field 4 and k1 = field 5 and k2 = field 6 in
+  (* Reassemble; the inferred R2/R4 may leave their Table-I boxes, so clip
+     with a straight-through estimator (paper: "simply clipping them to their
+     feasible range").  R2 < R1 / R4 < R3 hold because k ≤ 0.98. *)
+  let r2 = A.clamp_ste ~lo:Ds.omega_lo.(1) ~hi:Ds.omega_hi.(1) (A.mul r1 k1) in
+  let r4 = A.clamp_ste ~lo:Ds.omega_lo.(3) ~hi:Ds.omega_hi.(3) (A.mul r3 k2) in
+  let omega =
+    List.fold_left A.concat_cols r1 [ r2; r3; r4; r5; wd; ld ]
+  in
+  (* Variation is applied to the printable values (paper §III-C). *)
+  A.mul omega (A.const noise)
+
+let eta t ~noise =
+  Surrogate.Model.eval_ad t.surrogate (printable_omega t ~noise)
+
+let apply_eta eta_node v =
+  let e i = A.slice_cols eta_node i 1 in
+  let shifted = A.badd (A.neg (e 2)) v in
+  A.badd (e 0) (A.bmul (e 1) (A.tanh (A.bmul (e 3) shifted)))
+
+let apply t ~noise v = apply_eta (eta t ~noise) v
+let apply_inv t ~noise v = A.neg (apply t ~noise v)
+
+let ones_noise = lazy (Tensor.ones 1 Ds.dim)
+
+let omega_values t =
+  Tensor.to_array (A.value (printable_omega t ~noise:(Lazy.force ones_noise)))
+
+let eta_values t =
+  Surrogate.Model.eval t.surrogate (omega_values t)
+
+let snapshot t = Tensor.copy (A.value t.raw)
+
+let restore t saved =
+  let v = A.value t.raw in
+  if Tensor.shape v <> Tensor.shape saved then invalid_arg "Nonlinear.restore: shape mismatch";
+  for c = 0 to Tensor.cols saved - 1 do
+    Tensor.set v 0 c (Tensor.get saved 0 c)
+  done

@@ -1,0 +1,51 @@
+(** A (learnable) nonlinear subcircuit instance inside a pNN.
+
+    Implements the paper's Fig. 5 processing chain for the learnable
+    parameter 𝔴:
+
+      𝔴 --sigmoid--> (0,1)^7 --denormalize--> [R1; R3; R5; W; L; k1; k2]
+        --reassemble (R2 = R1·k1, R4 = R3·k2, clip)--> printable ω
+        --× ε_ω (variation)--> --extend + normalize--> surrogate η̂ --> η
+
+    and the resulting tanh-like transfer applied to layer pre-activations:
+
+      ptanh(v) = η1 + η2·tanh((v − η3)·η4)          (Eq. 2)
+      inv(v)   = −ptanh(v)                          (Eq. 3)
+
+    The clipping of R2 and R4 uses the straight-through estimator so training
+    can push against the box. *)
+
+type t
+
+val create : Surrogate.Model.t -> t
+(** Fresh instance with 𝔴 = 0, i.e. the mid-range circuit (all sigmoid
+    outputs 0.5).  This is also the paper's fixed, non-learnable circuit: with
+    α_ω = 0 the parameters simply never move. *)
+
+val create_from : Surrogate.Model.t -> w_init:float array -> t
+(** Start from a specific raw 𝔴 (length 7, pre-sigmoid). *)
+
+val raw_param : t -> Autodiff.t
+(** The learnable 1 × 7 leaf (pre-sigmoid 𝔴). *)
+
+val printable_omega : t -> noise:Tensor.t -> Autodiff.t
+(** The 1 × 7 printable ω node after reassembly, clipping and variation —
+    what would be sent to the printer (with [noise] all-ones). *)
+
+val eta : t -> noise:Tensor.t -> Autodiff.t
+(** The 1 × 4 η node for the given variation draw. *)
+
+val apply : t -> noise:Tensor.t -> Autodiff.t -> Autodiff.t
+(** [apply t ~noise v] is ptanh(v) elementwise over the batch. *)
+
+val apply_inv : t -> noise:Tensor.t -> Autodiff.t -> Autodiff.t
+(** Eq. 3: the negative-weight transfer −ptanh(v). *)
+
+val omega_values : t -> float array
+(** Current printable ω (no variation), as plain floats — for reports. *)
+
+val eta_values : t -> Fit.Ptanh.eta
+(** Current η (no variation) through the surrogate. *)
+
+val snapshot : t -> Tensor.t
+val restore : t -> Tensor.t -> unit

@@ -1,0 +1,205 @@
+type report = {
+  crossbar_power_w : float;
+  nonlinear_power_w : float;
+  total_power_w : float;
+  printed_resistors : int;
+  transistors : int;
+  activation_circuits : int;
+  negative_weight_circuits : int;
+  area_mm2 : float;
+}
+
+(* Order-of-magnitude printed feature areas (mm^2). Passive components in
+   printed technologies are on the order of 1 mm (paper §IV-A: "component
+   feature sizes ... on the order of 1 mm"). *)
+let resistor_area_mm2 = 1.0
+let transistor_area_overhead_mm2 = 0.5
+
+let v_bias = Circuit.Ptanh_circuit.vdd
+
+(* Propagate a batch through the network layer by layer with nominal noise,
+   collecting per-layer (input activations, crossbar outputs). *)
+let layer_traces network x =
+  let config = Network.config network in
+  let shapes = Network.theta_shapes network in
+  let noise = Noise.none ~theta_shapes:shapes in
+  let rec go acc x layers noises =
+    match (layers, noises) with
+    | [], [] -> List.rev acc
+    | layer :: rest_l, ln :: rest_n ->
+        let inputs = Autodiff.const x in
+        let vz = Autodiff.value (Layer.preactivation config layer ~noise:ln inputs) in
+        let out = Autodiff.value (Layer.forward config layer ~noise:ln inputs) in
+        go ((x, vz, layer) :: acc) out rest_l rest_n
+    | _ -> assert false
+  in
+  go [] x (Network.layers network) noise
+
+(* Static crossbar dissipation for one layer, averaged over the batch. *)
+let crossbar_power config ~g_unit (x, vz, layer) =
+  let printed = Layer.printed_theta config layer in
+  let n_in = Layer.inputs layer and n_out = Layer.outputs layer in
+  let batch = Tensor.rows x in
+  let total = ref 0.0 in
+  for b = 0 to batch - 1 do
+    for j = 0 to n_out - 1 do
+      let vzj = Tensor.get vz b j in
+      for i = 0 to n_in - 1 do
+        let g = Float.abs (Tensor.get printed i j) *. g_unit in
+        if g > 0.0 then begin
+          (* negative conductances see the inverted input; magnitude of the
+             voltage across the printed resistor is what dissipates *)
+          let vi = Tensor.get x b i in
+          let dv = vi -. vzj in
+          total := !total +. (g *. dv *. dv)
+        end
+      done;
+      let gb = Float.abs (Tensor.get printed n_in j) *. g_unit in
+      let gd = Float.abs (Tensor.get printed (n_in + 1) j) *. g_unit in
+      let dvb = v_bias -. vzj in
+      total := !total +. (gb *. dvb *. dvb) +. (gd *. vzj *. vzj)
+    done
+  done;
+  !total /. float_of_int batch
+
+(* Supply power of one nonlinear circuit instance averaged over its input
+   voltage distribution, from MNA operating points. *)
+let circuit_power nl inputs =
+  let omega =
+    Circuit.Ptanh_circuit.omega_of_array (Nonlinear.omega_values nl)
+  in
+  let netlist, _out = Circuit.Ptanh_circuit.build omega in
+  let guess = ref None in
+  let samples = Array.of_list inputs in
+  if Array.length samples = 0 then 0.0
+  else begin
+    let total = ref 0.0 in
+    Array.iter
+      (fun vin ->
+        let vin = Stdlib.max 0.0 (Stdlib.min 1.0 vin) in
+        Circuit.Netlist.set_source netlist "vin" vin;
+        match Circuit.Mna.solve ?initial:!guess Circuit.Egt.default netlist with
+        | exception Circuit.Mna.No_convergence _ -> ()
+        | sol ->
+            guess := Some sol.Circuit.Mna.voltages;
+            (* dissipation = sum over resistors of V^2/R plus Vds*Id of the
+               transistors; equals total supply power in DC *)
+            let v = sol.Circuit.Mna.voltages in
+            List.iter
+              (fun e ->
+                match e with
+                | Circuit.Netlist.Resistor { a; b; ohms } ->
+                    let dv = v.(a) -. v.(b) in
+                    total := !total +. (dv *. dv /. ohms)
+                | Circuit.Netlist.Transistor { gate; drain; source; w_um; l_um } ->
+                    let e =
+                      Circuit.Egt.evaluate Circuit.Egt.default ~w_um ~l_um
+                        ~vgs:(v.(gate) -. v.(source))
+                        ~vds:(v.(drain) -. v.(source))
+                    in
+                    total := !total +. (Float.abs (e.Circuit.Egt.id *. (v.(drain) -. v.(source))))
+                | Circuit.Netlist.Vsource _ | Circuit.Netlist.Capacitor _
+                | Circuit.Netlist.Isource _ ->
+                    ())
+              (Circuit.Netlist.elements netlist))
+      samples;
+    !total /. float_of_int (Array.length samples)
+  end
+
+(* A few representative input voltages per circuit keeps the estimate cheap. *)
+let subsample_column x col =
+  let n = Tensor.rows x in
+  let step = Stdlib.max 1 (n / 16) in
+  let rec go i acc = if i >= n then acc else go (i + step) (Tensor.get x i col :: acc) in
+  go 0 []
+
+let estimate ?(g_unit = 1e-4) network ~x_sample =
+  if Tensor.rows x_sample = 0 then invalid_arg "Power.estimate: empty sample";
+  let config = Network.config network in
+  let traces = layer_traces network x_sample in
+  let crossbar_power_w =
+    List.fold_left (fun acc t -> acc +. crossbar_power config ~g_unit t) 0.0 traces
+  in
+  (* device counts *)
+  let printed_resistors = ref 0 in
+  let neg_circuits = ref 0 in
+  let act_circuits = ref 0 in
+  List.iter
+    (fun (_, _, layer) ->
+      let printed = Layer.printed_theta config layer in
+      let n_in = Layer.inputs layer in
+      for r = 0 to Tensor.rows printed - 1 do
+        for c = 0 to Tensor.cols printed - 1 do
+          if Tensor.get printed r c <> 0.0 then incr printed_resistors
+        done
+      done;
+      (* one negative-weight circuit per input column with negative fan-out *)
+      for r = 0 to n_in - 1 do
+        let has_neg = ref false in
+        for c = 0 to Tensor.cols printed - 1 do
+          if Tensor.get printed r c < 0.0 then has_neg := true
+        done;
+        if !has_neg then incr neg_circuits
+      done;
+      act_circuits := !act_circuits + Layer.outputs layer)
+    traces;
+  (* nonlinear power: activation circuits see the crossbar outputs; the
+     negative-weight circuits see the raw inputs *)
+  let nonlinear_power_w =
+    List.fold_left
+      (fun acc (x, vz, layer) ->
+        let act_inputs = subsample_column vz 0 in
+        let neg_inputs = subsample_column x 0 in
+        acc
+        +. (float_of_int (Layer.outputs layer) *. circuit_power layer.Layer.act act_inputs)
+        +. (float_of_int (Layer.inputs layer)
+           *. circuit_power layer.Layer.neg neg_inputs
+           *. (float_of_int !neg_circuits
+              /. float_of_int (Stdlib.max 1 (Layer.inputs layer)))))
+      0.0 traces
+  in
+  let circuit_instances = !act_circuits + !neg_circuits in
+  let circuit_resistors = 5 * circuit_instances in
+  let transistors = 2 * circuit_instances in
+  let area_of_circuit nl =
+    let omega = Nonlinear.omega_values nl in
+    (5.0 *. resistor_area_mm2)
+    +. (2.0 *. ((omega.(5) *. omega.(6) /. 1e6) +. transistor_area_overhead_mm2))
+  in
+  let circuit_area =
+    List.fold_left
+      (fun acc (_, _, layer) ->
+        acc
+        +. (float_of_int (Layer.outputs layer) *. area_of_circuit layer.Layer.act)
+        +. area_of_circuit layer.Layer.neg)
+      0.0 traces
+  in
+  let area_mm2 =
+    (float_of_int !printed_resistors *. resistor_area_mm2) +. circuit_area
+  in
+  {
+    crossbar_power_w;
+    nonlinear_power_w;
+    total_power_w = crossbar_power_w +. nonlinear_power_w;
+    printed_resistors = !printed_resistors + circuit_resistors;
+    transistors;
+    activation_circuits = !act_circuits;
+    negative_weight_circuits = !neg_circuits;
+    area_mm2;
+  }
+
+let render r =
+  String.concat "\n"
+    [
+      "Design cost estimate (order-of-magnitude; see Power docs)";
+      Printf.sprintf "  static power: crossbars %.2f uW + nonlinear circuits %.2f uW = %.2f uW"
+        (r.crossbar_power_w *. 1e6)
+        (r.nonlinear_power_w *. 1e6)
+        (r.total_power_w *. 1e6);
+      Printf.sprintf "  devices: %d printed resistors, %d transistors" r.printed_resistors
+        r.transistors;
+      Printf.sprintf "  circuits: %d activation, %d negative-weight" r.activation_circuits
+        r.negative_weight_circuits;
+      Printf.sprintf "  estimated area: %.1f mm^2" r.area_mm2;
+      "";
+    ]

@@ -1,0 +1,38 @@
+(** Power, device-count and area estimation for a printed pNN design.
+
+    Printed neuromorphic papers report static power and device counts
+    alongside accuracy (e.g. Weller et al., Sci. Rep. 2021: an analog printed
+    neuron needs < 10 devices where a digital one needs hundreds).  This
+    module derives those figures for a trained design:
+
+    - {b Crossbar power}: the surrogate conductances θ are dimensionless; a
+      scale [g_unit] (default 10⁻⁴ S, i.e. θ = 1 ≙ 10 kΩ) maps them to
+      printable conductances.  Static dissipation per input sample follows
+      directly from Eq. 1's voltage divider:
+      P = Σ_i g_i·(V_i − V_z)² + g_b·(V_b − V_z)² + g_d·V_z².
+    - {b Nonlinear-circuit power}: each ptanh / negative-weight instance is
+      simulated at its DC operating points over the input distribution and
+      the supply current is integrated from the MNA solution.
+    - {b Devices and area}: per nonlinear circuit 5 resistors + 2 EGTs; one
+      activation circuit per neuron; one negative-weight circuit per input
+      column that drives at least one negative conductance.  Area uses
+      order-of-magnitude printed feature sizes (≈1 mm² per passive component,
+      paper §IV-A) — an estimate, clearly labelled as such. *)
+
+type report = {
+  crossbar_power_w : float;  (** averaged over the provided input samples *)
+  nonlinear_power_w : float;
+  total_power_w : float;
+  printed_resistors : int;  (** crossbar conductances actually printed + circuit resistors *)
+  transistors : int;
+  activation_circuits : int;
+  negative_weight_circuits : int;
+  area_mm2 : float;
+}
+
+val estimate : ?g_unit:float -> Network.t -> x_sample:Tensor.t -> report
+(** [x_sample] is a batch of representative inputs (e.g. the training set);
+    voltages outside [\[0,1]] are used as-is. Raises [Invalid_argument] on an
+    empty sample or width mismatch. *)
+
+val render : report -> string

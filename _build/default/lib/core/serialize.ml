@@ -1,0 +1,95 @@
+let float_line a =
+  String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") a))
+
+let tensor_line t =
+  Printf.sprintf "%d %d %s" (Tensor.rows t) (Tensor.cols t)
+    (float_line (Tensor.to_array t))
+
+let tensor_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | rows :: cols :: values ->
+      Tensor.create (int_of_string rows) (int_of_string cols)
+        (Array.of_list (List.map float_of_string values))
+  | [] | [ _ ] -> failwith "Serialize: malformed tensor line"
+
+let config_line (c : Config.t) =
+  Printf.sprintf "config %d %h %h %h %d %d %d %d %h %h %h" c.Config.hidden
+    c.Config.lr_theta c.Config.lr_omega c.Config.epsilon c.Config.n_mc_train
+    c.Config.n_mc_val c.Config.max_epochs c.Config.patience c.Config.g_min
+    c.Config.g_max c.Config.logit_scale
+
+let config_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "config"; hidden; lr_t; lr_o; eps; mct; mcv; me; pat; gmin; gmax; ls ] ->
+      {
+        Config.hidden = int_of_string hidden;
+        lr_theta = float_of_string lr_t;
+        lr_omega = float_of_string lr_o;
+        epsilon = float_of_string eps;
+        n_mc_train = int_of_string mct;
+        n_mc_val = int_of_string mcv;
+        max_epochs = int_of_string me;
+        patience = int_of_string pat;
+        g_min = float_of_string gmin;
+        g_max = float_of_string gmax;
+        logit_scale = float_of_string ls;
+      }
+  | _ -> failwith "Serialize: bad config line"
+
+let to_lines network =
+  let layers = Network.layers network in
+  let header = Printf.sprintf "pnn %d" (List.length layers) in
+  let layer_lines layer =
+    [
+      tensor_line (Autodiff.value layer.Layer.theta);
+      tensor_line (Nonlinear.snapshot layer.Layer.act);
+      tensor_line (Nonlinear.snapshot layer.Layer.neg);
+    ]
+  in
+  (header :: config_line (Network.config network)
+  :: List.concat_map layer_lines layers)
+
+let of_lines surrogate lines =
+  match lines with
+  | header :: config_l :: rest -> (
+      match String.split_on_char ' ' (String.trim header) with
+      | [ "pnn"; n ] ->
+          let n = int_of_string n in
+          let config = config_of_line config_l in
+          let rec take k lines acc =
+            if k = 0 then (List.rev acc, lines)
+            else
+              match lines with
+              | tl :: al :: nl :: rest ->
+                  let layer =
+                    Layer.of_parts surrogate ~theta:(tensor_of_line tl)
+                      ~act_w:(tensor_of_line al) ~neg_w:(tensor_of_line nl)
+                  in
+                  take (k - 1) rest (layer :: acc)
+              | _ -> failwith "Serialize: truncated layer section"
+          in
+          let layers, remaining = take n rest [] in
+          (Network.of_layers config layers, remaining)
+      | _ -> failwith "Serialize: bad header")
+  | _ -> failwith "Serialize: empty input"
+
+let save_file network path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) (to_lines network))
+
+let load_file surrogate path =
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  fst (of_lines surrogate lines)

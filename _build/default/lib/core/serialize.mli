@@ -1,0 +1,14 @@
+(** Persistence for trained printed neural networks.
+
+    A saved pNN bundles the θ matrices, both nonlinear circuits' raw 𝔴 per
+    layer and the training configuration — everything needed to re-evaluate
+    or print the design later.  The frozen surrogate is {e not} embedded (it
+    is a shared artifact with its own cache); [load] takes it as an input and
+    checks the architecture matches. *)
+
+val to_lines : Network.t -> string list
+val of_lines : Surrogate.Model.t -> string list -> Network.t * string list
+(** Raises [Failure] on malformed input. *)
+
+val save_file : Network.t -> string -> unit
+val load_file : Surrogate.Model.t -> string -> Network.t

@@ -1,0 +1,85 @@
+type data = {
+  x_train : Tensor.t;
+  y_train : Tensor.t;
+  x_val : Tensor.t;
+  y_val : Tensor.t;
+}
+
+type result = {
+  network : Network.t;
+  history : Nn.Train.history;
+  val_loss : float;
+}
+
+let of_split ~n_classes (s : Datasets.Synth.split) =
+  {
+    x_train = s.Datasets.Synth.x_train;
+    y_train = Datasets.Synth.one_hot ~n_classes s.Datasets.Synth.y_train;
+    x_val = s.Datasets.Synth.x_val;
+    y_val = Datasets.Synth.one_hot ~n_classes s.Datasets.Synth.y_val;
+  }
+
+let fit ?train_sampler ?val_noises rng network data =
+  let config = Network.config network in
+  let shapes = Network.theta_shapes network in
+  let epsilon = config.Config.epsilon in
+  let nominal = epsilon = 0.0 in
+  let draw_train =
+    match train_sampler with
+    | Some sampler -> sampler
+    | None ->
+        fun () ->
+          if nominal then [ Noise.none ~theta_shapes:shapes ]
+          else
+            Noise.draw_many rng ~epsilon ~theta_shapes:shapes
+              ~n:config.Config.n_mc_train
+  in
+  (* Fixed validation draws: a stable early-stopping signal across epochs. *)
+  let val_noises =
+    match val_noises with
+    | Some n -> n
+    | None ->
+        if nominal then [ Noise.none ~theta_shapes:shapes ]
+        else
+          Noise.draw_many (Rng.split rng) ~epsilon ~theta_shapes:shapes
+            ~n:config.Config.n_mc_val
+  in
+  let opt_theta = Nn.Optimizer.adam ~lr:config.Config.lr_theta () in
+  let optimizers =
+    let groups = [ (opt_theta, Network.params_theta network) ] in
+    if Config.learnable config then
+      (Nn.Optimizer.adam ~lr:config.Config.lr_omega (), Network.params_omega network)
+      :: groups
+    else groups
+  in
+  let best = ref (Network.snapshot network) in
+  let val_loss () =
+    let l =
+      Network.mc_loss network ~noises:val_noises ~x:data.x_val ~labels:data.y_val
+    in
+    Tensor.get (Autodiff.value l) 0 0
+  in
+  let history =
+    Nn.Train.run
+      ~config:
+        {
+          Nn.Train.default_config with
+          max_epochs = config.Config.max_epochs;
+          patience = config.Config.patience;
+          val_every = 5;
+        }
+      ~optimizers
+      ~train_loss:(fun () ->
+        Network.mc_loss network ~noises:(draw_train ()) ~x:data.x_train
+          ~labels:data.y_train)
+      ~val_loss
+      ~snapshot:(fun () -> best := Network.snapshot network)
+      ~restore:(fun () -> Network.restore network !best)
+  in
+  { network; history; val_loss = history.Nn.Train.best_val_loss }
+
+let train_fresh ?init rng config surrogate ~n_classes split =
+  let data = of_split ~n_classes split in
+  let inputs = Tensor.cols data.x_train in
+  let network = Network.create ?init rng config surrogate ~inputs ~outputs:n_classes in
+  fit rng network data

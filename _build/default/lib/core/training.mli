@@ -1,0 +1,41 @@
+(** Nominal and variation-aware training of pNNs (paper §III-C).
+
+    Nominal training minimizes the deterministic loss L(θ, 𝔴).  Variation-
+    aware training minimizes the Monte-Carlo estimate of
+    E_{ε_θ, ε_ω}[L(ε_θ·θ, ε_ω·ω)] with N fresh draws per epoch.  Two Adam
+    optimizers drive the two parameter groups (α_θ, α_ω); α_ω = 0 reproduces
+    the non-learnable ablation arm. *)
+
+type data = {
+  x_train : Tensor.t;
+  y_train : Tensor.t;  (** one-hot *)
+  x_val : Tensor.t;
+  y_val : Tensor.t;
+}
+
+type result = {
+  network : Network.t;
+  history : Nn.Train.history;
+  val_loss : float;  (** best validation loss (MC-averaged when ε > 0) *)
+}
+
+val of_split : n_classes:int -> Datasets.Synth.split -> data
+
+val fit :
+  ?train_sampler:(unit -> Noise.t list) ->
+  ?val_noises:Noise.t list ->
+  Rng.t ->
+  Network.t ->
+  data ->
+  result
+(** Trains the given network in place according to its config ([epsilon = 0]
+    ⇒ nominal, else variation-aware with [n_mc_train] draws per epoch) and
+    restores the best-validation weights.  [train_sampler] / [val_noises]
+    override the default variation model — the hook used by aging-aware
+    training ({!Aging}). *)
+
+val train_fresh :
+  ?init:[ `Centered | `Random_sign ] ->
+  Rng.t -> Config.t -> Surrogate.Model.t -> n_classes:int -> Datasets.Synth.split -> result
+(** Convenience: build the paper-topology network for a dataset split and
+    {!fit} it. *)

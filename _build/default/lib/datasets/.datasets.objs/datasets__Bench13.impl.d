@@ -1,0 +1,1 @@
+lib/datasets/bench13.ml: Exact List Synth

@@ -1,0 +1,1 @@
+lib/datasets/bench13.mli: Synth

@@ -1,0 +1,1 @@
+lib/datasets/exact.ml: Array Hashtbl List Synth Tensor

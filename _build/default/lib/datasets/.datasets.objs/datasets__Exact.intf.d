@@ -1,0 +1,1 @@
+lib/datasets/exact.mli: Synth

@@ -1,0 +1,1 @@
+lib/datasets/synth.ml: Array Rng Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/datasets/synth.mli: Rng Tensor

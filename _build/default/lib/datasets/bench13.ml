@@ -1,0 +1,60 @@
+(* Difficulty calibration targets the paper's baseline column (non-learnable,
+   nominal training, tested at 5 % variation): e.g. Acute Inflammation 0.82,
+   Pendigits 0.31, Tic-Tac-Toe 0.63 (= its majority-class fraction, which the
+   priors below reproduce).  class_sep/spread/modes were tuned against the
+   baseline pNN, not against any classifier stronger than the paper's
+   #input-3-#output topology. *)
+
+let spec name features classes samples ?(modes = 1) ?(sep = 0.15) ?(spread = 0.08)
+    ?(label_noise = 0.0) ?priors seed =
+  {
+    Synth.name;
+    features;
+    classes;
+    samples;
+    modes_per_class = modes;
+    class_sep = sep;
+    spread;
+    label_noise;
+    priors;
+    seed;
+  }
+
+let specs =
+  [
+    (* name                      feat cls  n *)
+    spec "acute-inflammation" 6 2 120 ~sep:0.26 ~spread:0.12 ~label_noise:0.02 1001;
+    spec "balance-scale" 4 3 625 ~modes:2 ~sep:0.17 ~spread:0.12 ~label_noise:0.03 1002;
+    spec "breast-cancer-wisconsin" 9 2 699 ~sep:0.28 ~spread:0.12 ~label_noise:0.02 1003;
+    spec "cardiotocography" 21 3 1200 ~modes:3 ~sep:0.12 ~spread:0.13 ~label_noise:0.05
+      ~priors:[| 0.55; 0.30; 0.15 |] 1004;
+    spec "energy-efficiency-y1" 8 3 768 ~modes:2 ~sep:0.18 ~spread:0.12 ~label_noise:0.02 1005;
+    spec "energy-efficiency-y2" 8 3 768 ~modes:3 ~sep:0.15 ~spread:0.14 ~label_noise:0.06 1006;
+    spec "iris" 4 3 150 ~modes:2 ~sep:0.17 ~spread:0.14 ~label_noise:0.05 1007;
+    spec "mammographic-mass" 5 2 961 ~modes:2 ~sep:0.11 ~spread:0.15 ~label_noise:0.14 1008;
+    spec "pendigits" 16 10 1200 ~sep:0.25 ~spread:0.08 ~label_noise:0.02 1009;
+    spec "seeds" 7 3 210 ~modes:2 ~sep:0.15 ~spread:0.13 ~label_noise:0.03 1010;
+    spec "tic-tac-toe" 9 2 958 ~modes:4 ~sep:0.08 ~spread:0.12 ~label_noise:0.08
+      ~priors:[| 0.35; 0.65 |] 1011;
+    spec "vertebral-2c" 6 2 310 ~modes:2 ~sep:0.08 ~spread:0.14 ~label_noise:0.10 1012;
+    spec "vertebral-3c" 6 3 310 ~modes:2 ~sep:0.10 ~spread:0.14 ~label_noise:0.12 1013;
+  ]
+
+let names = List.map (fun s -> s.Synth.name) specs
+
+let find name =
+  match List.find_opt (fun s -> s.Synth.name = name) specs with
+  | Some s -> s
+  | None -> raise Not_found
+
+(* Two of the thirteen datasets are rule-defined enumerations and are
+   reconstructed exactly (see Exact); the rest are calibrated synthetic
+   stand-ins.  The synthetic specs for the exact pair remain in [specs] to
+   document their dimensions and to parameterize the difficulty ablations. *)
+let load name =
+  match name with
+  | "balance-scale" -> Exact.balance_scale ()
+  | "tic-tac-toe" -> Exact.tic_tac_toe ()
+  | _ -> Synth.generate (find name)
+
+let load_all () = List.map (fun s -> load s.Synth.name) specs

@@ -1,0 +1,102 @@
+(* A Synth.spec documenting exact datasets: difficulty knobs are meaningless
+   and set to zero; the seed only matters for downstream splits. *)
+let exact_spec name features classes samples =
+  {
+    Synth.name;
+    features;
+    classes;
+    samples;
+    modes_per_class = 1;
+    class_sep = 0.0;
+    spread = 0.0;
+    label_noise = 0.0;
+    priors = None;
+    seed = 0;
+  }
+
+(* {1 Balance Scale}
+
+   UCI: attributes left-weight, left-distance, right-weight, right-distance,
+   each in 1..5.  Class: L if LW*LD > RW*RD, R if <, B if =.
+   Class order (L, B, R) matches the UCI class listing. *)
+
+let balance_scale () =
+  let rows = ref [] and labels = ref [] in
+  for lw = 1 to 5 do
+    for ld = 1 to 5 do
+      for rw = 1 to 5 do
+        for rd = 1 to 5 do
+          let left = lw * ld and right = rw * rd in
+          let cls = if left > right then 0 else if left = right then 1 else 2 in
+          let scale v = float_of_int (v - 1) /. 4.0 in
+          rows := [| scale lw; scale ld; scale rw; scale rd |] :: !rows;
+          labels := cls :: !labels
+        done
+      done
+    done
+  done;
+  {
+    Synth.spec = exact_spec "balance-scale" 4 3 625;
+    x = Tensor.of_arrays (Array.of_list (List.rev !rows));
+    y = Array.of_list (List.rev !labels);
+  }
+
+(* {1 Tic-Tac-Toe Endgame}
+
+   Enumerate every legal game (X first, stop at a win or a full board) and
+   collect the distinct final boards.  The UCI dataset is exactly this set:
+   958 boards, labelled positive iff X has three in a row. *)
+
+let lines =
+  [|
+    (0, 1, 2); (3, 4, 5); (6, 7, 8); (* rows *)
+    (0, 3, 6); (1, 4, 7); (2, 5, 8); (* columns *)
+    (0, 4, 8); (2, 4, 6); (* diagonals *)
+  |]
+
+let winner board player =
+  Array.exists (fun (a, b, c) -> board.(a) = player && board.(b) = player && board.(c) = player) lines
+
+let tic_tac_toe () =
+  (* cells: 0 = blank, 1 = x, 2 = o *)
+  let seen = Hashtbl.create 4096 in
+  let board = Array.make 9 0 in
+  let key () = Array.fold_left (fun acc c -> (acc * 3) + c) 0 board in
+  let record () =
+    let k = key () in
+    if not (Hashtbl.mem seen k) then
+      Hashtbl.add seen k (Array.copy board, winner board 1)
+  in
+  let rec play player moves =
+    if winner board 1 || winner board 2 then record ()
+    else if moves = 9 then record ()
+    else
+      for cell = 0 to 8 do
+        if board.(cell) = 0 then begin
+          board.(cell) <- player;
+          play (3 - player) (moves + 1);
+          board.(cell) <- 0
+        end
+      done
+  in
+  play 1 0;
+  let entries =
+    List.sort
+      (fun (a, _) (b, _) ->
+        compare
+          (Array.fold_left (fun acc c -> (acc * 3) + c) 0 a)
+          (Array.fold_left (fun acc c -> (acc * 3) + c) 0 b))
+      (Hashtbl.fold (fun _ v acc -> v :: acc) seen [])
+  in
+  let encode cell =
+    match cell with 1 -> 1.0 | 2 -> 0.0 | 0 -> 0.5 | _ -> assert false
+  in
+  let x = Array.of_list (List.map (fun (b, _) -> Array.map encode b) entries) in
+  (* class 1 = positive ("X wins"), matching the majority class used by the
+     difficulty calibration *)
+  let y = Array.of_list (List.map (fun (_, xwins) -> if xwins then 1 else 0) entries) in
+  {
+    Synth.spec = exact_spec "tic-tac-toe" 9 2 (Array.length y);
+    x = Tensor.of_arrays x;
+    y;
+  }

@@ -1,0 +1,21 @@
+(** Exact reconstructions of the rule-defined UCI benchmark datasets.
+
+    Two of the paper's 13 datasets are not empirical collections but complete
+    enumerations of a rule, so they can be reproduced {e exactly} without any
+    data download:
+
+    - {b Balance Scale} (625 instances): every combination of left/right
+      weight and distance in {1..5}; the class is the side with the larger
+      torque (weight × distance), or balanced.
+    - {b Tic-Tac-Toe Endgame} (958 instances): every board reachable at the
+      end of a game (win or draw, X moves first), labelled "X wins".
+
+    Feature encodings are scaled to the pNN's [0, 1] voltage domain. *)
+
+val balance_scale : unit -> Synth.t
+(** 4 features (LW, LD, RW, RD scaled from {1..5}), 3 classes in the UCI
+    order [L; B; R]; deterministic row order. *)
+
+val tic_tac_toe : unit -> Synth.t
+(** 9 features (x → 1, o → 0, blank → 0.5), 2 classes (positive = X wins);
+    board enumeration by exhaustive game play, deduplicated, sorted. *)

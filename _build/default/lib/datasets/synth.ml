@@ -1,0 +1,172 @@
+type spec = {
+  name : string;
+  features : int;
+  classes : int;
+  samples : int;
+  modes_per_class : int;
+  class_sep : float;
+  spread : float;
+  label_noise : float;
+  priors : float array option;
+  seed : int;
+}
+
+type t = { spec : spec; x : Tensor.t; y : int array }
+
+let validate spec =
+  if spec.features < 1 then invalid_arg "Synth.generate: features < 1";
+  if spec.classes < 2 then invalid_arg "Synth.generate: classes < 2";
+  if spec.samples < spec.classes then invalid_arg "Synth.generate: too few samples";
+  if spec.modes_per_class < 1 then invalid_arg "Synth.generate: modes_per_class < 1";
+  if spec.label_noise < 0.0 || spec.label_noise > 1.0 then
+    invalid_arg "Synth.generate: label_noise outside [0,1]";
+  match spec.priors with
+  | Some p when Array.length p <> spec.classes ->
+      invalid_arg "Synth.generate: priors length mismatch"
+  | Some p when Array.exists (fun v -> v < 0.0) p ->
+      invalid_arg "Synth.generate: negative prior"
+  | Some _ | None -> ()
+
+let pick_class rng cumulative =
+  let u = Rng.float rng in
+  let n = Array.length cumulative in
+  let rec find i = if i >= n - 1 || u < cumulative.(i) then i else find (i + 1) in
+  find 0
+
+let generate spec =
+  validate spec;
+  let rng = Rng.create spec.seed in
+  let d = spec.features in
+  (* Class anchors: random directions rescaled around their centroid so the
+     root-mean-square anchor-to-centroid distance is exactly class_sep.  This
+     pins the separability ratio class_sep/spread independent of the seed,
+     feature count and class count; with random placement the task's Bayes
+     error varies wildly between specs. *)
+  let anchors =
+    Array.init spec.classes (fun _ ->
+        Array.init d (fun _ -> Rng.gaussian rng ~mu:0.0 ~sigma:1.0))
+  in
+  let centroid =
+    Array.init d (fun j ->
+        Array.fold_left (fun acc a -> acc +. a.(j)) 0.0 anchors
+        /. float_of_int spec.classes)
+  in
+  let rms =
+    sqrt
+      (Array.fold_left
+         (fun acc a ->
+           acc
+           +. Array.fold_left ( +. ) 0.0
+                (Array.mapi (fun j v -> (v -. centroid.(j)) ** 2.0) a))
+         0.0 anchors
+      /. float_of_int spec.classes)
+  in
+  let scale = spec.class_sep /. Stdlib.max rms 1e-9 in
+  let anchors =
+    Array.map
+      (fun a -> Array.mapi (fun j v -> 0.5 +. ((v -. centroid.(j)) *. scale)) a)
+      anchors
+  in
+  (* Modes jitter around their class anchor at half the class separation, so
+     multi-modal classes bleed into their neighbours (not linearly separable). *)
+  let centers =
+    Array.map
+      (fun anchor ->
+        Array.init spec.modes_per_class (fun m ->
+            if m = 0 then Array.copy anchor
+            else
+              Array.map
+                (fun a -> a +. Rng.gaussian rng ~mu:0.0 ~sigma:(spec.class_sep *. 0.5))
+                anchor))
+      anchors
+  in
+  let cumulative =
+    let p =
+      match spec.priors with
+      | Some p ->
+          let s = Array.fold_left ( +. ) 0.0 p in
+          Array.map (fun v -> v /. s) p
+      | None -> Array.make spec.classes (1.0 /. float_of_int spec.classes)
+    in
+    let acc = ref 0.0 in
+    Array.map
+      (fun v ->
+        acc := !acc +. v;
+        !acc)
+      p
+  in
+  let y = Array.make spec.samples 0 in
+  let x = Tensor.zeros spec.samples d in
+  for i = 0 to spec.samples - 1 do
+    let cls = pick_class rng cumulative in
+    let mode = Rng.int rng spec.modes_per_class in
+    let center = centers.(cls).(mode) in
+    y.(i) <- cls;
+    for j = 0 to d - 1 do
+      Tensor.set x i j (center.(j) +. Rng.gaussian rng ~mu:0.0 ~sigma:spec.spread)
+    done
+  done;
+  (* label noise *)
+  if spec.label_noise > 0.0 then
+    for i = 0 to spec.samples - 1 do
+      if Rng.float rng < spec.label_noise then y.(i) <- Rng.int rng spec.classes
+    done;
+  (* per-feature min-max scaling into the [0,1] voltage domain *)
+  let x_scaled =
+    let lo = Array.make d infinity and hi = Array.make d neg_infinity in
+    for i = 0 to spec.samples - 1 do
+      for j = 0 to d - 1 do
+        let v = Tensor.get x i j in
+        if v < lo.(j) then lo.(j) <- v;
+        if v > hi.(j) then hi.(j) <- v
+      done
+    done;
+    Tensor.init spec.samples d (fun i j ->
+        let range = Stdlib.max (hi.(j) -. lo.(j)) 1e-9 in
+        (Tensor.get x i j -. lo.(j)) /. range)
+  in
+  { spec; x = x_scaled; y }
+
+let one_hot ~n_classes y =
+  let t = Tensor.zeros (Array.length y) n_classes in
+  Array.iteri
+    (fun i cls ->
+      if cls < 0 || cls >= n_classes then invalid_arg "Synth.one_hot: class out of range";
+      Tensor.set t i cls 1.0)
+    y;
+  t
+
+let class_counts t =
+  let counts = Array.make t.spec.classes 0 in
+  Array.iter (fun cls -> counts.(cls) <- counts.(cls) + 1) t.y;
+  counts
+
+let majority_fraction t =
+  let counts = class_counts t in
+  float_of_int (Array.fold_left Stdlib.max 0 counts) /. float_of_int (Array.length t.y)
+
+type split = {
+  x_train : Tensor.t;
+  y_train : int array;
+  x_val : Tensor.t;
+  y_val : int array;
+  x_test : Tensor.t;
+  y_test : int array;
+}
+
+let split rng ?(fractions = (0.6, 0.2)) t =
+  let f_train, f_val = fractions in
+  if f_train <= 0.0 || f_val < 0.0 || f_train +. f_val >= 1.0 then
+    invalid_arg "Synth.split: bad fractions";
+  let n = Array.length t.y in
+  let perm = Rng.perm rng n in
+  let n_train = int_of_float (float_of_int n *. f_train) in
+  let n_val = int_of_float (float_of_int n *. f_val) in
+  let take start len =
+    let idx = Array.sub perm start len in
+    (Tensor.take_rows t.x idx, Array.map (fun i -> t.y.(i)) idx)
+  in
+  let x_train, y_train = take 0 n_train in
+  let x_val, y_val = take n_train n_val in
+  let x_test, y_test = take (n_train + n_val) (n - n_train - n_val) in
+  { x_train; y_train; x_val; y_val; x_test; y_test }

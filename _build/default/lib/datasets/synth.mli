@@ -1,0 +1,48 @@
+(** Synthetic classification-task generator.
+
+    The sealed evaluation container has no access to the 13 UCI benchmark
+    datasets the paper uses, so each is replaced by a deterministic synthetic
+    task matched in feature count, class count, sample count and difficulty
+    (see DESIGN.md §2).  Difficulty is controlled by class-prototype
+    separation, within-class spread, the number of Gaussian modes per class
+    (multi-modal classes are not linearly separable) and label noise. *)
+
+type spec = {
+  name : string;
+  features : int;
+  classes : int;
+  samples : int;
+  modes_per_class : int;  (** Gaussian modes per class (≥ 1). *)
+  class_sep : float;  (** prototype separation scale (≈ 0.2 easy … 0.05 hard) *)
+  spread : float;  (** within-mode standard deviation *)
+  label_noise : float;  (** fraction of labels replaced uniformly at random *)
+  priors : float array option;  (** class priors; uniform when [None] *)
+  seed : int;
+}
+
+type t = {
+  spec : spec;
+  x : Tensor.t;  (** [samples × features], scaled to [\[0,1]] per feature *)
+  y : int array;  (** class index per row *)
+}
+
+val generate : spec -> t
+(** Deterministic in [spec.seed]. Raises [Invalid_argument] on nonsensical
+    specs (no classes, more priors than classes, ...). *)
+
+val one_hot : n_classes:int -> int array -> Tensor.t
+val class_counts : t -> int array
+val majority_fraction : t -> float
+
+type split = {
+  x_train : Tensor.t;
+  y_train : int array;
+  x_val : Tensor.t;
+  y_val : int array;
+  x_test : Tensor.t;
+  y_test : int array;
+}
+
+val split : Rng.t -> ?fractions:float * float -> t -> split
+(** Random split; [fractions] is [(train, validation)] and defaults to the
+    paper's (0.6, 0.2), leaving 20 % for test. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Circuit Datasets Fit Lazy List Pnn Printf Report Rng Setup Stats Stdlib Surrogate

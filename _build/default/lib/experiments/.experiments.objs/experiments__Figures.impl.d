@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Buffer Circuit Fit List Printf Report Rng Stdlib Surrogate

@@ -1,0 +1,1 @@
+lib/experiments/lifetime.ml: Datasets List Pnn Printf Report Rng Setup Table2

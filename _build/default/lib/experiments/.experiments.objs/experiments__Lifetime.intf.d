@@ -1,0 +1,1 @@
+lib/experiments/lifetime.mli: Pnn Setup Surrogate Table2

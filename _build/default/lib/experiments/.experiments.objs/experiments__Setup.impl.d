@@ -1,0 +1,1 @@
+lib/experiments/setup.ml: List Pnn Printf Surrogate

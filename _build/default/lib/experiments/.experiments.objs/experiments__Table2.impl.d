@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Datasets List Pnn Printf Report Rng Setup

@@ -1,0 +1,145 @@
+type curve = { label : string; omega : float array; vin : float array; vout : float array }
+
+(* Five design points spanning the space, mirroring the five-curve legends of
+   the paper's Fig. 2: the first Sobol points of the feasible space give the
+   same mix of steep, gentle and shifted tanh-like shapes. *)
+let fig2_omegas =
+  let sobol = Surrogate.Design_space.sample_sobol ~n:8 in
+  List.map
+    (fun (label, idx) -> (label, sobol.(idx)))
+    [ ("centre", 0); ("steep", 2); ("gentle", 3); ("shifted", 4); ("midway", 6) ]
+
+let fig2_curves ?(points = 41) () =
+  let mk (label, omega) =
+    let vin, vout =
+      Circuit.Ptanh_circuit.transfer ~points (Circuit.Ptanh_circuit.omega_of_array omega)
+    in
+    ({ label; omega; vin; vout }, { label; omega; vin; vout = Array.map (fun v -> -.v) vout })
+  in
+  let pairs = List.map mk fig2_omegas in
+  (List.map fst pairs, List.map snd pairs)
+
+let render_curves title curves =
+  match curves with
+  | [] -> title ^ ": (no curves)\n"
+  | first :: _ ->
+      let header = "vin" :: List.map (fun c -> c.label) curves in
+      let rows =
+        Array.to_list
+          (Array.mapi
+             (fun i v ->
+               Printf.sprintf "%.3f" v
+               :: List.map (fun c -> Printf.sprintf "%.4f" c.vout.(i)) curves)
+             first.vin)
+      in
+      title ^ "\n" ^ Report.table ~header ~rows
+
+let render_fig2 (ptanh_curves, inv_curves) =
+  render_curves "Fig.2 (left): ptanh characteristic curves" ptanh_curves
+  ^ "\n"
+  ^ render_curves "Fig.2 (right): negative-weight characteristic curves" inv_curves
+
+type fig4_left = {
+  omega : float array;
+  vin : float array;
+  vout_sim : float array;
+  eta : Fit.Ptanh.eta;
+  vout_fit : float array;
+  rmse : float;
+}
+
+let fig4_left ?(points = 41) () =
+  let omega = snd (List.nth fig2_omegas 0) in
+  let vin, vout_sim =
+    Circuit.Ptanh_circuit.transfer ~points (Circuit.Ptanh_circuit.omega_of_array omega)
+  in
+  let { Fit.Ptanh.eta; rmse; _ } = Fit.Ptanh.fit ~vin ~vout:vout_sim in
+  { omega; vin; vout_sim; eta; vout_fit = Array.map (Fit.Ptanh.eval eta) vin; rmse }
+
+let render_fig4_left f =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "Fig.4 (left): simulated points vs fitted ptanh curve\n";
+  Buffer.add_string b
+    (Printf.sprintf "omega = [R1=%.0f R2=%.0f R3=%.0f R4=%.0f R5=%.0f W=%.0f L=%.0f]\n"
+       f.omega.(0) f.omega.(1) f.omega.(2) f.omega.(3) f.omega.(4) f.omega.(5) f.omega.(6));
+  Buffer.add_string b
+    (Printf.sprintf "fitted eta = [%.4f; %.4f; %.4f; %.4f], RMSE = %.5f V\n"
+       f.eta.Fit.Ptanh.eta1 f.eta.Fit.Ptanh.eta2 f.eta.Fit.Ptanh.eta3 f.eta.Fit.Ptanh.eta4
+       f.rmse);
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i v ->
+           [
+             Printf.sprintf "%.3f" v;
+             Printf.sprintf "%.4f" f.vout_sim.(i);
+             Printf.sprintf "%.4f" f.vout_fit.(i);
+           ])
+         f.vin)
+  in
+  Buffer.add_string b (Report.table ~header:[ "vin"; "simulated"; "fitted" ] ~rows);
+  Buffer.contents b
+
+type fig4_right = {
+  per_split : (string * float * float) list;
+  sample_parity : (string * float * float) list;
+}
+
+let fig4_right ?(n = 1500) ?(arch = [ 10; 9; 8; 6; 4 ]) ?(max_epochs = 1200) ~seed () =
+  let dataset = Surrogate.Pipeline.generate_dataset ~n () in
+  let rng = Rng.create seed in
+  let model, _report = Surrogate.Pipeline.train_surrogate ~arch ~max_epochs rng dataset in
+  let split = Surrogate.Pipeline.split_dataset (Rng.create (seed + 1)) dataset in
+  let parity = Surrogate.Pipeline.parity_rows model dataset split in
+  let per_split =
+    List.map
+      (fun tag ->
+        let pts = List.filter (fun (t, _, _) -> t = tag) parity in
+        let n = float_of_int (List.length pts) in
+        let mse =
+          List.fold_left (fun acc (_, t, p) -> acc +. ((t -. p) *. (t -. p))) 0.0 pts /. n
+        in
+        let mean_t = List.fold_left (fun acc (_, t, _) -> acc +. t) 0.0 pts /. n in
+        let ss_tot =
+          List.fold_left (fun acc (_, t, _) -> acc +. ((t -. mean_t) *. (t -. mean_t))) 0.0 pts
+        in
+        let r2 = 1.0 -. (List.fold_left (fun acc (_, t, p) -> acc +. ((t -. p) *. (t -. p))) 0.0 pts /. Stdlib.max ss_tot 1e-30) in
+        (tag, mse, r2))
+      [ "train"; "val"; "test" ]
+  in
+  let sample_parity =
+    List.filteri (fun i _ -> i mod Stdlib.max 1 (List.length parity / 24) = 0) parity
+  in
+  { per_split; sample_parity }
+
+let render_fig4_right f =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "Fig.4 (right): surrogate parity (normalized eta)\n";
+  List.iter
+    (fun (tag, mse, r2) ->
+      Buffer.add_string b (Printf.sprintf "  %-5s MSE %.5f  R2 %.4f\n" tag mse r2))
+    f.per_split;
+  Buffer.add_string b "  sample parity points (split, true, predicted):\n";
+  List.iter
+    (fun (tag, t, p) ->
+      Buffer.add_string b (Printf.sprintf "    %-5s %8.4f %8.4f\n" tag t p))
+    f.sample_parity;
+  Buffer.contents b
+
+let render_table1 () =
+  let module Ds = Surrogate.Design_space in
+  let rows =
+    List.init Ds.dim (fun i ->
+        [
+          Ds.names.(i);
+          Printf.sprintf "%g" Ds.omega_lo.(i);
+          Printf.sprintf "%g" Ds.omega_hi.(i);
+          (match i with
+          | 1 -> "R2 < R1"
+          | 3 -> "R4 < R3"
+          | 0 | 2 | 4 | 5 | 6 -> "-"
+          | _ -> "-");
+        ])
+  in
+  "Table I: feasible design space of the nonlinear circuit (units: Ohm / um)\n"
+  ^ Report.table ~header:[ "param"; "min"; "max"; "inequality" ] ~rows

@@ -1,0 +1,43 @@
+(** Regeneration of the paper's figures (as numeric series / summaries).
+
+    Fig. 2: characteristic curves of the ptanh and negative-weight circuits
+    for several physical parameterizations ω.
+    Fig. 4 (left): simulated (V_in, V_out) points of one circuit against its
+    fitted ptanh curve.
+    Fig. 4 (right): surrogate parity — normalized true vs predicted η̃ on the
+    train/validation/test splits. *)
+
+type curve = { label : string; omega : float array; vin : float array; vout : float array }
+
+val fig2_curves : ?points:int -> unit -> curve list * curve list
+(** (ptanh curves, negative-weight curves) for a fixed set of five design
+    points spanning the space. *)
+
+val render_fig2 : curve list * curve list -> string
+
+type fig4_left = {
+  omega : float array;
+  vin : float array;
+  vout_sim : float array;
+  eta : Fit.Ptanh.eta;
+  vout_fit : float array;
+  rmse : float;
+}
+
+val fig4_left : ?points:int -> unit -> fig4_left
+val render_fig4_left : fig4_left -> string
+
+type fig4_right = {
+  per_split : (string * float * float) list;  (** split, MSE, R² *)
+  sample_parity : (string * float * float) list;  (** split, true η̃, predicted η̃ *)
+}
+
+val fig4_right :
+  ?n:int -> ?arch:int list -> ?max_epochs:int -> seed:int -> unit -> fig4_right
+(** Runs a reduced pipeline live (the full-scale artifact is produced by
+    [gen_surrogate]). *)
+
+val render_fig4_right : fig4_right -> string
+
+val render_table1 : unit -> string
+(** The design-space box actually enforced (paper Table I). *)

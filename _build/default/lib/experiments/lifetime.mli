@@ -1,0 +1,23 @@
+(** Extension experiment: aging curves (accuracy over device lifetime) for
+    aging-unaware vs aging-aware training — the flow of the paper's
+    reference [5] running on this reproduction's stack. *)
+
+type t = {
+  dataset : string;
+  t_fracs : float list;
+  nominal_curve : (float * Table2.cell) list;  (** trained without aging *)
+  aware_curve : (float * Table2.cell) list;  (** aging-aware training *)
+}
+
+val run :
+  ?dataset:string ->
+  ?seeds:int list ->
+  ?n_mc:int ->
+  Pnn.Aging.model ->
+  Setup.scale ->
+  Surrogate.Model.t ->
+  t
+(** Defaults: dataset ["seeds"], seeds [[1; 2; 3]], 40 Monte-Carlo draws per
+    life point. *)
+
+val render : t -> string

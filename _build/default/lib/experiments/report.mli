@@ -1,0 +1,10 @@
+(** Formatting helpers for experiment output. *)
+
+val cell : float -> float -> string
+(** ["0.821 ± 0.083"]. *)
+
+val table : header:string list -> rows:string list list -> string
+(** Monospace-aligned table. *)
+
+val csv_line : string list -> string
+val write_csv : path:string -> header:string list -> rows:string list list -> unit

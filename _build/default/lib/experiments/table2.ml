@@ -1,0 +1,198 @@
+type cell = { mean : float; std : float }
+
+type dataset_row = {
+  dataset : string;
+  cells : ((Setup.arm * float) * cell) list;
+}
+
+type t = {
+  rows : dataset_row list;
+  average : ((Setup.arm * float) * cell) list;
+}
+
+(* Deterministic per-(dataset, arm, eps, seed) RNG streams. *)
+let run_seed ~dataset_seed ~arm ~eps ~seed =
+  let tag =
+    (dataset_seed * 7919)
+    lxor (if arm.Setup.learnable then 101 else 202)
+    lxor (if arm.Setup.variation_aware then 3030 else 4040)
+    lxor int_of_float (eps *. 10_000.0)
+    lxor (seed * 131)
+  in
+  Rng.create tag
+
+let config_for scale arm eps =
+  let base = scale.Setup.config in
+  let base = Pnn.Config.with_learnable base arm.Setup.learnable in
+  Pnn.Config.with_epsilon base (if arm.Setup.variation_aware then eps else 0.0)
+
+(* Train one arm for every seed and keep the best model by validation loss. *)
+let train_best scale surrogate ~dataset_seed ~n_classes ~splits arm eps =
+  let candidates =
+    List.map
+      (fun (seed, split) ->
+        let rng = run_seed ~dataset_seed ~arm ~eps ~seed in
+        let result =
+          Pnn.Training.train_fresh ~init:scale.Setup.init rng
+            (config_for scale arm eps) surrogate ~n_classes split
+        in
+        (result, split))
+      splits
+  in
+  List.fold_left
+    (fun acc (result, split) ->
+      match acc with
+      | Some (best, _) when best.Pnn.Training.val_loss <= result.Pnn.Training.val_loss ->
+          acc
+      | _ -> Some (result, split))
+    None candidates
+
+let evaluate scale ~dataset_seed network ~epsilon ~(split : Datasets.Synth.split) =
+  let rng = Rng.create ((dataset_seed * 31) + int_of_float (epsilon *. 1e4) + 5) in
+  let r =
+    Pnn.Evaluation.mc_accuracy rng network ~epsilon ~n:scale.Setup.n_mc_test
+      ~x:split.Datasets.Synth.x_test ~y:split.Datasets.Synth.y_test
+  in
+  { mean = r.Pnn.Evaluation.mean_accuracy; std = r.Pnn.Evaluation.std_accuracy }
+
+let run_dataset ?(progress = fun _ -> ()) scale surrogate (data : Datasets.Synth.t) =
+  let spec = data.Datasets.Synth.spec in
+  let n_classes = spec.Datasets.Synth.classes in
+  let dataset_seed = spec.Datasets.Synth.seed in
+  (* one split per seed, shared by all arms for a fair comparison *)
+  let splits =
+    List.map
+      (fun seed -> (seed, Datasets.Synth.split (Rng.create (dataset_seed + seed)) data))
+      scale.Setup.seeds
+  in
+  let cells =
+    List.concat_map
+      (fun arm ->
+        if arm.Setup.variation_aware then
+          List.map
+            (fun eps ->
+              progress
+                (Printf.sprintf "%s %s eps=%g" spec.Datasets.Synth.name
+                   (Setup.arm_name arm) eps);
+              match
+                train_best scale surrogate ~dataset_seed ~n_classes ~splits arm eps
+              with
+              | Some (result, split) ->
+                  ( (arm, eps),
+                    evaluate scale ~dataset_seed result.Pnn.Training.network
+                      ~epsilon:eps ~split )
+              | None -> assert false)
+            scale.Setup.test_epsilons
+        else begin
+          progress
+            (Printf.sprintf "%s %s" spec.Datasets.Synth.name (Setup.arm_name arm));
+          match
+            train_best scale surrogate ~dataset_seed ~n_classes ~splits arm 0.0
+          with
+          | Some (result, split) ->
+              List.map
+                (fun eps ->
+                  ( (arm, eps),
+                    evaluate scale ~dataset_seed result.Pnn.Training.network
+                      ~epsilon:eps ~split ))
+                scale.Setup.test_epsilons
+          | None -> assert false
+        end)
+      Setup.arms
+  in
+  { dataset = spec.Datasets.Synth.name; cells }
+
+let column_keys scale =
+  List.concat_map
+    (fun arm -> List.map (fun eps -> (arm, eps)) scale.Setup.test_epsilons)
+    Setup.arms
+
+let run ?progress ?datasets scale surrogate =
+  let datasets =
+    match datasets with Some d -> d | None -> Datasets.Bench13.load_all ()
+  in
+  let rows = List.map (run_dataset ?progress scale surrogate) datasets in
+  let average =
+    List.map
+      (fun key ->
+        let means = List.map (fun r -> (List.assoc key r.cells).mean) rows in
+        let stds = List.map (fun r -> (List.assoc key r.cells).std) rows in
+        let avg l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+        (key, { mean = avg means; std = avg stds }))
+      (column_keys scale)
+  in
+  { rows; average }
+
+let cell_of t ~dataset ~arm ~epsilon =
+  let row = List.find (fun r -> r.dataset = dataset) t.rows in
+  List.assoc (arm, epsilon) row.cells
+
+let average_of t ~arm ~epsilon = List.assoc (arm, epsilon) t.average
+
+let ordered_keys t =
+  match t.rows with
+  | [] -> List.map fst t.average
+  | r :: _ -> List.map fst r.cells
+
+(* Paper column order: fixed/nominal, fixed/va, learnable/nominal,
+   learnable/va — each at 5 % and 10 %. *)
+let paper_order (a : Setup.arm * float) (b : Setup.arm * float) =
+  let rank (arm, eps) =
+    ( (if arm.Setup.learnable then 1 else 0),
+      (if arm.Setup.variation_aware then 1 else 0),
+      eps )
+  in
+  compare (rank a) (rank b)
+
+let render t =
+  let keys = List.sort paper_order (ordered_keys t) in
+  let header =
+    "Dataset"
+    :: List.map
+         (fun (arm, eps) ->
+           Printf.sprintf "%s@%g%%" (Setup.arm_name arm) (eps *. 100.0))
+         keys
+  in
+  let data_rows =
+    List.map
+      (fun r ->
+        r.dataset
+        :: List.map
+             (fun key ->
+               let c = List.assoc key r.cells in
+               Report.cell c.mean c.std)
+             keys)
+      t.rows
+  in
+  let avg_row =
+    "Average"
+    :: List.map
+         (fun key ->
+           let c = List.assoc key t.average in
+           Report.cell c.mean c.std)
+         keys
+  in
+  Report.table ~header ~rows:(data_rows @ [ avg_row ])
+
+let to_csv_rows t =
+  let keys = List.sort paper_order (ordered_keys t) in
+  let header =
+    "dataset"
+    :: List.concat_map
+         (fun (arm, eps) ->
+           let base = Printf.sprintf "%s@%g" (Setup.arm_name arm) (eps *. 100.0) in
+           [ base ^ "_mean"; base ^ "_std" ])
+         keys
+  in
+  let rows =
+    List.map
+      (fun r ->
+        r.dataset
+        :: List.concat_map
+             (fun key ->
+               let c = List.assoc key r.cells in
+               [ Printf.sprintf "%.4f" c.mean; Printf.sprintf "%.4f" c.std ])
+             keys)
+      t.rows
+  in
+  (header, rows)

@@ -1,0 +1,41 @@
+(** Reproduction of Table II: accuracy ± std on the 13 benchmark datasets for
+    {non-learnable, learnable} × {nominal, variation-aware} training, tested
+    under 5 % and 10 % component variation.
+
+    Per (dataset, arm): one pNN is trained per seed, the best model w.r.t.
+    validation loss is selected (paper §IV-C), and the selected model is
+    evaluated with [n_mc_test] Monte-Carlo variation draws on the test set;
+    the cell reports the mean ± std over those draws.  Nominal arms are
+    trained once and tested at every ε; variation-aware arms are trained at
+    each ε and tested at the same ε. *)
+
+type cell = { mean : float; std : float }
+
+type dataset_row = {
+  dataset : string;
+  cells : ((Setup.arm * float) * cell) list;  (** keyed by (arm, test ε) *)
+}
+
+type t = {
+  rows : dataset_row list;
+  average : ((Setup.arm * float) * cell) list;  (** column averages *)
+}
+
+val run :
+  ?progress:(string -> unit) ->
+  ?datasets:Datasets.Synth.t list ->
+  Setup.scale ->
+  Surrogate.Model.t ->
+  t
+(** Defaults to all 13 benchmark datasets. *)
+
+val cell_of : t -> dataset:string -> arm:Setup.arm -> epsilon:float -> cell
+(** Raises [Not_found]. *)
+
+val average_of : t -> arm:Setup.arm -> epsilon:float -> cell
+
+val render : t -> string
+(** The paper's Table II layout (8 result columns). *)
+
+val to_csv_rows : t -> string list * string list list
+(** (header, rows) for CSV export. *)

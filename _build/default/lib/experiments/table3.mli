@@ -1,0 +1,28 @@
+(** Reproduction of Table III (ablation summary) and the §IV-D headline
+    claims, derived from a Table II run:
+
+    - the four arms' dataset-averaged accuracy ± std at each test ε;
+    - relative accuracy improvement and robustness (std) reduction of the
+      full method vs the baseline;
+    - the contribution split between the learnable nonlinear circuit and
+      variation-aware training. *)
+
+type summary_row = {
+  arm : Setup.arm;
+  cells : (float * Table2.cell) list;  (** per test ε *)
+}
+
+type claims = {
+  epsilon : float;
+  accuracy_gain : float;  (** relative: (full − baseline) / baseline *)
+  robustness_gain : float;  (** relative std reduction *)
+  learnable_contribution : float;
+      (** share of the accuracy improvement attributable to the learnable
+          circuit (paper: 58 % @5 %, 52 % @10 %) *)
+  va_contribution : float;
+}
+
+type t = { rows : summary_row list; claims : claims list }
+
+val of_table2 : Setup.scale -> Table2.t -> t
+val render : t -> string

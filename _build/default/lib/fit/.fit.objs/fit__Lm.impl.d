@@ -1,0 +1,1 @@
+lib/fit/lm.ml: Array Circuit Float Stdlib

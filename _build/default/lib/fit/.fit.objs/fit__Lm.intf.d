@@ -1,0 +1,1 @@
+lib/fit/lm.mli:

@@ -1,0 +1,1 @@
+lib/fit/ptanh.ml: Array Float List Lm Stdlib

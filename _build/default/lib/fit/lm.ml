@@ -1,0 +1,110 @@
+module Linalg = Circuit.Linalg
+
+type problem = {
+  n_params : int;
+  n_residuals : int;
+  residuals : float array -> float array;
+  jacobian : float array -> float array array;
+}
+
+type result = {
+  params : float array;
+  cost : float;
+  iterations : int;
+  converged : bool;
+}
+
+let cost_of r = 0.5 *. Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 r
+
+let solve ?(max_iterations = 200) ?(tolerance = 1e-12) ?(lambda0 = 1e-3) problem p0 =
+  if Array.length p0 <> problem.n_params then
+    invalid_arg "Lm.solve: initial guess has wrong length";
+  let p = Array.copy p0 in
+  let lambda = ref lambda0 in
+  let r = ref (problem.residuals p) in
+  let cost = ref (cost_of !r) in
+  let n = problem.n_params in
+  let converged = ref false in
+  let iters = ref 0 in
+  (try
+     for iter = 1 to max_iterations do
+       iters := iter;
+       let j = problem.jacobian p in
+       (* normal equations: (JtJ + lambda diag(JtJ)) dp = -Jt r *)
+       let jtj = Array.make_matrix n n 0.0 in
+       let jtr = Array.make n 0.0 in
+       Array.iteri
+         (fun i row ->
+           let ri = !r.(i) in
+           for a = 0 to n - 1 do
+             jtr.(a) <- jtr.(a) +. (row.(a) *. ri);
+             for b = a to n - 1 do
+               jtj.(a).(b) <- jtj.(a).(b) +. (row.(a) *. row.(b))
+             done
+           done)
+         j;
+       for a = 0 to n - 1 do
+         for b = 0 to a - 1 do
+           jtj.(a).(b) <- jtj.(b).(a)
+         done
+       done;
+       let attempt () =
+         let m = Array.map Array.copy jtj in
+         for a = 0 to n - 1 do
+           m.(a).(a) <- m.(a).(a) *. (1.0 +. !lambda);
+           (* keep strictly positive diagonal even for flat directions *)
+           if m.(a).(a) < 1e-30 then m.(a).(a) <- 1e-30
+         done;
+         let rhs = Array.map (fun x -> -.x) jtr in
+         match Linalg.solve_in_place m rhs with
+         | dp -> Some dp
+         | exception Failure _ -> None
+       in
+       let rec try_step attempts =
+         if attempts = 0 then false
+         else
+           match attempt () with
+           | None ->
+               lambda := !lambda *. 10.0;
+               try_step (attempts - 1)
+           | Some dp ->
+               let p' = Array.mapi (fun i v -> v +. dp.(i)) p in
+               let r' = problem.residuals p' in
+               let cost' = cost_of r' in
+               if cost' < !cost then begin
+                 Array.blit p' 0 p 0 n;
+                 let rel = (!cost -. cost') /. Stdlib.max !cost 1e-300 in
+                 r := r';
+                 cost := cost';
+                 lambda := Stdlib.max (!lambda /. 10.0) 1e-12;
+                 if rel < tolerance then converged := true;
+                 true
+               end
+               else begin
+                 lambda := !lambda *. 10.0;
+                 try_step (attempts - 1)
+               end
+       in
+       let progressed = try_step 8 in
+       if (not progressed) || !converged then begin
+         if not progressed then converged := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  { params = p; cost = !cost; iterations = !iters; converged = !converged }
+
+let numerical_jacobian ~n_residuals f p =
+  let n = Array.length p in
+  let j = Array.make_matrix n_residuals n 0.0 in
+  for col = 0 to n - 1 do
+    let h = 1e-6 *. Stdlib.max 1.0 (Float.abs p.(col)) in
+    let pp = Array.copy p and pm = Array.copy p in
+    pp.(col) <- pp.(col) +. h;
+    pm.(col) <- pm.(col) -. h;
+    let fp = f pp and fm = f pm in
+    for row = 0 to n_residuals - 1 do
+      j.(row).(col) <- (fp.(row) -. fm.(row)) /. (2.0 *. h)
+    done
+  done;
+  j

@@ -1,0 +1,35 @@
+(** Levenberg–Marquardt nonlinear least squares.
+
+    Minimizes [Σ_i r_i(p)²] for a user-supplied residual function with
+    analytic Jacobian.  Small and dense — exactly what fitting a 4-parameter
+    ptanh curve to a 41-point DC sweep needs. *)
+
+type problem = {
+  n_params : int;
+  n_residuals : int;
+  residuals : float array -> float array;
+      (** [residuals p] has length [n_residuals]. *)
+  jacobian : float array -> float array array;
+      (** [jacobian p] is [n_residuals × n_params], [J.(i).(j) = ∂r_i/∂p_j]. *)
+}
+
+type result = {
+  params : float array;
+  cost : float;  (** final ½·Σ r² *)
+  iterations : int;
+  converged : bool;
+}
+
+val solve :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  ?lambda0:float ->
+  problem ->
+  float array ->
+  result
+(** [solve problem p0] from the initial guess. [tolerance] bounds the relative
+    cost decrease used as the convergence test (default 1e-12). *)
+
+val numerical_jacobian :
+  n_residuals:int -> (float array -> float array) -> float array -> float array array
+(** Central-difference Jacobian, exposed for tests of analytic Jacobians. *)

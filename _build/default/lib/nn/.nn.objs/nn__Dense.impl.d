@@ -1,0 +1,1 @@
+lib/nn/dense.ml: Autodiff Init Tensor

@@ -1,0 +1,1 @@
+lib/nn/dense.mli: Autodiff Init Rng Tensor

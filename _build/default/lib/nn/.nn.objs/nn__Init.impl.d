@@ -1,0 +1,1 @@
+lib/nn/init.ml: Tensor

@@ -1,0 +1,1 @@
+lib/nn/init.mli: Rng Tensor

@@ -1,0 +1,1 @@
+lib/nn/mlp.ml: Activation Array Autodiff Buffer Dense List Printf String Tensor

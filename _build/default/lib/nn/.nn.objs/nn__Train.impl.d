@@ -1,0 +1,1 @@
+lib/nn/train.ml: Array Autodiff List Logs Optimizer Tensor

@@ -1,0 +1,1 @@
+lib/nn/train.mli: Autodiff Optimizer

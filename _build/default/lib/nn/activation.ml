@@ -1,0 +1,28 @@
+type t = Tanh | Relu | Sigmoid | Linear
+
+let apply t x =
+  match t with
+  | Tanh -> Autodiff.tanh x
+  | Relu -> Autodiff.relu x
+  | Sigmoid -> Autodiff.sigmoid x
+  | Linear -> x
+
+let apply_tensor t x =
+  match t with
+  | Tanh -> Tensor.map Stdlib.tanh x
+  | Relu -> Tensor.map (fun v -> if v > 0.0 then v else 0.0) x
+  | Sigmoid -> Tensor.map (fun v -> 1.0 /. (1.0 +. exp (-.v))) x
+  | Linear -> x
+
+let of_string = function
+  | "tanh" -> Tanh
+  | "relu" -> Relu
+  | "sigmoid" -> Sigmoid
+  | "linear" -> Linear
+  | s -> invalid_arg ("Activation.of_string: unknown activation " ^ s)
+
+let to_string = function
+  | Tanh -> "tanh"
+  | Relu -> "relu"
+  | Sigmoid -> "sigmoid"
+  | Linear -> "linear"

@@ -1,0 +1,12 @@
+(** Activation functions shared by the MLP builder and the surrogate model. *)
+
+type t = Tanh | Relu | Sigmoid | Linear
+
+val apply : t -> Autodiff.t -> Autodiff.t
+val apply_tensor : t -> Tensor.t -> Tensor.t
+(** Tape-free evaluation for inference. *)
+
+val of_string : string -> t
+(** Raises [Invalid_argument] on unknown names. *)
+
+val to_string : t -> string

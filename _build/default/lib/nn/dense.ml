@@ -1,0 +1,27 @@
+type t = { w : Autodiff.t; b : Autodiff.t }
+
+let create rng ?(init = Init.Xavier) ~inputs ~outputs () =
+  let w = Autodiff.param (Init.tensor rng init ~inputs ~outputs) in
+  let b = Autodiff.param (Tensor.zeros 1 outputs) in
+  { w; b }
+
+let forward t x = Autodiff.add_rowvec (Autodiff.matmul x t.w) t.b
+let forward_tensor t x = Tensor.add_rowvec (Tensor.matmul x (Autodiff.value t.w)) (Autodiff.value t.b)
+let params t = [ t.w; t.b ]
+let inputs t = Tensor.rows (Autodiff.value t.w)
+let outputs t = Tensor.cols (Autodiff.value t.w)
+let snapshot t = (Tensor.copy (Autodiff.value t.w), Tensor.copy (Autodiff.value t.b))
+
+let write_into dst src =
+  let d = Autodiff.value dst in
+  if Tensor.shape d <> Tensor.shape src then
+    invalid_arg "Dense.restore: shape mismatch";
+  for r = 0 to Tensor.rows src - 1 do
+    for c = 0 to Tensor.cols src - 1 do
+      Tensor.set d r c (Tensor.get src r c)
+    done
+  done
+
+let restore t (w, b) =
+  write_into t.w w;
+  write_into t.b b

@@ -1,0 +1,15 @@
+(** A fully-connected layer [y = x·W + b]. *)
+
+type t = { w : Autodiff.t; b : Autodiff.t }
+
+val create : Rng.t -> ?init:Init.scheme -> inputs:int -> outputs:int -> unit -> t
+val forward : t -> Autodiff.t -> Autodiff.t
+val forward_tensor : t -> Tensor.t -> Tensor.t
+val params : t -> Autodiff.t list
+val inputs : t -> int
+val outputs : t -> int
+val snapshot : t -> Tensor.t * Tensor.t
+(** Copies of the current weights (for best-epoch restoration). *)
+
+val restore : t -> Tensor.t * Tensor.t -> unit
+(** Write a snapshot back into the layer's parameters in place. *)

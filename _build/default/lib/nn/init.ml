@@ -1,0 +1,11 @@
+type scheme = Xavier | He | Uniform of float
+
+let tensor rng scheme ~inputs ~outputs =
+  match scheme with
+  | Xavier ->
+      let a = sqrt (6.0 /. float_of_int (inputs + outputs)) in
+      Tensor.uniform rng inputs outputs ~lo:(-.a) ~hi:a
+  | He ->
+      let sigma = sqrt (2.0 /. float_of_int inputs) in
+      Tensor.gaussian rng inputs outputs ~mu:0.0 ~sigma
+  | Uniform a -> Tensor.uniform rng inputs outputs ~lo:(-.a) ~hi:a

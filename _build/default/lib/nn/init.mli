@@ -1,0 +1,9 @@
+(** Weight initialization schemes. *)
+
+type scheme =
+  | Xavier  (** Glorot uniform — default for tanh/sigmoid networks. *)
+  | He  (** He normal — for ReLU networks. *)
+  | Uniform of float  (** U[-a, a]. *)
+
+val tensor : Rng.t -> scheme -> inputs:int -> outputs:int -> Tensor.t
+(** Weight matrix of shape [inputs × outputs] drawn from the scheme. *)

@@ -1,0 +1,43 @@
+let accuracy_idx ~logits ~labels =
+  let pred = Tensor.argmax_rows logits in
+  if Array.length pred <> Array.length labels then
+    invalid_arg "Metrics.accuracy_idx: row count mismatch";
+  if Array.length labels = 0 then invalid_arg "Metrics.accuracy_idx: empty";
+  let hits = ref 0 in
+  Array.iteri (fun i p -> if p = labels.(i) then incr hits) pred;
+  float_of_int !hits /. float_of_int (Array.length labels)
+
+let accuracy ~logits ~labels =
+  accuracy_idx ~logits ~labels:(Tensor.argmax_rows labels)
+
+let mse a b =
+  if Tensor.shape a <> Tensor.shape b then invalid_arg "Metrics.mse: shape mismatch";
+  let d = Tensor.sub a b in
+  Tensor.sum (Tensor.mul d d) /. float_of_int (Tensor.numel a)
+
+let r2 ~pred ~target =
+  if Tensor.shape pred <> Tensor.shape target then
+    invalid_arg "Metrics.r2: shape mismatch";
+  let mean = Tensor.mean target in
+  let ss_res = ref 0.0 and ss_tot = ref 0.0 in
+  let p = Tensor.to_array pred and t = Tensor.to_array target in
+  Array.iteri
+    (fun i y ->
+      let e = y -. p.(i) in
+      ss_res := !ss_res +. (e *. e);
+      let d = y -. mean in
+      ss_tot := !ss_tot +. (d *. d))
+    t;
+  1.0 -. (!ss_res /. Stdlib.max !ss_tot 1e-30)
+
+let confusion ~logits ~labels ~n_classes =
+  let pred = Tensor.argmax_rows logits in
+  let m = Array.make_matrix n_classes n_classes 0 in
+  Array.iteri
+    (fun i p ->
+      let t = labels.(i) in
+      if t < 0 || t >= n_classes || p < 0 || p >= n_classes then
+        invalid_arg "Metrics.confusion: class index out of range";
+      m.(t).(p) <- m.(t).(p) + 1)
+    pred;
+  m

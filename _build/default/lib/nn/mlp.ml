@@ -1,0 +1,129 @@
+type t = {
+  layers : Dense.t list;
+  hidden : Activation.t;
+  output : Activation.t;
+  arch : int list;
+}
+
+let create rng ~sizes ~hidden ~output =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  if List.length sizes < 2 then invalid_arg "Mlp.create: need at least 2 sizes";
+  let layers =
+    List.map
+      (fun (inputs, outputs) -> Dense.create rng ~inputs ~outputs ())
+      (pairs sizes)
+  in
+  { layers; hidden; output; arch = sizes }
+
+let rec forward_layers act_hidden act_out layers x =
+  match layers with
+  | [] -> x
+  | [ last ] -> Activation.apply act_out (Dense.forward last x)
+  | l :: rest ->
+      let h = Activation.apply act_hidden (Dense.forward l x) in
+      forward_layers act_hidden act_out rest h
+
+let forward t x = forward_layers t.hidden t.output t.layers x
+
+let forward_tensor t x =
+  let rec go layers x =
+    match layers with
+    | [] -> x
+    | [ last ] -> Activation.apply_tensor t.output (Dense.forward_tensor last x)
+    | l :: rest ->
+        go rest (Activation.apply_tensor t.hidden (Dense.forward_tensor l x))
+  in
+  go t.layers x
+
+let forward_frozen t x =
+  (* Same computation as [forward] but weights enter as constants, so the
+     backward pass does not touch them. *)
+  let frozen_forward layer x =
+    let w = Autodiff.const (Autodiff.value layer.Dense.w) in
+    let b = Autodiff.const (Autodiff.value layer.Dense.b) in
+    Autodiff.add_rowvec (Autodiff.matmul x w) b
+  in
+  let rec go layers x =
+    match layers with
+    | [] -> x
+    | [ last ] -> Activation.apply t.output (frozen_forward last x)
+    | l :: rest -> go rest (Activation.apply t.hidden (frozen_forward l x))
+  in
+  go t.layers x
+
+let params t = List.concat_map Dense.params t.layers
+let sizes t = t.arch
+let snapshot t = List.map Dense.snapshot t.layers
+let restore t snaps = List.iter2 Dense.restore t.layers snaps
+
+(* {1 Serialization}
+
+   Format:
+     mlp <hidden> <output> <n0> <n1> ... <nk>
+     <tensor line for W1> ; <tensor line for b1> ; ...
+   A tensor line is: rows cols v0 v1 ... (space separated, %h floats). *)
+
+let tensor_to_line t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int (Tensor.rows t));
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int (Tensor.cols t));
+  Array.iter
+    (fun v ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printf.sprintf "%h" v))
+    (Tensor.to_array t);
+  Buffer.contents buf
+
+let tensor_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | rows :: cols :: values ->
+      let rows = int_of_string rows and cols = int_of_string cols in
+      let data = Array.of_list (List.map float_of_string values) in
+      Tensor.create rows cols data
+  | [] | [ _ ] -> failwith "Mlp.of_lines: malformed tensor line"
+
+let to_lines t =
+  let header =
+    Printf.sprintf "mlp %s %s %s"
+      (Activation.to_string t.hidden)
+      (Activation.to_string t.output)
+      (String.concat " " (List.map string_of_int t.arch))
+  in
+  let weights =
+    List.concat_map
+      (fun l ->
+        [
+          tensor_to_line (Autodiff.value l.Dense.w);
+          tensor_to_line (Autodiff.value l.Dense.b);
+        ])
+      t.layers
+  in
+  header :: weights
+
+let of_lines lines =
+  match lines with
+  | [] -> failwith "Mlp.of_lines: empty input"
+  | header :: rest -> (
+      match String.split_on_char ' ' (String.trim header) with
+      | "mlp" :: hidden :: output :: sizes_s when List.length sizes_s >= 2 ->
+          let hidden = Activation.of_string hidden in
+          let output = Activation.of_string output in
+          let arch = List.map int_of_string sizes_s in
+          let n_layers = List.length arch - 1 in
+          let rec take_layers n lines acc =
+            if n = 0 then (List.rev acc, lines)
+            else
+              match lines with
+              | wl :: bl :: rest ->
+                  let w = Autodiff.param (tensor_of_line wl) in
+                  let b = Autodiff.param (tensor_of_line bl) in
+                  take_layers (n - 1) rest ({ Dense.w; b } :: acc)
+              | _ -> failwith "Mlp.of_lines: truncated weight section"
+          in
+          let layers, remaining = take_layers n_layers rest [] in
+          ({ layers; hidden; output; arch }, remaining)
+      | _ -> failwith "Mlp.of_lines: bad header")

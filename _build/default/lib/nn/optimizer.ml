@@ -1,0 +1,69 @@
+type adam_state = { m : float array; v : float array }
+
+type algo =
+  | Sgd
+  | Adam of {
+      beta1 : float;
+      beta2 : float;
+      eps : float;
+      mutable t : int;
+      table : (int, adam_state) Hashtbl.t;
+    }
+
+type t = { mutable lr : float; algo : algo }
+
+let sgd ~lr = { lr; algo = Sgd }
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr () =
+  { lr; algo = Adam { beta1; beta2; eps; t = 0; table = Hashtbl.create 16 } }
+
+let lr t = t.lr
+let set_lr t v = t.lr <- v
+
+(* Parameter leaves persist across training steps (graphs are rebuilt around
+   them), so the node id is a stable key for per-parameter state. *)
+let key_of node = Autodiff.id node
+
+let step t nodes =
+  List.iter
+    (fun node ->
+      if not (Autodiff.is_param node) then
+        invalid_arg "Optimizer.step: node is not a parameter")
+    nodes;
+  match t.algo with
+  | Sgd ->
+      List.iter
+        (fun node ->
+          let value = Autodiff.value node and grad = Autodiff.grad node in
+          let vd = value.Tensor.data and gd = grad.Tensor.data in
+          for i = 0 to Array.length vd - 1 do
+            vd.(i) <- vd.(i) -. (t.lr *. gd.(i))
+          done)
+        nodes
+  | Adam a ->
+      a.t <- a.t + 1;
+      let bc1 = 1.0 -. (a.beta1 ** float_of_int a.t) in
+      let bc2 = 1.0 -. (a.beta2 ** float_of_int a.t) in
+      List.iter
+        (fun node ->
+          let value = Autodiff.value node and grad = Autodiff.grad node in
+          let vd = value.Tensor.data and gd = grad.Tensor.data in
+          let n = Array.length vd in
+          let state =
+            let k = key_of node in
+            match Hashtbl.find_opt a.table k with
+            | Some s -> s
+            | None ->
+                let s = { m = Array.make n 0.0; v = Array.make n 0.0 } in
+                Hashtbl.add a.table k s;
+                s
+          in
+          for i = 0 to n - 1 do
+            let g = gd.(i) in
+            state.m.(i) <- (a.beta1 *. state.m.(i)) +. ((1.0 -. a.beta1) *. g);
+            state.v.(i) <- (a.beta2 *. state.v.(i)) +. ((1.0 -. a.beta2) *. g *. g);
+            let mhat = state.m.(i) /. bc1 in
+            let vhat = state.v.(i) /. bc2 in
+            vd.(i) <- vd.(i) -. (t.lr *. mhat /. (sqrt vhat +. a.eps))
+          done)
+        nodes

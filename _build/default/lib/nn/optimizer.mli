@@ -1,0 +1,25 @@
+(** Gradient-based optimizers.
+
+    An optimizer owns per-parameter state keyed by the parameter node, so the
+    same optimizer instance must be used across steps.  [step] consumes the
+    gradients accumulated by the last {!Autodiff.backward} and updates the
+    parameter tensors in place.
+
+    The paper trains with Adam (default settings) and two learning rates:
+    α_θ = 0.1 for crossbar conductances and α_ω ∈ {0, 0.005} for the
+    nonlinear-circuit parameters — hence [step] takes the parameter list, and
+    distinct optimizers can drive distinct parameter groups. *)
+
+type t
+
+val sgd : lr:float -> t
+val adam : ?beta1:float -> ?beta2:float -> ?eps:float -> lr:float -> unit -> t
+(** Defaults: beta1 = 0.9, beta2 = 0.999, eps = 1e-8 (Kingma & Ba). *)
+
+val step : t -> Autodiff.t list -> unit
+(** Apply one update to every parameter in the list using its current
+    gradient. Raises [Invalid_argument] if a node is not a parameter. *)
+
+val lr : t -> float
+val set_lr : t -> float -> unit
+(** Mutate the learning rate (for schedules). *)

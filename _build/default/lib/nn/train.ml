@@ -1,0 +1,61 @@
+type config = {
+  max_epochs : int;
+  patience : int;
+  min_delta : float;
+  log_every : int;
+  val_every : int;
+}
+
+let default_config =
+  { max_epochs = 1000; patience = 100; min_delta = 0.0; log_every = 0; val_every = 1 }
+
+type history = {
+  train_losses : float array;
+  val_losses : float array;
+  best_epoch : int;
+  best_val_loss : float;
+  stopped_early : bool;
+}
+
+let run ~config ~optimizers ~train_loss ~val_loss ~snapshot ~restore =
+  if config.val_every < 1 then invalid_arg "Train.run: val_every < 1";
+  let train_hist = ref [] and val_hist = ref [] in
+  let best_val = ref infinity and best_epoch = ref 0 in
+  let epochs_since_best = ref 0 in
+  let stopped_early = ref false in
+  (try
+     for epoch = 0 to config.max_epochs - 1 do
+       let loss = train_loss () in
+       Autodiff.backward loss;
+       List.iter (fun (opt, ps) -> Optimizer.step opt ps) optimizers;
+       let tl = Tensor.get (Autodiff.value loss) 0 0 in
+       train_hist := tl :: !train_hist;
+       incr epochs_since_best;
+       if epoch mod config.val_every = 0 then begin
+         let vl = val_loss () in
+         val_hist := vl :: !val_hist;
+         if config.log_every > 0 && epoch mod config.log_every = 0 then
+           Logs.info (fun m ->
+               m "epoch %d: train %.5f val %.5f (best %.5f @%d)" epoch tl vl
+                 !best_val !best_epoch);
+         if vl < !best_val -. config.min_delta then begin
+           best_val := vl;
+           best_epoch := epoch;
+           epochs_since_best := 0;
+           snapshot ()
+         end
+         else if !epochs_since_best > config.patience then begin
+           stopped_early := true;
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  if !best_val < infinity then restore ();
+  {
+    train_losses = Array.of_list (List.rev !train_hist);
+    val_losses = Array.of_list (List.rev !val_hist);
+    best_epoch = !best_epoch;
+    best_val_loss = !best_val;
+    stopped_early = !stopped_early;
+  }

@@ -1,0 +1,41 @@
+(** Generic training loop with validation-based early stopping.
+
+    The loop is deliberately abstract over the model: the caller supplies a
+    thunk that rebuilds the (possibly stochastic) training-loss graph, a thunk
+    that evaluates the validation loss, and snapshot/restore callbacks for
+    best-epoch weight keeping.  Both the surrogate regressor and the pNN
+    training of the paper instantiate this loop. *)
+
+type config = {
+  max_epochs : int;
+  patience : int;  (** epochs without validation improvement before stopping *)
+  min_delta : float;  (** improvement threshold (paper: plain early stopping → 0.) *)
+  log_every : int;  (** 0 disables logging *)
+  val_every : int;
+      (** evaluate the validation loss every [val_every] epochs (≥ 1).  The
+          Monte-Carlo validation loss of variation-aware training is as
+          expensive as a training step, so pNN training uses 5. *)
+}
+
+val default_config : config
+
+type history = {
+  train_losses : float array;
+  val_losses : float array;
+  best_epoch : int;  (** epoch index of the best validation loss *)
+  best_val_loss : float;
+  stopped_early : bool;
+}
+
+val run :
+  config:config ->
+  optimizers:(Optimizer.t * Autodiff.t list) list ->
+  train_loss:(unit -> Autodiff.t) ->
+  val_loss:(unit -> float) ->
+  snapshot:(unit -> unit) ->
+  restore:(unit -> unit) ->
+  history
+(** Runs until [max_epochs] or patience exhaustion, keeping the best weights
+    (by validation loss) via [snapshot]; calls [restore] before returning so
+    the model ends at its best validation epoch.  Each optimizer updates its
+    own parameter group, enabling the paper's two learning rates. *)

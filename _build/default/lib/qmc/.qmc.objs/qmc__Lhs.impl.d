@@ -1,0 +1,1 @@
+lib/qmc/lhs.ml: Array Rng

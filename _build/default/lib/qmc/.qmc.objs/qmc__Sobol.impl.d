@@ -1,0 +1,1 @@
+lib/qmc/sobol.ml: Array Printf Stdlib

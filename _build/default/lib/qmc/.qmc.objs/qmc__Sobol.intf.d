@@ -1,0 +1,1 @@
+lib/qmc/sobol.mli:

@@ -1,0 +1,16 @@
+let sample rng ~dim ~n =
+  if dim < 1 || n < 1 then invalid_arg "Lhs.sample: dim and n must be positive";
+  let columns =
+    Array.init dim (fun _ ->
+        let p = Rng.perm rng n in
+        Array.map
+          (fun bin -> (float_of_int bin +. Rng.float rng) /. float_of_int n)
+          p)
+  in
+  Array.init n (fun i -> Array.init dim (fun d -> columns.(d).(i)))
+
+let sample_in_box rng ~lo ~hi ~n =
+  let dim = Array.length lo in
+  if Array.length hi <> dim then invalid_arg "Lhs.sample_in_box: bounds mismatch";
+  let pts = sample rng ~dim ~n in
+  Array.map (Array.mapi (fun d u -> lo.(d) +. ((hi.(d) -. lo.(d)) *. u))) pts

@@ -1,0 +1,8 @@
+(** Latin hypercube sampling — a randomized space-filling design used as an
+    ablation alternative to the paper's Sobol sampling. *)
+
+val sample : Rng.t -> dim:int -> n:int -> float array array
+(** [n] points in [\[0,1)^dim]: each axis is stratified into [n] equal bins,
+    one point per bin, bins permuted independently per axis. *)
+
+val sample_in_box : Rng.t -> lo:float array -> hi:float array -> n:int -> float array array

@@ -1,0 +1,1 @@
+lib/surrogate/design_space.mli: Rng

@@ -1,0 +1,1 @@
+lib/surrogate/model.ml: Array Autodiff Design_space Fit Fun List Nn Scaler Tensor

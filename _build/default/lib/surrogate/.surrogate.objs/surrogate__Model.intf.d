@@ -1,0 +1,1 @@
+lib/surrogate/model.mli: Autodiff Fit Nn Scaler

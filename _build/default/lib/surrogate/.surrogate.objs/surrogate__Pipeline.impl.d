@@ -1,0 +1,1 @@
+lib/surrogate/pipeline.ml: Array Autodiff Circuit Design_space Fit Float List Logs Model Nn Printf Rng Scaler String Sys Tensor

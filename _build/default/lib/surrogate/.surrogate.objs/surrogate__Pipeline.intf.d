@@ -1,0 +1,1 @@
+lib/surrogate/pipeline.mli: Model Rng

@@ -1,0 +1,1 @@
+lib/surrogate/scaler.ml: Array Autodiff List Printf String Tensor

@@ -1,0 +1,1 @@
+lib/surrogate/scaler.mli: Autodiff Tensor

@@ -1,0 +1,67 @@
+type t = { mlp : Nn.Mlp.t; omega_scaler : Scaler.t; eta_scaler : Scaler.t }
+
+let paper_arch = [ 10; 9; 9; 8; 8; 7; 7; 6; 6; 6; 5; 5; 5; 4 ]
+
+let eval t omega =
+  let extended = Design_space.extend omega in
+  let x = Tensor.of_array (Scaler.transform t.omega_scaler extended) in
+  let y = Nn.Mlp.forward_tensor t.mlp x in
+  Fit.Ptanh.eta_of_array (Scaler.inverse t.eta_scaler (Tensor.to_array y))
+
+let eval_batch t omegas =
+  let x =
+    Tensor.of_arrays
+      (Array.map (fun o -> Scaler.transform t.omega_scaler (Design_space.extend o)) omegas)
+  in
+  let y = Nn.Mlp.forward_tensor t.mlp x in
+  Array.map
+    (fun row -> Fit.Ptanh.eta_of_array (Scaler.inverse t.eta_scaler row))
+    (Tensor.to_arrays y)
+
+let extend_ad x =
+  if Tensor.cols (Autodiff.value x) <> Design_space.dim then
+    invalid_arg "Model.extend_ad: expected 7 columns";
+  let col i = Autodiff.slice_cols x i 1 in
+  let k1 = Autodiff.div (col 1) (col 0) in
+  let k2 = Autodiff.div (col 3) (col 2) in
+  let k3 = Autodiff.div (col 5) (col 6) in
+  Autodiff.concat_cols (Autodiff.concat_cols (Autodiff.concat_cols x k1) k2) k3
+
+let eval_ad t x =
+  let extended = extend_ad x in
+  let normalized = Scaler.transform_ad t.omega_scaler extended in
+  let y = Nn.Mlp.forward_frozen t.mlp normalized in
+  Scaler.inverse_ad t.eta_scaler y
+
+let to_lines t =
+  ("surrogate" :: Scaler.to_lines t.omega_scaler)
+  @ Scaler.to_lines t.eta_scaler @ Nn.Mlp.to_lines t.mlp
+
+let of_lines = function
+  | "surrogate" :: rest ->
+      let omega_scaler, rest = Scaler.of_lines rest in
+      let eta_scaler, rest = Scaler.of_lines rest in
+      let mlp, rest = Nn.Mlp.of_lines rest in
+      ({ mlp; omega_scaler; eta_scaler }, rest)
+  | _ -> failwith "Model.of_lines: bad header"
+
+let save_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) (to_lines t))
+
+let load_file path =
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  fst (of_lines lines)

@@ -1,0 +1,28 @@
+(** The trained surrogate nonlinear-circuit model η̂(ω).
+
+    Wraps the regression MLP together with the two min-max scalers.  Input is
+    the raw physical ω (7 values); internally the vector is extended with the
+    ratio features and normalized, and the network's normalized output is
+    denormalized back to η (paper Fig. 5, right half). *)
+
+type t = { mlp : Nn.Mlp.t; omega_scaler : Scaler.t; eta_scaler : Scaler.t }
+
+val paper_arch : int list
+(** The paper's 13-layer architecture: 10-9-9-8-8-7-7-6-6-6-5-5-5-4. *)
+
+val eval : t -> float array -> Fit.Ptanh.eta
+(** Predict η for one raw ω. *)
+
+val eval_batch : t -> float array array -> Fit.Ptanh.eta array
+
+val extend_ad : Autodiff.t -> Autodiff.t
+(** Differentiable ω → extended-ω (appends k1, k2, k3) for [n × 7] nodes. *)
+
+val eval_ad : t -> Autodiff.t -> Autodiff.t
+(** Differentiable η̂ for a batch of raw ω ([n × 7] node → [n × 4] node).
+    The MLP weights are frozen: gradients flow into ω only. *)
+
+val to_lines : t -> string list
+val of_lines : string list -> t * string list
+val save_file : t -> string -> unit
+val load_file : string -> t

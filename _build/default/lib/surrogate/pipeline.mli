@@ -1,0 +1,71 @@
+(** The modelling pipeline of the paper's Fig. 3:
+
+    design space → QMC sampling → SPICE (our MNA solver) → ptanh fitting
+    → dataset (ω, η) → surrogate MLP training.
+
+    Dataset points whose LM fit is poor (the paper constrains the space to
+    tanh-like curves by sweep analysis; our space has a small fraction of
+    degenerate corners) are filtered out; the fraction kept is reported. *)
+
+type dataset = {
+  omegas : float array array;  (** raw 7-dim ω per sample *)
+  etas : float array array;  (** fitted 4-dim η per sample *)
+  fit_rmses : float array;
+  rejected : int;  (** samples dropped by the fit-quality filter *)
+}
+
+val generate_dataset :
+  ?n:int ->
+  ?sweep_points:int ->
+  ?max_fit_rmse:float ->
+  ?sampler:[ `Sobol | `Lhs of Rng.t ] ->
+  unit ->
+  dataset
+(** Defaults: [n = 10_000] (paper), [sweep_points = 41],
+    [max_fit_rmse = 0.02] V, Sobol sampling. *)
+
+type split = { train : int array; validation : int array; test : int array }
+
+val split_dataset : Rng.t -> dataset -> split
+(** Random 70 / 20 / 10 split (paper §III-A). *)
+
+type report = {
+  train_mse : float;
+  val_mse : float;
+  test_mse : float;
+  train_r2 : float;
+  val_r2 : float;
+  test_r2 : float;
+  epochs_run : int;
+  kept_samples : int;
+  rejected_samples : int;
+}
+
+val train_surrogate :
+  ?arch:int list ->
+  ?max_epochs:int ->
+  ?patience:int ->
+  ?lr:float ->
+  Rng.t ->
+  dataset ->
+  Model.t * report
+(** Trains the surrogate MLP (default: {!Model.paper_arch}) with Adam + early
+    stopping on the validation MSE; reports per-split metrics of the best
+    model. *)
+
+val parity_rows :
+  Model.t -> dataset -> split -> (string * float * float) list
+(** Normalized (true η̃, predicted η̃) pairs tagged ["train"], ["val"],
+    ["test"] — the data behind the paper's Fig. 4 (right). *)
+
+val ensure :
+  ?dir:string ->
+  ?n:int ->
+  ?arch:int list ->
+  ?max_epochs:int ->
+  seed:int ->
+  unit ->
+  Model.t
+(** Loads the cached surrogate artifact from [dir] (default ["_artifacts"]),
+    or runs the full pipeline and caches it.  The cache key includes [n],
+    the architecture and the seed. *)

@@ -1,0 +1,87 @@
+type t = { lo : float array; hi : float array }
+
+let of_bounds ~lo ~hi =
+  if Array.length lo <> Array.length hi then invalid_arg "Scaler.of_bounds: mismatch";
+  Array.iteri
+    (fun i l -> if hi.(i) < l then invalid_arg "Scaler.of_bounds: hi < lo")
+    lo;
+  { lo = Array.copy lo; hi = Array.copy hi }
+
+let fit rows =
+  if Array.length rows = 0 then invalid_arg "Scaler.fit: empty data";
+  let d = Array.length rows.(0) in
+  let lo = Array.copy rows.(0) and hi = Array.copy rows.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> d then invalid_arg "Scaler.fit: ragged data";
+      Array.iteri
+        (fun i v ->
+          if v < lo.(i) then lo.(i) <- v;
+          if v > hi.(i) then hi.(i) <- v)
+        row)
+    rows;
+  (* avoid zero ranges *)
+  Array.iteri (fun i l -> if hi.(i) -. l < 1e-12 then hi.(i) <- l +. 1.0) lo;
+  { lo; hi }
+
+let lo t = Array.copy t.lo
+let hi t = Array.copy t.hi
+let dim t = Array.length t.lo
+
+let check t x name =
+  if Array.length x <> dim t then invalid_arg ("Scaler." ^ name ^ ": dimension mismatch")
+
+let transform t x =
+  check t x "transform";
+  Array.mapi (fun i v -> (v -. t.lo.(i)) /. (t.hi.(i) -. t.lo.(i))) x
+
+let inverse t x =
+  check t x "inverse";
+  Array.mapi (fun i v -> t.lo.(i) +. (v *. (t.hi.(i) -. t.lo.(i)))) x
+
+let range t = Array.mapi (fun i l -> t.hi.(i) -. l) t.lo
+
+let transform_tensor t m =
+  if Tensor.cols m <> dim t then invalid_arg "Scaler.transform_tensor: dimension mismatch";
+  let inv_range = Tensor.of_array (Array.map (fun r -> 1.0 /. r) (range t)) in
+  let neg_lo = Tensor.of_array (Array.map (fun l -> -.l) t.lo) in
+  Tensor.mul_rowvec (Tensor.add_rowvec m neg_lo) inv_range
+
+let inverse_tensor t m =
+  if Tensor.cols m <> dim t then invalid_arg "Scaler.inverse_tensor: dimension mismatch";
+  Tensor.add_rowvec (Tensor.mul_rowvec m (Tensor.of_array (range t))) (Tensor.of_array t.lo)
+
+let transform_ad t x =
+  if Tensor.cols (Autodiff.value x) <> dim t then
+    invalid_arg "Scaler.transform_ad: dimension mismatch";
+  let inv_range = Autodiff.const (Tensor.of_array (Array.map (fun r -> 1.0 /. r) (range t))) in
+  let neg_lo = Autodiff.const (Tensor.of_array (Array.map (fun l -> -.l) t.lo)) in
+  Autodiff.mul_rowvec (Autodiff.add_rowvec x neg_lo) inv_range
+
+let inverse_ad t x =
+  if Tensor.cols (Autodiff.value x) <> dim t then
+    invalid_arg "Scaler.inverse_ad: dimension mismatch";
+  let r = Autodiff.const (Tensor.of_array (range t)) in
+  let l = Autodiff.const (Tensor.of_array t.lo) in
+  Autodiff.add_rowvec (Autodiff.mul_rowvec x r) l
+
+let float_line a =
+  String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") a))
+
+let floats_of_line line =
+  Array.of_list (List.map float_of_string (String.split_on_char ' ' (String.trim line)))
+
+let to_lines t =
+  [ Printf.sprintf "scaler %d" (dim t); float_line t.lo; float_line t.hi ]
+
+let of_lines = function
+  | header :: lo_line :: hi_line :: rest -> (
+      match String.split_on_char ' ' (String.trim header) with
+      | [ "scaler"; d ] ->
+          let d = int_of_string d in
+          let lo = floats_of_line lo_line and hi = floats_of_line hi_line in
+          if Array.length lo <> d || Array.length hi <> d then
+            failwith "Scaler.of_lines: dimension mismatch";
+          ({ lo; hi }, rest)
+      | _ -> failwith "Scaler.of_lines: bad header")
+  | _ -> failwith "Scaler.of_lines: truncated input"

@@ -1,0 +1,276 @@
+type t = { rows : int; cols : int; data : float array }
+(* A note on representation: row-major, index (r, c) at [r * cols + c]. *)
+
+
+let shape_string rows cols = Printf.sprintf "%dx%d" rows cols
+
+let shape_fail name a b =
+  invalid_arg
+    (Printf.sprintf "Tensor.%s: shape mismatch %s vs %s" name
+       (shape_string a.rows a.cols)
+       (shape_string b.rows b.cols))
+
+let create rows cols data =
+  if rows < 0 || cols < 0 then invalid_arg "Tensor.create: negative dimension";
+  if Array.length data <> rows * cols then
+    invalid_arg
+      (Printf.sprintf "Tensor.create: data length %d <> %d*%d"
+         (Array.length data) rows cols);
+  { rows; cols; data }
+
+let zeros rows cols = create rows cols (Array.make (rows * cols) 0.0)
+let ones rows cols = create rows cols (Array.make (rows * cols) 1.0)
+let full rows cols v = create rows cols (Array.make (rows * cols) v)
+
+let init rows cols f =
+  let data = Array.make (rows * cols) 0.0 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      data.((r * cols) + c) <- f r c
+    done
+  done;
+  create rows cols data
+
+let scalar v = create 1 1 [| v |]
+let of_array a = create 1 (Array.length a) (Array.copy a)
+
+let of_arrays rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then create 0 0 [||]
+  else begin
+    let cols = Array.length rows_arr.(0) in
+    Array.iteri
+      (fun i row ->
+        if Array.length row <> cols then
+          invalid_arg
+            (Printf.sprintf "Tensor.of_arrays: row %d has length %d, expected %d"
+               i (Array.length row) cols))
+      rows_arr;
+    init rows cols (fun r c -> rows_arr.(r).(c))
+  end
+
+let row_of_list l = of_array (Array.of_list l)
+let copy t = { t with data = Array.copy t.data }
+
+let uniform rng rows cols ~lo ~hi =
+  init rows cols (fun _ _ -> Rng.uniform rng ~lo ~hi)
+
+let gaussian rng rows cols ~mu ~sigma =
+  init rows cols (fun _ _ -> Rng.gaussian rng ~mu ~sigma)
+
+let rows t = t.rows
+let cols t = t.cols
+let numel t = t.rows * t.cols
+let shape t = (t.rows, t.cols)
+
+let get t r c =
+  if r < 0 || r >= t.rows || c < 0 || c >= t.cols then
+    invalid_arg
+      (Printf.sprintf "Tensor.get: (%d,%d) out of %s" r c
+         (shape_string t.rows t.cols));
+  t.data.((r * t.cols) + c)
+
+let set t r c v =
+  if r < 0 || r >= t.rows || c < 0 || c >= t.cols then
+    invalid_arg
+      (Printf.sprintf "Tensor.set: (%d,%d) out of %s" r c
+         (shape_string t.rows t.cols));
+  t.data.((r * t.cols) + c) <- v
+
+let row t r =
+  if r < 0 || r >= t.rows then invalid_arg "Tensor.row: index out of range";
+  create 1 t.cols (Array.sub t.data (r * t.cols) t.cols)
+
+let to_array t = Array.copy t.data
+let to_arrays t = Array.init t.rows (fun r -> Array.sub t.data (r * t.cols) t.cols)
+
+let map f t = { t with data = Array.map f t.data }
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then shape_fail "map2" a b;
+  { a with data = Array.map2 f a.data b.data }
+
+let binop name f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then shape_fail name a b;
+  let n = Array.length a.data in
+  let data = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set data i (f (Array.unsafe_get a.data i) (Array.unsafe_get b.data i))
+  done;
+  { a with data }
+
+let add a b = binop "add" ( +. ) a b
+let sub a b = binop "sub" ( -. ) a b
+let mul a b = binop "mul" ( *. ) a b
+let div a b = binop "div" ( /. ) a b
+let neg t = map (fun x -> -.x) t
+let scale k t = map (fun x -> k *. x) t
+let add_scalar k t = map (fun x -> k +. x) t
+
+let clamp ~lo ~hi t =
+  if hi < lo then invalid_arg "Tensor.clamp: hi < lo";
+  map (fun x -> if x < lo then lo else if x > hi then hi else x) t
+
+let rowvec_op name f m v =
+  if v.rows <> 1 || v.cols <> m.cols then shape_fail name m v;
+  let data = Array.make (m.rows * m.cols) 0.0 in
+  for r = 0 to m.rows - 1 do
+    let base = r * m.cols in
+    for c = 0 to m.cols - 1 do
+      data.(base + c) <- f m.data.(base + c) v.data.(c)
+    done
+  done;
+  { m with data }
+
+let add_rowvec m v = rowvec_op "add_rowvec" ( +. ) m v
+let mul_rowvec m v = rowvec_op "mul_rowvec" ( *. ) m v
+
+let colvec_op name f m v =
+  if v.cols <> 1 || v.rows <> m.rows then shape_fail name m v;
+  let data = Array.make (m.rows * m.cols) 0.0 in
+  for r = 0 to m.rows - 1 do
+    let base = r * m.cols in
+    let x = v.data.(r) in
+    for c = 0 to m.cols - 1 do
+      data.(base + c) <- f m.data.(base + c) x
+    done
+  done;
+  { m with data }
+
+let add_colvec m v = colvec_op "add_colvec" ( +. ) m v
+let mul_colvec m v = colvec_op "mul_colvec" ( *. ) m v
+let div_colvec m v = colvec_op "div_colvec" ( /. ) m v
+
+let matmul a b =
+  if a.cols <> b.rows then shape_fail "matmul" a b;
+  let m = a.rows and k = a.cols and n = b.cols in
+  let data = Array.make (m * n) 0.0 in
+  (* ikj loop order: streams through b rows, cache friendly for row-major.
+     unsafe accesses are fine: every index is bounded by the loop limits. *)
+  for i = 0 to m - 1 do
+    let a_base = i * k and c_base = i * n in
+    for p = 0 to k - 1 do
+      let aip = Array.unsafe_get a.data (a_base + p) in
+      if aip <> 0.0 then begin
+        let b_base = p * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set data (c_base + j)
+            (Array.unsafe_get data (c_base + j)
+            +. (aip *. Array.unsafe_get b.data (b_base + j)))
+        done
+      end
+    done
+  done;
+  { rows = m; cols = n; data }
+
+let transpose t = init t.cols t.rows (fun r c -> t.data.((c * t.cols) + r))
+
+let dot a b =
+  if a.rows <> b.rows || a.cols <> b.cols then shape_fail "dot" a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a.data - 1 do
+    acc := !acc +. (a.data.(i) *. b.data.(i))
+  done;
+  !acc
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+
+let mean t =
+  if numel t = 0 then invalid_arg "Tensor.mean: empty tensor";
+  sum t /. float_of_int (numel t)
+
+let min_value t =
+  if numel t = 0 then invalid_arg "Tensor.min_value: empty tensor";
+  Array.fold_left Stdlib.min t.data.(0) t.data
+
+let max_value t =
+  if numel t = 0 then invalid_arg "Tensor.max_value: empty tensor";
+  Array.fold_left Stdlib.max t.data.(0) t.data
+
+let sum_rows t =
+  let data = Array.make t.cols 0.0 in
+  for r = 0 to t.rows - 1 do
+    let base = r * t.cols in
+    for c = 0 to t.cols - 1 do
+      data.(c) <- data.(c) +. t.data.(base + c)
+    done
+  done;
+  create 1 t.cols data
+
+let sum_cols t =
+  let data = Array.make t.rows 0.0 in
+  for r = 0 to t.rows - 1 do
+    let base = r * t.cols in
+    let acc = ref 0.0 in
+    for c = 0 to t.cols - 1 do
+      acc := !acc +. t.data.(base + c)
+    done;
+    data.(r) <- !acc
+  done;
+  create t.rows 1 data
+
+let argmax_rows t =
+  if t.cols = 0 then invalid_arg "Tensor.argmax_rows: zero columns";
+  Array.init t.rows (fun r ->
+      let base = r * t.cols in
+      let best = ref 0 in
+      for c = 1 to t.cols - 1 do
+        if t.data.(base + c) > t.data.(base + !best) then best := c
+      done;
+      !best)
+
+let concat_cols a b =
+  if a.rows <> b.rows then shape_fail "concat_cols" a b;
+  init a.rows (a.cols + b.cols) (fun r c ->
+      if c < a.cols then a.data.((r * a.cols) + c)
+      else b.data.((r * b.cols) + c - a.cols))
+
+let concat_rows a b =
+  if a.cols <> b.cols then shape_fail "concat_rows" a b;
+  create (a.rows + b.rows) a.cols (Array.append a.data b.data)
+
+let slice_rows t start len =
+  if start < 0 || len < 0 || start + len > t.rows then
+    invalid_arg
+      (Printf.sprintf "Tensor.slice_rows: [%d,%d) out of %d rows" start
+         (start + len) t.rows);
+  create len t.cols (Array.sub t.data (start * t.cols) (len * t.cols))
+
+let slice_cols t start len =
+  if start < 0 || len < 0 || start + len > t.cols then
+    invalid_arg
+      (Printf.sprintf "Tensor.slice_cols: [%d,%d) out of %d cols" start
+         (start + len) t.cols);
+  init t.rows len (fun r c -> t.data.((r * t.cols) + start + c))
+
+let take_rows t idx =
+  init (Array.length idx) t.cols (fun r c ->
+      let src = idx.(r) in
+      if src < 0 || src >= t.rows then
+        invalid_arg "Tensor.take_rows: index out of range";
+      t.data.((src * t.cols) + c))
+
+let equal ?(eps = 0.0) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i x -> if Float.abs (x -. b.data.(i)) > eps then ok := false)
+         a.data;
+       !ok
+     end
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>tensor %dx%d" t.rows t.cols;
+  for r = 0 to Stdlib.min (t.rows - 1) 7 do
+    Format.fprintf fmt "@,[";
+    for c = 0 to Stdlib.min (t.cols - 1) 9 do
+      Format.fprintf fmt "%s%.5g" (if c > 0 then "; " else "") (get t r c)
+    done;
+    if t.cols > 10 then Format.fprintf fmt "; ...";
+    Format.fprintf fmt "]"
+  done;
+  if t.rows > 8 then Format.fprintf fmt "@,...";
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t

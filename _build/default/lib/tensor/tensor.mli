@@ -1,0 +1,121 @@
+(** Dense 2-D float tensors.
+
+    Every value is a row-major matrix of shape [rows × cols]; vectors are
+    represented as [1 × n] row matrices.  All binary operations check shapes
+    and raise [Invalid_argument] with the offending shapes on mismatch — the
+    autodiff layer and the pNN rely on these checks to catch wiring mistakes
+    early. *)
+
+type t = private { rows : int; cols : int; data : float array }
+
+(** {1 Construction} *)
+
+val create : int -> int -> float array -> t
+(** [create rows cols data] wraps [data] (length must equal [rows * cols]). *)
+
+val zeros : int -> int -> t
+val ones : int -> int -> t
+val full : int -> int -> float -> t
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init rows cols f] with [f row col] supplying each element. *)
+
+val scalar : float -> t
+(** A [1 × 1] tensor. *)
+
+val of_array : float array -> t
+(** Row vector [1 × n] sharing no storage with the argument. *)
+
+val of_arrays : float array array -> t
+(** Matrix from rows; all rows must have equal length. *)
+
+val row_of_list : float list -> t
+
+val copy : t -> t
+
+val uniform : Rng.t -> int -> int -> lo:float -> hi:float -> t
+val gaussian : Rng.t -> int -> int -> mu:float -> sigma:float -> t
+
+(** {1 Access} *)
+
+val rows : t -> int
+val cols : t -> int
+val numel : t -> int
+val shape : t -> int * int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val row : t -> int -> t
+(** Extract one row as a [1 × cols] tensor (copy). *)
+
+val to_array : t -> float array
+(** Fresh copy of the underlying data, row-major. *)
+
+val to_arrays : t -> float array array
+
+(** {1 Elementwise} *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Hadamard product. *)
+
+val div : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val add_scalar : float -> t -> t
+val clamp : lo:float -> hi:float -> t -> t
+
+(** {1 Broadcast helpers} *)
+
+val add_rowvec : t -> t -> t
+(** [add_rowvec m v] adds the [1 × cols] vector [v] to every row of [m]. *)
+
+val mul_rowvec : t -> t -> t
+val add_colvec : t -> t -> t
+(** [add_colvec m v] adds the [rows × 1] vector [v] to every column of [m]. *)
+
+val mul_colvec : t -> t -> t
+val div_colvec : t -> t -> t
+
+(** {1 Linear algebra} *)
+
+val matmul : t -> t -> t
+val transpose : t -> t
+val dot : t -> t -> float
+(** Inner product of two tensors of identical shape. *)
+
+(** {1 Reductions} *)
+
+val sum : t -> float
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val sum_rows : t -> t
+(** Column-wise sum: result is [1 × cols]. *)
+
+val sum_cols : t -> t
+(** Row-wise sum: result is [rows × 1]. *)
+
+val argmax_rows : t -> int array
+(** Index of the maximum entry of each row. *)
+
+(** {1 Assembly} *)
+
+val concat_cols : t -> t -> t
+(** Horizontal concatenation of matrices with equal row counts. *)
+
+val concat_rows : t -> t -> t
+val slice_rows : t -> int -> int -> t
+(** [slice_rows m start len]. *)
+
+val slice_cols : t -> int -> int -> t
+val take_rows : t -> int array -> t
+(** Gather rows by index (used for dataset splits). *)
+
+(** {1 Comparison and printing} *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

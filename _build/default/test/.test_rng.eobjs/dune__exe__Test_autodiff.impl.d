@@ -1,0 +1,1 @@
+test/test_autodiff.ml: Alcotest Autodiff Float List Printf QCheck QCheck_alcotest Rng Stdlib Tensor

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Float List Printf QCheck QCheck_alcotest Rng String Surrogate

@@ -1,0 +1,1 @@
+test/test_datasets.ml: Alcotest Array Datasets Float Hashtbl List QCheck QCheck_alcotest Rng String Tensor

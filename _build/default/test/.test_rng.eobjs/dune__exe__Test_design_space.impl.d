@@ -1,0 +1,1 @@
+test/test_design_space.ml: Alcotest Array QCheck QCheck_alcotest Rng String Surrogate

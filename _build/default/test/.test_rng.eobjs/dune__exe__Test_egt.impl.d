@@ -1,0 +1,1 @@
+test/test_egt.ml: Alcotest Circuit Float List QCheck QCheck_alcotest Stdlib

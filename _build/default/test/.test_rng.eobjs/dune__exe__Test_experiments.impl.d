@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Datasets Experiments Filename Float Lazy List Pnn Rng String Surrogate Sys

@@ -1,0 +1,1 @@
+test/test_fit_ptanh.ml: Alcotest Array Circuit Fit Float List Printf Ptanh QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_fit_ptanh.mli:

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Circuit QCheck QCheck_alcotest Rng

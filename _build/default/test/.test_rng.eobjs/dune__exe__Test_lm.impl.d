@@ -1,0 +1,1 @@
+test/test_lm.ml: Alcotest Array Fit Float Lm Rng

@@ -1,0 +1,1 @@
+test/test_mna.ml: Alcotest Array Circuit

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Autodiff Float List Nn Rng Tensor

@@ -1,0 +1,1 @@
+test/test_pnn.ml: Alcotest Array Autodiff Datasets Filename Fit Float Lazy List Pnn Printf QCheck QCheck_alcotest Rng Stdlib String Surrogate Sys Tensor

@@ -1,0 +1,1 @@
+test/test_scaler.ml: Alcotest Array Autodiff Float List QCheck QCheck_alcotest Surrogate Tensor

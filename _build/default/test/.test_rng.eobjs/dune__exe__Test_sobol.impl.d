@@ -1,0 +1,1 @@
+test/test_sobol.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Qmc Rng Stdlib

@@ -1,0 +1,1 @@
+test/test_surrogate.ml: Alcotest Array Autodiff Filename Fit Float Hashtbl Lazy List Printf Rng Surrogate Sys Tensor

@@ -1,0 +1,259 @@
+(* Gradient checking for the reverse-mode autodiff engine.
+
+   Strategy: for a scalar-valued graph f(p) built from a parameter tensor p,
+   compare Autodiff gradients with central finite differences. *)
+
+module A = Autodiff
+module T = Tensor
+
+(* Evaluate the graph builder at the parameter's current value and return
+   (value, analytic gradient). *)
+let grad_of build p =
+  let root = build p in
+  A.backward root;
+  (T.get (A.value root) 0 0, T.copy (A.grad p))
+
+let finite_diff build p =
+  let v = A.value p in
+  let rows = T.rows v and cols = T.cols v in
+  let g = T.zeros rows cols in
+  let h = 1e-5 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let orig = T.get v r c in
+      T.set v r c (orig +. h);
+      let fp = T.get (A.value (build p)) 0 0 in
+      T.set v r c (orig -. h);
+      let fm = T.get (A.value (build p)) 0 0 in
+      T.set v r c orig;
+      T.set g r c ((fp -. fm) /. (2.0 *. h))
+    done
+  done;
+  g
+
+let check_grad ?(tol = 1e-4) name build init =
+  let p = A.param init in
+  let _, analytic = grad_of build p in
+  let numeric = finite_diff build p in
+  let ok = ref true in
+  for r = 0 to T.rows analytic - 1 do
+    for c = 0 to T.cols analytic - 1 do
+      let a = T.get analytic r c and n = T.get numeric r c in
+      let scale = Stdlib.max 1.0 (Stdlib.max (Float.abs a) (Float.abs n)) in
+      if Float.abs (a -. n) /. scale > tol then begin
+        ok := false;
+        Printf.printf "%s: grad mismatch at (%d,%d): analytic %.8f vs numeric %.8f\n" name
+          r c a n
+      end
+    done
+  done;
+  if not !ok then Alcotest.failf "%s: gradient check failed" name
+
+let rng = Rng.create 12345
+let rand r c = T.uniform rng r c ~lo:0.3 ~hi:1.7
+let rand_signed r c = T.uniform rng r c ~lo:(-1.5) ~hi:1.5
+
+(* each test builds a scalar via mean/sum so shapes collapse *)
+
+let t name build init = Alcotest.test_case name `Quick (fun () -> check_grad name build init)
+
+let unary_cases =
+  [
+    t "add self" (fun p -> A.sum (A.add p p)) (rand_signed 3 4);
+    t "sub" (fun p -> A.sum (A.sub p (A.scale 0.5 p))) (rand_signed 3 4);
+    t "mul" (fun p -> A.sum (A.mul p p)) (rand_signed 3 4);
+    t "div" (fun p -> A.sum (A.div (A.add_scalar 3.0 p) p)) (rand 3 4);
+    t "neg" (fun p -> A.sum (A.neg p)) (rand_signed 2 2);
+    t "scale" (fun p -> A.sum (A.scale (-2.5) p)) (rand_signed 2 5);
+    t "add_scalar" (fun p -> A.sum (A.add_scalar 4.0 p)) (rand_signed 2 2);
+    t "pow_const" (fun p -> A.sum (A.pow_const p 3.0)) (rand 2 3);
+    t "tanh" (fun p -> A.sum (A.tanh p)) (rand_signed 3 3);
+    t "sigmoid" (fun p -> A.sum (A.sigmoid p)) (rand_signed 3 3);
+    t "exp" (fun p -> A.sum (A.exp p)) (rand_signed 2 3);
+    t "log" (fun p -> A.sum (A.log p)) (rand 2 3);
+    t "sqrt" (fun p -> A.sum (A.sqrt p)) (rand 2 3);
+    t "relu" (fun p -> A.sum (A.relu p)) (rand 2 3);
+    t "abs" (fun p -> A.sum (A.abs p)) (rand 2 3);
+    t "mean" (fun p -> A.mean (A.mul p p)) (rand_signed 4 2);
+  ]
+
+(* Constants must be captured once: the finite-difference driver re-invokes
+   the builder, which must reconstruct the *same* graph. *)
+let c42 = rand 4 2
+let c23 = rand 2 3
+let c33 = rand 3 3
+let c32 = rand 3 2
+let c14 = rand 1 4
+let c34 = rand 3 4
+let c11 = rand 1 1
+let cc23 = rand 2 3
+let cc25 = rand 2 5
+
+let structural_cases =
+  [
+    t "matmul left" (fun p -> A.sum (A.matmul p (A.const c42))) (rand_signed 3 4);
+    t "matmul right" (fun p -> A.sum (A.matmul (A.const c23) p)) (rand_signed 3 4);
+    t "matmul chain"
+      (fun p -> A.sum (A.matmul (A.matmul p (A.const c33)) (A.const c32)))
+      (rand_signed 2 3);
+    t "transpose" (fun p -> A.sum (A.mul (A.transpose p) (A.transpose p))) (rand_signed 2 4);
+    t "add_rowvec m" (fun p -> A.sum (A.add_rowvec p (A.const c14))) (rand_signed 3 4);
+    t "add_rowvec v" (fun p -> A.sum (A.add_rowvec (A.const c34) p)) (rand_signed 1 4);
+    t "mul_rowvec m" (fun p -> A.sum (A.mul_rowvec p (A.const c14))) (rand_signed 3 4);
+    t "mul_rowvec v" (fun p -> A.sum (A.mul_rowvec (A.const c34) p)) (rand_signed 1 4);
+    t "div_rowvec m" (fun p -> A.sum (A.div_rowvec p (A.const c14))) (rand_signed 3 4);
+    t "div_rowvec v" (fun p -> A.sum (A.div_rowvec (A.const c34) p)) (rand 1 4);
+    t "badd scalar" (fun p -> A.sum (A.badd p (A.const c34))) (rand_signed 1 1);
+    t "badd matrix" (fun p -> A.sum (A.badd (A.const c11) p)) (rand_signed 3 4);
+    t "bmul scalar" (fun p -> A.sum (A.bmul p (A.const c34))) (rand_signed 1 1);
+    t "bmul matrix" (fun p -> A.sum (A.bmul (A.const c11) p)) (rand_signed 3 4);
+    t "sum_rows" (fun p -> A.sum (A.mul (A.sum_rows p) (A.const c14))) (rand_signed 3 4);
+    t "concat_cols a"
+      (fun p -> A.sum (A.mul (A.concat_cols p (A.const cc23)) (A.const cc25)))
+      (rand_signed 2 2);
+    t "concat_cols b"
+      (fun p -> A.sum (A.mul (A.concat_cols (A.const cc23) p) (A.const cc25)))
+      (rand_signed 2 2);
+    t "slice_cols" (fun p -> A.sum (A.slice_cols p 1 2)) (rand_signed 3 4);
+    t "slice_rows" (fun p -> A.sum (A.slice_rows p 1 2)) (rand_signed 4 3);
+    t "diamond graph"
+      (fun p ->
+        let a = A.tanh p in
+        let b = A.sigmoid p in
+        A.sum (A.mul a b))
+      (rand_signed 3 3);
+    t "reused node"
+      (fun p ->
+        let a = A.mul p p in
+        A.sum (A.add a a))
+      (rand_signed 2 2);
+  ]
+
+(* STE ops intentionally disagree with finite differences: the backward pass
+   is the identity regardless of the forward projection.  Verify the identity
+   property directly. *)
+let check_ste_identity name build init =
+  let p = A.param init in
+  let root = A.sum (build p) in
+  A.backward root;
+  let g = A.grad p in
+  for r = 0 to T.rows g - 1 do
+    for c = 0 to T.cols g - 1 do
+      if Float.abs (T.get g r c -. 1.0) > 1e-12 then
+        Alcotest.failf "%s: STE gradient at (%d,%d) is %f, expected 1" name r c
+          (T.get g r c)
+    done
+  done
+
+let ste_cases =
+  [
+    Alcotest.test_case "clamp_ste backward is identity" `Quick (fun () ->
+        check_ste_identity "clamp_ste"
+          (fun p -> A.clamp_ste ~lo:(-0.5) ~hi:0.5 p)
+          (rand_signed 3 3));
+    Alcotest.test_case "map_ste backward is identity" `Quick (fun () ->
+        check_ste_identity "map_ste"
+          (fun p -> A.map_ste (fun x -> x *. x) p)
+          (rand_signed 2 2));
+    Alcotest.test_case "clamp_ste forward clamps" `Quick (fun () ->
+        let p = A.param (T.of_array [| -2.0; 0.0; 2.0 |]) in
+        let y = A.value (A.clamp_ste ~lo:(-1.0) ~hi:1.0 p) in
+        Alcotest.(check (float 0.0)) "lo" (-1.0) (T.get y 0 0);
+        Alcotest.(check (float 0.0)) "hi" 1.0 (T.get y 0 2));
+  ]
+
+let loss_cases =
+  let labels = T.of_arrays [| [| 1.0; 0.0; 0.0 |]; [| 0.0; 0.0; 1.0 |] |] in
+  let target = rand 3 4 in
+  [
+    t "softmax cross entropy"
+      (fun p -> A.softmax_cross_entropy ~logits:p ~labels)
+      (rand_signed 2 3);
+    t "mse" (fun p -> A.mse p target) (rand_signed 3 4);
+  ]
+
+(* non-gradient unit tests *)
+
+let test_values () =
+  let x = A.const (T.of_array [| 1.0; -2.0 |]) in
+  let y = A.add (A.abs x) (A.relu x) in
+  Alcotest.(check (float 1e-12)) "abs+relu" 2.0 (T.get (A.value y) 0 0);
+  Alcotest.(check (float 1e-12)) "abs+relu neg" 2.0 (T.get (A.value y) 0 1)
+
+let test_clamp_ste_forward () =
+  let x = A.const (T.of_array [| -3.0; 0.2; 9.0 |]) in
+  let y = A.clamp_ste ~lo:(-1.0) ~hi:1.0 x in
+  Alcotest.(check (float 0.0)) "low" (-1.0) (T.get (A.value y) 0 0);
+  Alcotest.(check (float 0.0)) "mid" 0.2 (T.get (A.value y) 0 1);
+  Alcotest.(check (float 0.0)) "high" 1.0 (T.get (A.value y) 0 2)
+
+let test_softmax_ce_value () =
+  (* uniform logits -> loss = ln k *)
+  let logits = A.const (T.zeros 4 3) in
+  let labels = T.init 4 3 (fun _ c -> if c = 0 then 1.0 else 0.0) in
+  let loss = A.softmax_cross_entropy ~logits ~labels in
+  Alcotest.(check (float 1e-9)) "ln 3" (log 3.0) (T.get (A.value loss) 0 0)
+
+let test_backward_requires_scalar () =
+  let p = A.param (T.zeros 2 2) in
+  Alcotest.check_raises "non-scalar root"
+    (Invalid_argument "Autodiff.backward: root must be a 1x1 scalar") (fun () ->
+      A.backward (A.add p p))
+
+let test_params_collection () =
+  let p1 = A.param (T.zeros 1 2) in
+  let p2 = A.param (T.ones 1 2) in
+  let c = A.const (T.ones 1 2) in
+  let root = A.sum (A.add (A.mul p1 p2) c) in
+  let ps = A.params root in
+  Alcotest.(check int) "two params" 2 (List.length ps);
+  Alcotest.(check bool) "ordered by creation" true
+    (A.id (List.nth ps 0) < A.id (List.nth ps 1))
+
+let test_grad_accumulation_reset () =
+  let p = A.param (T.ones 1 1) in
+  let build () = A.sum (A.mul p p) in
+  A.backward (build ());
+  let g1 = T.get (A.grad p) 0 0 in
+  A.backward (build ());
+  let g2 = T.get (A.grad p) 0 0 in
+  Alcotest.(check (float 1e-12)) "no stale accumulation" g1 g2
+
+let test_shape_errors () =
+  let a = A.const (T.zeros 2 2) and b = A.const (T.zeros 2 3) in
+  Alcotest.check_raises "mse mismatch" (Invalid_argument "Autodiff.mse: shape mismatch")
+    (fun () -> ignore (A.mse a (T.zeros 3 2)));
+  match A.add a b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected shape error"
+
+let qcheck_chain_rule =
+  QCheck.Test.make ~name:"scale chain rule" ~count:100
+    QCheck.(pair (float_range (-3.0) 3.0) (float_range (-2.0) 2.0))
+    (fun (k, x0) ->
+      let p = A.param (T.scalar x0) in
+      let root = A.sum (A.scale k (A.tanh p)) in
+      A.backward root;
+      let g = T.get (A.grad p) 0 0 in
+      let expected = k *. (1.0 -. (Float.tanh x0 *. Float.tanh x0)) in
+      Float.abs (g -. expected) < 1e-9)
+
+let () =
+  Alcotest.run "autodiff"
+    [
+      ("unary gradients", unary_cases);
+      ("structural gradients", structural_cases);
+      ("ste", ste_cases);
+      ("losses", loss_cases);
+      ( "semantics",
+        [
+          Alcotest.test_case "values" `Quick test_values;
+          Alcotest.test_case "clamp forward" `Quick test_clamp_ste_forward;
+          Alcotest.test_case "softmax value" `Quick test_softmax_ce_value;
+          Alcotest.test_case "backward scalar only" `Quick test_backward_requires_scalar;
+          Alcotest.test_case "params collection" `Quick test_params_collection;
+          Alcotest.test_case "grad reset" `Quick test_grad_accumulation_reset;
+          Alcotest.test_case "shape errors" `Quick test_shape_errors;
+          QCheck_alcotest.to_alcotest qcheck_chain_rule;
+        ] );
+    ]

@@ -1,0 +1,279 @@
+(* Tests for the parametric ptanh circuit and netlist utilities. *)
+
+module N = Circuit.Netlist
+module P = Circuit.Ptanh_circuit
+
+let mid_omega = [| 255.0; 127.0; 255e3; 127e3; 255e3; 500.0; 40.0 |]
+
+let test_omega_roundtrip () =
+  let o = P.omega_of_array mid_omega in
+  Alcotest.(check (array (float 0.0))) "roundtrip" mid_omega (P.omega_to_array o)
+
+let test_omega_of_array_invalid () =
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Ptanh_circuit.omega_of_array: need 7 values") (fun () ->
+      ignore (P.omega_of_array [| 1.0 |]))
+
+let test_build_validates () =
+  let nl, out = P.build (P.omega_of_array mid_omega) in
+  (match N.validate nl with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invalid netlist: %s" msg);
+  Alcotest.(check bool) "output node allocated" true (out > 0 && out < N.node_count nl);
+  Alcotest.(check int) "two sources" 2 (N.source_count nl)
+
+let test_transfer_rising_tanh_like () =
+  let _, vout = P.transfer (P.omega_of_array mid_omega) in
+  let n = Array.length vout in
+  Alcotest.(check int) "default points" 41 n;
+  (* overall rising *)
+  Alcotest.(check bool) "rises" true (vout.(n - 1) > vout.(0) +. 0.2);
+  (* bounded by the supply *)
+  Array.iter
+    (fun v ->
+      if v < -0.01 || v > P.vdd +. 0.01 then Alcotest.failf "out of rails: %f" v)
+    vout;
+  (* monotone non-decreasing (within numerical tolerance) *)
+  for i = 0 to n - 2 do
+    if vout.(i + 1) < vout.(i) -. 1e-6 then Alcotest.failf "not monotone at %d" i
+  done
+
+let test_transfer_responds_to_r5 () =
+  let weak = Array.copy mid_omega in
+  weak.(4) <- 15e3;
+  let _, strong_out = P.transfer (P.omega_of_array mid_omega) in
+  let _, weak_out = P.transfer (P.omega_of_array weak) in
+  let range a = Array.fold_left max a.(0) a -. Array.fold_left min a.(0) a in
+  Alcotest.(check bool) "smaller load -> smaller swing" true
+    (range weak_out < range strong_out)
+
+let test_transfer_responds_to_divider () =
+  (* a smaller k1 (R2 << R1) shifts the transition to larger Vin *)
+  let shifted = Array.copy mid_omega in
+  shifted.(1) <- 30.0;
+  let vin, base_out = P.transfer (P.omega_of_array mid_omega) in
+  let _, shifted_out = P.transfer (P.omega_of_array shifted) in
+  let mid_crossing vout =
+    let lo = Array.fold_left min vout.(0) vout and hi = Array.fold_left max vout.(0) vout in
+    let target = (lo +. hi) /. 2.0 in
+    let idx = ref 0 in
+    (try
+       Array.iteri
+         (fun i v ->
+           if v >= target then begin
+             idx := i;
+             raise Exit
+           end)
+         vout
+     with Exit -> ());
+    vin.(!idx)
+  in
+  Alcotest.(check bool) "transition shifts right" true
+    (mid_crossing shifted_out > mid_crossing base_out)
+
+let test_netlist_set_source () =
+  let nl = N.create () in
+  let a = N.fresh_node nl in
+  N.add nl (N.Vsource { name = "x"; plus = a; minus = N.ground; volts = 1.0 });
+  N.set_source nl "x" 2.5;
+  (match N.elements nl with
+  | [ N.Vsource { volts; _ } ] -> Alcotest.(check (float 0.0)) "updated" 2.5 volts
+  | _ -> Alcotest.fail "unexpected netlist");
+  Alcotest.check_raises "unknown source" Not_found (fun () -> N.set_source nl "y" 0.0)
+
+let test_netlist_validate_errors () =
+  let cases =
+    [
+      ( "bad resistance",
+        fun nl ->
+          let a = N.fresh_node nl in
+          N.add nl (N.Resistor { a; b = N.ground; ohms = -5.0 }) );
+      ( "duplicate source",
+        fun nl ->
+          let a = N.fresh_node nl in
+          N.add nl (N.Vsource { name = "v"; plus = a; minus = N.ground; volts = 1.0 });
+          N.add nl (N.Vsource { name = "v"; plus = a; minus = N.ground; volts = 2.0 }) );
+      ( "bad geometry",
+        fun nl ->
+          let a = N.fresh_node nl in
+          N.add nl
+            (N.Transistor { gate = a; drain = a; source = N.ground; w_um = -1.0; l_um = 1.0 })
+      );
+    ]
+  in
+  List.iter
+    (fun (name, build) ->
+      let nl = N.create () in
+      build nl;
+      match N.validate nl with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "%s: expected validation error" name)
+    cases
+
+let test_linspace () =
+  let a = Circuit.Dc_sweep.linspace 0.0 1.0 5 in
+  Alcotest.(check (array (float 1e-12))) "linspace" [| 0.0; 0.25; 0.5; 0.75; 1.0 |] a;
+  Alcotest.check_raises "n < 2" (Invalid_argument "Dc_sweep.linspace: need n >= 2")
+    (fun () -> ignore (Circuit.Dc_sweep.linspace 0.0 1.0 1))
+
+let qcheck_transfer_bounded =
+  (* any feasible design point produces a bounded transfer curve *)
+  QCheck.Test.make ~name:"transfer curves stay within rails" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let raw =
+        Array.mapi
+          (fun i lo ->
+            Rng.uniform rng ~lo ~hi:Surrogate.Design_space.learnable_hi.(i))
+          Surrogate.Design_space.learnable_lo
+      in
+      let omega = Surrogate.Design_space.assemble raw in
+      match P.transfer ~points:11 (P.omega_of_array omega) with
+      | exception Circuit.Mna.No_convergence _ -> true (* acceptable, filtered upstream *)
+      | _, vout -> Array.for_all (fun v -> v >= -0.05 && v <= P.vdd +. 0.05) vout)
+
+(* {1 Transient analysis} *)
+
+let test_rc_step_response () =
+  (* RC low-pass: V(t) = 1 - exp(-t/RC); compare against the analytic law *)
+  let nl = N.create () in
+  let top = N.fresh_node nl in
+  let out = N.fresh_node nl in
+  let r = 10_000.0 and c = 1e-6 in
+  N.add nl (N.Vsource { name = "vin"; plus = top; minus = N.ground; volts = 0.0 });
+  N.add nl (N.Resistor { a = top; b = out; ohms = r });
+  N.add nl (N.Capacitor { a = out; b = N.ground; farads = c });
+  let tau = r *. c in
+  let result =
+    Circuit.Transient.run ~model:Circuit.Egt.default ~netlist:nl ~source:"vin"
+      ~waveform:(Circuit.Transient.step ()) ~duration:(5.0 *. tau) ~dt:(tau /. 100.0) ()
+  in
+  Array.iteri
+    (fun k t ->
+      let expected = 1.0 -. exp (-.t /. tau) in
+      let got = result.Circuit.Transient.voltages.(k).(out) in
+      if Float.abs (got -. expected) > 0.01 then
+        Alcotest.failf "RC response at t=%.4f: %.4f vs %.4f" t got expected)
+    result.Circuit.Transient.times
+
+let test_rc_settle_time () =
+  let nl = N.create () in
+  let top = N.fresh_node nl in
+  let out = N.fresh_node nl in
+  let r = 10_000.0 and c = 1e-6 in
+  N.add nl (N.Vsource { name = "vin"; plus = top; minus = N.ground; volts = 0.0 });
+  N.add nl (N.Resistor { a = top; b = out; ohms = r });
+  N.add nl (N.Capacitor { a = out; b = N.ground; farads = c });
+  let tau = r *. c in
+  let result =
+    Circuit.Transient.run ~model:Circuit.Egt.default ~netlist:nl ~source:"vin"
+      ~waveform:(Circuit.Transient.step ()) ~duration:(8.0 *. tau) ~dt:(tau /. 50.0) ()
+  in
+  match Circuit.Transient.settle_time result ~node:out () with
+  | None -> Alcotest.fail "RC did not settle"
+  | Some t ->
+      (* 2% band -> ln(50) tau ~ 3.9 tau *)
+      Alcotest.(check bool)
+        (Printf.sprintf "settle %.4f ~ 3.9 tau" t)
+        true
+        (t > 3.0 *. tau && t < 5.0 *. tau)
+
+let test_capacitor_open_in_dc () =
+  (* DC solve: capacitor has no effect on the divider *)
+  let nl = N.create () in
+  let top = N.fresh_node nl in
+  let mid = N.fresh_node nl in
+  N.add nl (N.Vsource { name = "v"; plus = top; minus = N.ground; volts = 2.0 });
+  N.add nl (N.Resistor { a = top; b = mid; ohms = 1000.0 });
+  N.add nl (N.Resistor { a = mid; b = N.ground; ohms = 1000.0 });
+  N.add nl (N.Capacitor { a = mid; b = N.ground; farads = 1e-6 });
+  let sol = Circuit.Mna.solve Circuit.Egt.default nl in
+  Alcotest.(check (float 1e-6)) "divider unchanged" 1.0 sol.Circuit.Mna.voltages.(mid)
+
+let test_transient_validations () =
+  let nl = N.create () in
+  let top = N.fresh_node nl in
+  N.add nl (N.Vsource { name = "vin"; plus = top; minus = N.ground; volts = 0.0 });
+  N.add nl (N.Resistor { a = top; b = N.ground; ohms = 100.0 });
+  match
+    Circuit.Transient.run ~model:Circuit.Egt.default ~netlist:nl ~source:"vin"
+      ~waveform:(Circuit.Transient.step ()) ~duration:0.0 ~dt:1e-3 ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected invalid duration error"
+
+let test_ptanh_latency_millisecond_scale () =
+  (* printed neuron nonlinear stage with nF parasitics settles in ~ms *)
+  let o = P.omega_of_array mid_omega in
+  match P.latency ~dt:5e-5 ~duration:4e-2 o with
+  | None -> Alcotest.fail "ptanh stage did not settle"
+  | Some t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "latency %.2f ms in [0.01, 40] ms" (t *. 1e3))
+        true
+        (t > 1e-5 && t < 4e-2)
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "ptanh circuit",
+        [
+          Alcotest.test_case "omega roundtrip" `Quick test_omega_roundtrip;
+          Alcotest.test_case "omega invalid" `Quick test_omega_of_array_invalid;
+          Alcotest.test_case "build validates" `Quick test_build_validates;
+          Alcotest.test_case "rising tanh-like" `Quick test_transfer_rising_tanh_like;
+          Alcotest.test_case "responds to R5" `Quick test_transfer_responds_to_r5;
+          Alcotest.test_case "responds to divider" `Quick test_transfer_responds_to_divider;
+          QCheck_alcotest.to_alcotest qcheck_transfer_bounded;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "set_source" `Quick test_netlist_set_source;
+          Alcotest.test_case "validate errors" `Quick test_netlist_validate_errors;
+          Alcotest.test_case "linspace" `Quick test_linspace;
+        ] );
+      ( "spice export",
+        [
+          Alcotest.test_case "cards present" `Quick (fun () ->
+              let nl, _ = P.build (P.omega_of_array mid_omega) in
+              let text = Circuit.Spice_export.to_spice nl in
+              let contains needle =
+                let n = String.length needle and h = String.length text in
+                let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+                go 0
+              in
+              List.iter
+                (fun card ->
+                  if not (contains card) then Alcotest.failf "missing card %S" card)
+                [ "Vvin"; "Vvdd"; "R1 "; "B1 "; "B2 "; ".end" ]);
+          Alcotest.test_case "dc sweep card" `Quick (fun () ->
+              let text = Circuit.Spice_export.ptanh_circuit (P.omega_of_array mid_omega) in
+              let contains needle =
+                let n = String.length needle and h = String.length text in
+                let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+                go 0
+              in
+              Alcotest.(check bool) "has .dc" true (contains ".dc Vvin");
+              Alcotest.(check bool) "ends with .end" true
+                (String.length text > 5
+                && String.sub text (String.length text - 5) 5 = ".end\n"));
+          Alcotest.test_case "resistor count" `Quick (fun () ->
+              let nl, _ = P.build (P.omega_of_array mid_omega) in
+              let text = Circuit.Spice_export.to_spice nl in
+              let lines = String.split_on_char '\n' text in
+              let resistors =
+                List.length
+                  (List.filter (fun l -> String.length l > 0 && l.[0] = 'R') lines)
+              in
+              Alcotest.(check int) "6 resistors in the 2-stage circuit" 6 resistors);
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "RC step response" `Quick test_rc_step_response;
+          Alcotest.test_case "RC settle time" `Quick test_rc_settle_time;
+          Alcotest.test_case "capacitor open in DC" `Quick test_capacitor_open_in_dc;
+          Alcotest.test_case "validations" `Quick test_transient_validations;
+          Alcotest.test_case "ptanh latency" `Quick test_ptanh_latency_millisecond_scale;
+        ] );
+    ]

@@ -1,0 +1,121 @@
+(* Tests for ptanh curve fitting (paper Eq. 2 / Eq. 3). *)
+
+open Fit
+
+let linspace lo hi n =
+  Array.init n (fun i -> lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+
+let eta a b c d = { Ptanh.eta1 = a; eta2 = b; eta3 = c; eta4 = d }
+
+let test_eval () =
+  let e = eta 0.5 0.4 0.3 6.0 in
+  Alcotest.(check (float 1e-12)) "at center" 0.5 (Ptanh.eval e 0.3);
+  Alcotest.(check (float 1e-12)) "inv negates" (-0.5) (Ptanh.eval_inv e 0.3)
+
+let test_eta_array_roundtrip () =
+  let e = eta 0.1 0.2 0.3 0.4 in
+  Alcotest.(check (array (float 0.0)))
+    "roundtrip" [| 0.1; 0.2; 0.3; 0.4 |]
+    (Ptanh.eta_to_array (Ptanh.eta_of_array (Ptanh.eta_to_array e)))
+
+let test_eta_of_array_invalid () =
+  Alcotest.check_raises "len" (Invalid_argument "Ptanh.eta_of_array: need 4 values")
+    (fun () -> ignore (Ptanh.eta_of_array [| 1.0 |]))
+
+let recover_exact e =
+  let vin = linspace 0.0 1.0 41 in
+  let vout = Array.map (Ptanh.eval e) vin in
+  let r = Ptanh.fit ~vin ~vout in
+  Alcotest.(check bool)
+    (Printf.sprintf "rmse tiny for eta=[%.2f %.2f %.2f %.2f]" e.Ptanh.eta1 e.Ptanh.eta2
+       e.Ptanh.eta3 e.Ptanh.eta4)
+    true (r.Ptanh.rmse < 1e-6);
+  (* the recovered curve must match pointwise even if the parameterization is
+     ambiguous (tanh has a sign symmetry) *)
+  Array.iteri
+    (fun i v ->
+      let fitted = Ptanh.eval r.Ptanh.eta v in
+      if Float.abs (fitted -. vout.(i)) > 1e-5 then
+        Alcotest.failf "pointwise mismatch at %f: %f vs %f" v fitted vout.(i))
+    vin
+
+let test_recover_known_curves () =
+  List.iter recover_exact
+    [
+      eta 0.5 0.4 0.3 6.0;
+      eta 0.55 0.35 0.5 3.0;
+      eta 0.4 0.3 0.7 10.0;
+      eta 0.6 (-0.3) 0.4 5.0;
+      (* falling curve *)
+      eta 0.9 0.05 0.2 2.0;
+      (* small amplitude *)
+    ]
+
+let test_recover_with_noise () =
+  let e = eta 0.5 0.4 0.35 7.0 in
+  let rng = Rng.create 5 in
+  let vin = linspace 0.0 1.0 41 in
+  let vout = Array.map (fun v -> Ptanh.eval e v +. Rng.gaussian rng ~mu:0.0 ~sigma:0.005) vin in
+  let r = Ptanh.fit ~vin ~vout in
+  Alcotest.(check bool) "rmse near noise floor" true (r.Ptanh.rmse < 0.01);
+  Alcotest.(check bool) "eta4 in range" true (Float.abs (r.Ptanh.eta.Ptanh.eta4) < 20.0)
+
+let test_fit_inv_negation () =
+  (* Eq. 3: fitting the negated curve recovers eta with flipped eta1/eta2 *)
+  let e = eta 0.5 0.4 0.3 6.0 in
+  let vin = linspace 0.0 1.0 41 in
+  let vout = Array.map (fun v -> -.Ptanh.eval e v) vin in
+  let r = Ptanh.fit_inv ~vin ~vout in
+  Array.iteri
+    (fun i v ->
+      let reconstructed = Ptanh.eval_inv r.Ptanh.eta v in
+      if Float.abs (reconstructed -. vout.(i)) > 1e-5 then
+        Alcotest.failf "inv mismatch at %f" v)
+    vin
+
+let test_fit_validations () =
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Ptanh.fit: length mismatch")
+    (fun () -> ignore (Ptanh.fit ~vin:[| 0.0; 1.0 |] ~vout:[| 0.0 |]));
+  Alcotest.check_raises "too few points"
+    (Invalid_argument "Ptanh.fit: need at least 5 points") (fun () ->
+      ignore (Ptanh.fit ~vin:[| 0.0; 0.5; 1.0 |] ~vout:[| 0.0; 0.5; 1.0 |]))
+
+let test_fit_simulated_circuit () =
+  (* integration: the design-space centre circuit fits with a small residual *)
+  let omega = [| 255.0; 127.0; 255e3; 127e3; 255e3; 500.0; 40.0 |] in
+  let vin, vout = Circuit.Ptanh_circuit.transfer (Circuit.Ptanh_circuit.omega_of_array omega) in
+  let r = Ptanh.fit ~vin ~vout in
+  Alcotest.(check bool) "rmse < 10 mV" true (r.Ptanh.rmse < 0.01);
+  Alcotest.(check bool) "rising fit" true (r.Ptanh.eta.Ptanh.eta2 *. r.Ptanh.eta.Ptanh.eta4 > 0.0)
+
+let qcheck_fit_recovers_function =
+  QCheck.Test.make ~name:"fit reproduces arbitrary tanh-like curves" ~count:60
+    QCheck.(
+      quad (float_range 0.3 0.7) (float_range 0.1 0.45) (float_range 0.1 0.9)
+        (float_range 1.0 12.0))
+    (fun (a, b, c, d) ->
+      let e = eta a b c d in
+      let vin = linspace 0.0 1.0 41 in
+      let vout = Array.map (Ptanh.eval e) vin in
+      let r = Ptanh.fit ~vin ~vout in
+      r.Ptanh.rmse < 1e-4)
+
+let () =
+  Alcotest.run "fit_ptanh"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "eta roundtrip" `Quick test_eta_array_roundtrip;
+          Alcotest.test_case "eta invalid" `Quick test_eta_of_array_invalid;
+        ] );
+      ( "fitting",
+        [
+          Alcotest.test_case "recover known" `Quick test_recover_known_curves;
+          Alcotest.test_case "recover noisy" `Quick test_recover_with_noise;
+          Alcotest.test_case "fit_inv" `Quick test_fit_inv_negation;
+          Alcotest.test_case "validations" `Quick test_fit_validations;
+          Alcotest.test_case "simulated circuit" `Quick test_fit_simulated_circuit;
+          QCheck_alcotest.to_alcotest qcheck_fit_recovers_function;
+        ] );
+    ]

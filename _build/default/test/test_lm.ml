@@ -1,0 +1,119 @@
+(* Tests for the Levenberg–Marquardt solver. *)
+
+open Fit
+
+let test_linear_fit () =
+  (* y = 2x + 1, exact fit *)
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let ys = [| 1.0; 3.0; 5.0; 7.0 |] in
+  let problem =
+    {
+      Lm.n_params = 2;
+      n_residuals = 4;
+      residuals = (fun p -> Array.mapi (fun i x -> (p.(0) *. x) +. p.(1) -. ys.(i)) xs);
+      jacobian = (fun _ -> Array.map (fun x -> [| x; 1.0 |]) xs);
+    }
+  in
+  let r = Lm.solve problem [| 0.0; 0.0 |] in
+  Alcotest.(check (float 1e-6)) "slope" 2.0 r.Lm.params.(0);
+  Alcotest.(check (float 1e-6)) "intercept" 1.0 r.Lm.params.(1);
+  Alcotest.(check bool) "converged" true r.Lm.converged;
+  Alcotest.(check bool) "zero cost" true (r.Lm.cost < 1e-12)
+
+let test_exponential_fit () =
+  (* y = 3 exp(-0.7 x), nonlinear *)
+  let xs = Array.init 20 (fun i -> float_of_int i *. 0.25) in
+  let ys = Array.map (fun x -> 3.0 *. exp (-0.7 *. x)) xs in
+  let problem =
+    {
+      Lm.n_params = 2;
+      n_residuals = Array.length xs;
+      residuals =
+        (fun p -> Array.mapi (fun i x -> (p.(0) *. exp (p.(1) *. x)) -. ys.(i)) xs);
+      jacobian =
+        (fun p ->
+          Array.map (fun x -> [| exp (p.(1) *. x); p.(0) *. x *. exp (p.(1) *. x) |]) xs);
+    }
+  in
+  let r = Lm.solve problem [| 1.0; -0.1 |] in
+  Alcotest.(check (float 1e-5)) "amplitude" 3.0 r.Lm.params.(0);
+  Alcotest.(check (float 1e-5)) "rate" (-0.7) r.Lm.params.(1)
+
+let test_initial_guess_length () =
+  let problem =
+    {
+      Lm.n_params = 2;
+      n_residuals = 1;
+      residuals = (fun _ -> [| 0.0 |]);
+      jacobian = (fun _ -> [| [| 0.0; 0.0 |] |]);
+    }
+  in
+  Alcotest.check_raises "bad p0" (Invalid_argument "Lm.solve: initial guess has wrong length")
+    (fun () -> ignore (Lm.solve problem [| 0.0 |]))
+
+let test_already_optimal () =
+  (* start at the optimum: should converge immediately without moving *)
+  let problem =
+    {
+      Lm.n_params = 1;
+      n_residuals = 2;
+      residuals = (fun p -> [| p.(0) -. 5.0; p.(0) -. 5.0 |]);
+      jacobian = (fun _ -> [| [| 1.0 |]; [| 1.0 |] |]);
+    }
+  in
+  let r = Lm.solve problem [| 5.0 |] in
+  Alcotest.(check (float 1e-9)) "stays put" 5.0 r.Lm.params.(0)
+
+let test_numerical_jacobian_agrees () =
+  let f p = [| (p.(0) *. p.(0)) +. p.(1); sin p.(0) |] in
+  let p = [| 0.7; -0.3 |] in
+  let j = Lm.numerical_jacobian ~n_residuals:2 f p in
+  Alcotest.(check (float 1e-5)) "d r0/d p0" 1.4 j.(0).(0);
+  Alcotest.(check (float 1e-5)) "d r0/d p1" 1.0 j.(0).(1);
+  Alcotest.(check (float 1e-5)) "d r1/d p0" (cos 0.7) j.(1).(0);
+  Alcotest.(check (float 1e-5)) "d r1/d p1" 0.0 j.(1).(1)
+
+let test_rosenbrock_valley () =
+  (* classic hard case as least squares: r = [10(y - x^2); 1 - x] *)
+  let problem =
+    {
+      Lm.n_params = 2;
+      n_residuals = 2;
+      residuals = (fun p -> [| 10.0 *. (p.(1) -. (p.(0) *. p.(0))); 1.0 -. p.(0) |]);
+      jacobian = (fun p -> [| [| -20.0 *. p.(0); 10.0 |]; [| -1.0; 0.0 |] |]);
+    }
+  in
+  let r = Lm.solve ~max_iterations:500 problem [| -1.2; 1.0 |] in
+  Alcotest.(check (float 1e-4)) "x" 1.0 r.Lm.params.(0);
+  Alcotest.(check (float 1e-4)) "y" 1.0 r.Lm.params.(1)
+
+let test_noisy_fit_cost_reasonable () =
+  let rng = Rng.create 21 in
+  let xs = Array.init 50 (fun i -> float_of_int i /. 10.0) in
+  let ys = Array.map (fun x -> (1.5 *. x) +. 0.2 +. Rng.gaussian rng ~mu:0.0 ~sigma:0.01) xs in
+  let problem =
+    {
+      Lm.n_params = 2;
+      n_residuals = 50;
+      residuals = (fun p -> Array.mapi (fun i x -> (p.(0) *. x) +. p.(1) -. ys.(i)) xs);
+      jacobian = (fun _ -> Array.map (fun x -> [| x; 1.0 |]) xs);
+    }
+  in
+  let r = Lm.solve problem [| 0.0; 0.0 |] in
+  Alcotest.(check bool) "slope near 1.5" true (Float.abs (r.Lm.params.(0) -. 1.5) < 0.02);
+  Alcotest.(check bool) "cost ~ noise level" true (r.Lm.cost < 50.0 *. 0.01)
+
+let () =
+  Alcotest.run "lm"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "linear" `Quick test_linear_fit;
+          Alcotest.test_case "exponential" `Quick test_exponential_fit;
+          Alcotest.test_case "bad guess length" `Quick test_initial_guess_length;
+          Alcotest.test_case "already optimal" `Quick test_already_optimal;
+          Alcotest.test_case "numerical jacobian" `Quick test_numerical_jacobian_agrees;
+          Alcotest.test_case "rosenbrock" `Quick test_rosenbrock_valley;
+          Alcotest.test_case "noisy linear" `Quick test_noisy_fit_cost_reasonable;
+        ] );
+    ]

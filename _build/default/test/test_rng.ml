@@ -1,0 +1,169 @@
+(* Tests for the xoshiro256** generator. *)
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let test_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.uint64 a) (Rng.uint64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 7 and b = Rng.create 8 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.uint64 a = Rng.uint64 b then incr same
+  done;
+  Alcotest.(check int) "different seeds give different streams" 0 !same
+
+let test_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "float out of [0,1): %f" v
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 11 in
+  let n = 50_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng
+  done;
+  let mean = !acc /. float_of_int n in
+  if Float.abs (mean -. 0.5) > 0.01 then Alcotest.failf "uniform mean off: %f" mean
+
+let test_uniform_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform rng ~lo:(-2.0) ~hi:3.0 in
+    if v < -2.0 || v >= 3.0 then Alcotest.failf "uniform out of range: %f" v
+  done
+
+let test_uniform_invalid () =
+  let rng = Rng.create 5 in
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Rng.uniform: hi < lo") (fun () ->
+      ignore (Rng.uniform rng ~lo:1.0 ~hi:0.0))
+
+let test_int_range () =
+  let rng = Rng.create 9 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "int out of range: %d" v;
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c -> if c < 800 || c > 1200 then Alcotest.failf "bucket %d skewed: %d" i c)
+    counts
+
+let test_int_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "n <= 0" (Invalid_argument "Rng.int: n <= 0") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_normal_moments () =
+  let rng = Rng.create 13 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.normal rng in
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  if Float.abs mean > 0.02 then Alcotest.failf "normal mean off: %f" mean;
+  if Float.abs (var -. 1.0) > 0.05 then Alcotest.failf "normal var off: %f" var
+
+let test_gaussian_shift () =
+  let rng = Rng.create 17 in
+  let n = 20_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.gaussian rng ~mu:5.0 ~sigma:0.1
+  done;
+  check_float "shifted mean" 5.0 (Float.round (!acc /. float_of_int n))
+
+let test_perm_is_permutation () =
+  let rng = Rng.create 19 in
+  let p = Rng.perm rng 100 in
+  let seen = Array.make 100 false in
+  Array.iter
+    (fun i ->
+      if seen.(i) then Alcotest.failf "duplicate %d" i;
+      seen.(i) <- true)
+    p;
+  Alcotest.(check bool) "all present" true (Array.for_all (fun b -> b) seen)
+
+let test_shuffle_preserves_elements () =
+  let rng = Rng.create 23 in
+  let a = Array.init 50 (fun i -> i * 3) in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  let sa = Array.copy a and sb = Array.copy b in
+  Array.sort compare sa;
+  Array.sort compare sb;
+  Alcotest.(check (array int)) "same multiset" sa sb
+
+let test_split_independence () =
+  let rng = Rng.create 29 in
+  let child = Rng.split rng in
+  (* child and parent should produce different streams *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.uint64 rng = Rng.uint64 child then incr same
+  done;
+  Alcotest.(check int) "split streams differ" 0 !same
+
+let test_copy_diverges_from_original () =
+  let rng = Rng.create 31 in
+  let dup = Rng.copy rng in
+  Alcotest.(check int64) "copies agree initially" (Rng.uint64 rng) (Rng.uint64 dup);
+  ignore (Rng.uint64 rng);
+  (* now streams are offset *)
+  let a = Rng.uint64 rng and b = Rng.uint64 dup in
+  Alcotest.(check bool) "offset copies differ" true (a <> b)
+
+let qcheck_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let qcheck_uniform_bounds =
+  QCheck.Test.make ~name:"Rng.uniform stays in bounds" ~count:500
+    QCheck.(triple small_int (float_range (-100.) 100.) (float_range 0.001 50.))
+    (fun (seed, lo, width) ->
+      let rng = Rng.create seed in
+      let v = Rng.uniform rng ~lo ~hi:(lo +. width) in
+      v >= lo && v < lo +. width)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+          Alcotest.test_case "uniform invalid" `Quick test_uniform_invalid;
+          Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "normal moments" `Quick test_normal_moments;
+          Alcotest.test_case "gaussian shift" `Quick test_gaussian_shift;
+          Alcotest.test_case "perm" `Quick test_perm_is_permutation;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_preserves_elements;
+          Alcotest.test_case "split" `Quick test_split_independence;
+          Alcotest.test_case "copy" `Quick test_copy_diverges_from_original;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_int_bounds;
+          QCheck_alcotest.to_alcotest qcheck_uniform_bounds;
+        ] );
+    ]
