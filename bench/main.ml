@@ -8,10 +8,17 @@
    Part 2 — table/figure harnesses: regenerates Table I, Fig. 2, Fig. 4,
    Table II and Table III (reduced scale by default).
 
+   Part 3 — sequential-vs-parallel variants of the Monte-Carlo pillars
+   (mc eval, variation-aware epoch, surrogate generation) on a 1-job pool
+   and on the REPRO_JOBS-sized pool, plus a machine-readable BENCH_1.json
+   baseline (name -> ns/run, jobs used) for later PRs to compare against.
+
    Environment knobs:
      REPRO_SCALE=quick|committed|paper   (default quick)
      REPRO_DATASETS=iris,seeds,...       (default: all 13)
      REPRO_SKIP_TABLES=1                 (micro-benches only)
+     REPRO_JOBS=N                        (parallel pool size; 1 = sequential)
+     REPRO_BENCH_JSON=path               (default BENCH_1.json)
 *)
 
 open Bechamel
@@ -120,21 +127,7 @@ let bench_matmul =
   Test.make ~name:"tensor_matmul_128x64x32"
     (Staged.stage (fun () -> ignore (Tensor.matmul a b)))
 
-let micro_benchmarks () =
-  let tests =
-    Test.make_grouped ~name:"printed-neuromorphic"
-      [
-        bench_matmul;
-        bench_sobol;
-        bench_newton_solve;
-        bench_dc_sweep;
-        bench_lm_fit;
-        bench_surrogate_inference;
-        bench_crossbar_forward;
-        bench_mc_eval;
-        bench_va_epoch;
-      ]
-  in
+let analyze_group tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -145,7 +138,6 @@ let micro_benchmarks () =
   in
   let raw = Benchmark.all cfg [ instance ] tests in
   let results = Analyze.all ols instance raw in
-  Printf.printf "== micro-benchmarks (monotonic clock) ==\n";
   let rows = ref [] in
   Hashtbl.iter
     (fun name result ->
@@ -153,6 +145,10 @@ let micro_benchmarks () =
       | Some [ ns ] -> rows := (name, ns) :: !rows
       | Some _ | None -> ())
     results;
+  List.sort compare !rows
+
+let print_rows header rows =
+  Printf.printf "== %s (monotonic clock) ==\n" header;
   List.iter
     (fun (name, ns) ->
       let pretty =
@@ -162,8 +158,111 @@ let micro_benchmarks () =
         else Printf.sprintf "%8.0f ns" ns
       in
       Printf.printf "  %-45s %s/run\n" name pretty)
-    (List.sort compare !rows);
+    rows;
   print_newline ()
+
+let micro_benchmarks () =
+  let rows =
+    analyze_group
+      (Test.make_grouped ~name:"printed-neuromorphic"
+         [
+           bench_matmul;
+           bench_sobol;
+           bench_newton_solve;
+           bench_dc_sweep;
+           bench_lm_fit;
+           bench_surrogate_inference;
+           bench_crossbar_forward;
+           bench_mc_eval;
+           bench_va_epoch;
+         ])
+  in
+  print_rows "micro-benchmarks" rows;
+  rows
+
+(* {1 Sequential-vs-parallel variants (the REPRO_JOBS execution layer)} *)
+
+module P = Parallel.Pool
+
+let par_jobs = Parallel.default_jobs ()
+let pool_seq = lazy (P.create ~jobs:1 ())
+let pool_par = lazy (P.create ~jobs:par_jobs ())
+
+let iris_split = lazy (Datasets.Synth.split (Rng.create 1) (Lazy.force iris))
+
+let bench_mc_eval_pool ~name pool =
+  (* Table II pillar: a full 30-draw Monte-Carlo test evaluation, the noise
+     fan-out wired through Evaluation.mc_accuracy *)
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let _, net, _ = Lazy.force iris_fixture in
+         let split = Lazy.force iris_split in
+         ignore
+           (Pnn.Evaluation.mc_accuracy ~pool:(Lazy.force pool) (Rng.create 7)
+              net ~epsilon:0.1 ~n:30 ~x:split.Datasets.Synth.x_test
+              ~y:split.Datasets.Synth.y_test)))
+
+let bench_va_epoch_pool ~name pool =
+  (* Table II pillar: one variation-aware epoch through the data-parallel
+     Network.mc_loss_pooled path (per-draw replicas, ordered gradient sum) *)
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let config, net, tdata = Lazy.force iris_fixture in
+         let shapes = Pnn.Network.theta_shapes net in
+         let noises =
+           Pnn.Noise.draw_many (Rng.create 3) ~epsilon:0.05 ~theta_shapes:shapes
+             ~n:config.Pnn.Config.n_mc_train
+         in
+         let loss =
+           Pnn.Network.mc_loss_pooled (Lazy.force pool) net ~noises
+             ~x:tdata.Pnn.Training.x_train ~labels:tdata.Pnn.Training.y_train
+         in
+         Autodiff.backward loss))
+
+let bench_surrogate_gen_pool ~name pool =
+  (* Fig. 3 pillar: a 48-candidate slice of surrogate dataset generation
+     (MNA DC sweep + LM fit per candidate) *)
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore
+           (Surrogate.Pipeline.generate_dataset ~pool:(Lazy.force pool) ~n:48 ())))
+
+let parallel_benchmarks () =
+  let rows =
+    analyze_group
+      (Test.make_grouped ~name:"parallel"
+         [
+           bench_mc_eval_pool ~name:"mc_eval_draw_iris_seq" pool_seq;
+           bench_mc_eval_pool ~name:"mc_eval_draw_iris_par" pool_par;
+           bench_va_epoch_pool ~name:"pnn_va_epoch_iris_seq" pool_seq;
+           bench_va_epoch_pool ~name:"pnn_va_epoch_iris_par" pool_par;
+           bench_surrogate_gen_pool ~name:"surrogate_gen48_seq" pool_seq;
+           bench_surrogate_gen_pool ~name:"surrogate_gen48_par" pool_par;
+         ])
+  in
+  print_rows (Printf.sprintf "seq-vs-par benchmarks (par jobs=%d)" par_jobs) rows;
+  rows
+
+(* {1 BENCH_1.json perf baseline} *)
+
+let write_bench_json rows =
+  let path =
+    match Sys.getenv_opt "REPRO_BENCH_JSON" with
+    | Some p -> p
+    | None -> "BENCH_1.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"BENCH_1\",\n  \"scale\": %S,\n" scale_name;
+  Printf.fprintf oc "  \"jobs\": %d,\n  \"results\": [\n" par_jobs;
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %.1f }%s\n" name ns
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d entries, jobs=%d)\n%!" path n par_jobs
 
 (* {1 Table/figure harnesses} *)
 
@@ -194,7 +293,11 @@ let run_tables () =
   print_string (Experiments.Table3.render (Experiments.Table3.of_table2 scale table2))
 
 let () =
-  micro_benchmarks ();
-  match Sys.getenv_opt "REPRO_SKIP_TABLES" with
+  let micro = micro_benchmarks () in
+  let par = parallel_benchmarks () in
+  write_bench_json (micro @ par);
+  (match Sys.getenv_opt "REPRO_SKIP_TABLES" with
   | Some "1" -> ()
-  | Some _ | None -> run_tables ()
+  | Some _ | None -> run_tables ());
+  if Lazy.is_val pool_seq then P.shutdown (Lazy.force pool_seq);
+  if Lazy.is_val pool_par then P.shutdown (Lazy.force pool_par)

@@ -11,11 +11,10 @@ type t = {
 
 and kind = Param | Const | Op
 
-let counter = ref 0
-
-let next_id () =
-  incr counter;
-  !counter
+(* Atomic: graphs are built concurrently by worker domains (one replica
+   network per Monte-Carlo draw); ids must stay unique across domains. *)
+let counter = Atomic.make 0
+let next_id () = Atomic.fetch_and_add counter 1 + 1
 
 let no_push _ = ()
 
@@ -113,7 +112,7 @@ let abs a =
 
 let matmul a b =
   node (T.matmul a.value b.value) [ a; b ] (fun self ->
-      accum a (T.matmul self.grad (T.transpose b.value));
+      accum a (T.matmul_nt self.grad b.value);
       accum b (T.matmul (T.transpose a.value) self.grad))
 
 let transpose a =
@@ -254,6 +253,20 @@ let mse pred target =
   node (T.scalar (T.sum (T.mul diff diff) /. n)) [ pred ] (fun self ->
       let g = T.get self.grad 0 0 in
       accum pred (T.scale (2.0 *. g /. n) diff))
+
+(* {1 Externally computed gradients} *)
+
+let precomputed ~value pairs =
+  if T.shape value <> (1, 1) then
+    invalid_arg "Autodiff.precomputed: value must be 1x1";
+  List.iter
+    (fun (p, g) ->
+      if T.shape p.value <> T.shape g then
+        invalid_arg "Autodiff.precomputed: gradient shape mismatch")
+    pairs;
+  node value (List.map fst pairs) (fun self ->
+      let s = T.get self.grad 0 0 in
+      List.iter (fun (p, g) -> accum p (T.scale s g)) pairs)
 
 (* {1 Backward pass} *)
 

@@ -105,6 +105,15 @@ val map_ste : (float -> float) -> t -> t
     Used for the printable-conductance set
     [[-Gmax,-Gmin] ∪ {0} ∪ [Gmin,Gmax]] and the R2/R4 box clipping. *)
 
+(** {1 Externally computed gradients} *)
+
+val precomputed : value:Tensor.t -> (t * Tensor.t) list -> t
+(** [precomputed ~value pairs] wraps a scalar [1 × 1] [value] whose gradients
+    w.r.t. the given leaves were computed out-of-graph (e.g. by data-parallel
+    replicas): {!backward} on (an expression containing) the node adds each
+    listed gradient — scaled by the node's incoming gradient — into the
+    paired leaf.  Gradient shapes must match their leaves. *)
+
 (** {1 Losses} *)
 
 val softmax_cross_entropy : logits:t -> labels:Tensor.t -> t

@@ -16,15 +16,24 @@ let nominal_accuracy network ~x ~y =
   let shapes = Network.theta_shapes network in
   accuracy_under network (Noise.none ~theta_shapes:shapes) ~x ~y
 
-let mc_accuracy rng network ~epsilon ~n ~x ~y =
+let mc_accuracy ?pool rng network ~epsilon ~n ~x ~y =
   if n < 1 then invalid_arg "Evaluation.mc_accuracy: n < 1";
   let shapes = Network.theta_shapes network in
   let accuracies =
     if epsilon = 0.0 then [| nominal_accuracy network ~x ~y |]
-    else
-      Array.init n (fun _ ->
-          let noise = Noise.draw rng ~epsilon ~theta_shapes:shapes in
-          accuracy_under network noise ~x ~y)
+    else begin
+      let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
+      (* Pre-draw every noise record sequentially: the RNG stream is consumed
+         in exactly the per-draw order of the sequential implementation, and
+         the fan-out below is then a pure forward pass per draw. *)
+      let noises = Array.make n [] in
+      for i = 0 to n - 1 do
+        noises.(i) <- Noise.draw rng ~epsilon ~theta_shapes:shapes
+      done;
+      Parallel.Pool.map_array pool
+        (fun noise -> accuracy_under network noise ~x ~y)
+        noises
+    end
   in
   {
     mean_accuracy = Stats.mean accuracies;

@@ -6,11 +6,29 @@
 type result = {
   mean_accuracy : float;
   std_accuracy : float;
-  accuracies : float array;  (** one per Monte-Carlo draw *)
+      (** sample standard deviation over [accuracies]; [0.0] whenever
+          [accuracies] has a single element *)
+  accuracies : float array;
+      (** one entry per Monte-Carlo draw, in draw order.  Length is exactly
+          [n] when [epsilon > 0] — and exactly [1] when [epsilon = 0],
+          regardless of [n] (see {!mc_accuracy}). *)
 }
 
 val mc_accuracy :
+  ?pool:Parallel.Pool.t ->
   Rng.t -> Network.t -> epsilon:float -> n:int -> x:Tensor.t -> y:int array -> result
-(** [epsilon = 0] short-circuits to a single deterministic evaluation. *)
+(** Evaluates [n] variation draws of magnitude [epsilon].
+
+    {b [epsilon = 0] short-circuit}: with no variation every draw is the same
+    deterministic forward pass, so the function evaluates once and returns a
+    {b 1-element} [accuracies] array (not [n] copies); [mean_accuracy] is
+    that single accuracy and [std_accuracy] is [0.0].
+
+    The [n] noise records are pre-drawn from [rng] in draw order, then the
+    (pure) forward passes are fanned out over [pool] (default: the shared
+    {!Parallel.get_pool}).  Results are bit-identical for any worker count,
+    and the RNG stream is consumed exactly as by a sequential evaluation.
+
+    @raise Invalid_argument if [n < 1]. *)
 
 val nominal_accuracy : Network.t -> x:Tensor.t -> y:int array -> float

@@ -35,6 +35,13 @@ let of_parts surrogate ~theta ~act_w ~neg_w =
   in
   { theta = A.param (Tensor.copy theta); act = circuit act_w; neg = circuit neg_w }
 
+let replicate t =
+  {
+    theta = A.param (Tensor.copy (A.value t.theta));
+    act = Nonlinear.replicate t.act;
+    neg = Nonlinear.replicate t.neg;
+  }
+
 let theta_shape t =
   Tensor.shape (A.value t.theta)
 

@@ -31,6 +31,10 @@ val of_parts :
 (** Reassemble a layer from saved parts (θ and the two raw 1 × 7 𝔴 vectors);
     used by {!Serialize}. *)
 
+val replicate : t -> t
+(** Deep copy with fresh parameter leaves (θ and both 𝔴 vectors); the
+    surrogate model is shared.  Used for per-domain data-parallel replicas. *)
+
 val theta_shape : t -> int * int
 val inputs : t -> int
 val outputs : t -> int

@@ -66,6 +66,48 @@ let mc_loss t ~noises ~x ~labels =
 let params_theta t = List.concat_map Layer.params_theta t.layers
 let params_omega t = List.concat_map Layer.params_omega t.layers
 
+let replicate t = { layers = List.map Layer.replicate t.layers; config = t.config }
+
+(* One Monte-Carlo draw evaluated on a throwaway replica: the replica owns
+   every autodiff node it creates, so draws never share mutable state and can
+   run on any domain.  Returns the scalar loss and the gradients in the
+   canonical parameter order (params_theta @ params_omega). *)
+let draw_loss_and_grads t ~noise ~x ~labels =
+  let replica = replicate t in
+  let l = loss replica ~noise ~x ~labels in
+  A.backward l;
+  let grads =
+    List.map A.grad (params_theta replica @ params_omega replica)
+  in
+  (Tensor.get (A.value l) 0 0, grads)
+
+let mc_loss_pooled pool t ~noises ~x ~labels =
+  match noises with
+  | [] -> invalid_arg "Network.mc_loss: no noise draws"
+  | _ ->
+      let draws = Array.of_list noises in
+      let n = Array.length draws in
+      let per_draw =
+        Parallel.Pool.map_array pool
+          (fun noise -> draw_loss_and_grads t ~noise ~x ~labels)
+          draws
+      in
+      (* Ordered reduction over the draw index: the summation order is fixed
+         by the draw order alone, so the result is bit-identical for any
+         worker count. *)
+      let total_loss = ref 0.0 in
+      let total_grads = ref [] in
+      Array.iteri
+        (fun i (l, grads) ->
+          total_loss := !total_loss +. l;
+          total_grads := (if i = 0 then grads else List.map2 Tensor.add !total_grads grads))
+        per_draw;
+      let inv_n = 1.0 /. float_of_int n in
+      let grads = List.map (Tensor.scale inv_n) !total_grads in
+      A.precomputed
+        ~value:(Tensor.scalar (!total_loss *. inv_n))
+        (List.combine (params_theta t @ params_omega t) grads)
+
 type weights = (Tensor.t * Tensor.t * Tensor.t) list
 
 let snapshot t = List.map Layer.snapshot t.layers

@@ -37,7 +37,19 @@ val loss : t -> noise:Noise.t -> x:Tensor.t -> labels:Tensor.t -> Autodiff.t
 
 val mc_loss : t -> noises:Noise.t list -> x:Tensor.t -> labels:Tensor.t -> Autodiff.t
 (** Monte-Carlo expected loss: mean of {!loss} over the draws (paper Eq. for
-    variation-aware training). *)
+    variation-aware training), as a single sequential autodiff graph. *)
+
+val replicate : t -> t
+(** Deep copy with fresh parameter leaves (shared read-only surrogate). *)
+
+val mc_loss_pooled :
+  Parallel.Pool.t ->
+  t -> noises:Noise.t list -> x:Tensor.t -> labels:Tensor.t -> Autodiff.t
+(** Data-parallel {!mc_loss}: each draw's loss and gradients are computed on
+    a per-domain replica, then reduced in draw order (a fixed-order sum, so
+    the returned value and the gradients {!Autodiff.backward} injects into
+    this network's parameters are bit-identical for any pool size).  The
+    result supports {!Autodiff.backward} like {!mc_loss} does. *)
 
 val params_theta : t -> Autodiff.t list
 val params_omega : t -> Autodiff.t list

@@ -13,12 +13,16 @@ let create surrogate =
 
 let raw_param t = t.raw
 
-(* Denormalization bounds for the 𝔴 encoding [R1; R3; R5; W; L; k1; k2]. *)
-let w_scaler = lazy (Surrogate.Scaler.of_bounds ~lo:Ds.learnable_lo ~hi:Ds.learnable_hi)
+let replicate t = { raw = A.param (Tensor.copy (A.value t.raw)); surrogate = t.surrogate }
+
+(* Denormalization bounds for the 𝔴 encoding [R1; R3; R5; W; L; k1; k2].
+   Eager (not lazy): forcing a lazy concurrently from several domains raises
+   RacyLazy, and layer replicas are built inside pool workers. *)
+let w_scaler = Surrogate.Scaler.of_bounds ~lo:Ds.learnable_lo ~hi:Ds.learnable_hi
 
 let printable_omega t ~noise =
   let s = A.sigmoid t.raw in
-  let w = Surrogate.Scaler.inverse_ad (Lazy.force w_scaler) s in
+  let w = Surrogate.Scaler.inverse_ad w_scaler s in
   let field i = A.slice_cols w i 1 in
   let r1 = field 0 and r3 = field 1 and r5 = field 2 in
   let wd = field 3 and ld = field 4 and k1 = field 5 and k2 = field 6 in
@@ -44,10 +48,10 @@ let apply_eta eta_node v =
 let apply t ~noise v = apply_eta (eta t ~noise) v
 let apply_inv t ~noise v = A.neg (apply t ~noise v)
 
-let ones_noise = lazy (Tensor.ones 1 Ds.dim)
+let ones_noise = Tensor.ones 1 Ds.dim
 
 let omega_values t =
-  Tensor.to_array (A.value (printable_omega t ~noise:(Lazy.force ones_noise)))
+  Tensor.to_array (A.value (printable_omega t ~noise:ones_noise))
 
 let eta_values t =
   Surrogate.Model.eval t.surrogate (omega_values t)

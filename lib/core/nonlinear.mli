@@ -28,6 +28,10 @@ val create_from : Surrogate.Model.t -> w_init:float array -> t
 val raw_param : t -> Autodiff.t
 (** The learnable 1 × 7 leaf (pre-sigmoid 𝔴). *)
 
+val replicate : t -> t
+(** Deep copy with a fresh parameter leaf (the surrogate is shared,
+    read-only); used to build per-domain network replicas. *)
+
 val printable_omega : t -> noise:Tensor.t -> Autodiff.t
 (** The 1 × 7 printable ω node after reassembly, clipping and variation —
     what would be sent to the printer (with [noise] all-ones). *)

@@ -19,7 +19,8 @@ let of_split ~n_classes (s : Datasets.Synth.split) =
     y_val = Datasets.Synth.one_hot ~n_classes s.Datasets.Synth.y_val;
   }
 
-let fit ?train_sampler ?val_noises rng network data =
+let fit ?pool ?train_sampler ?val_noises rng network data =
+  let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
   let config = Network.config network in
   let shapes = Network.theta_shapes network in
   let epsilon = config.Config.epsilon in
@@ -70,7 +71,9 @@ let fit ?train_sampler ?val_noises rng network data =
         }
       ~optimizers
       ~train_loss:(fun () ->
-        Network.mc_loss network ~noises:(draw_train ()) ~x:data.x_train
+        (* Data-parallel over the pre-drawn noises; the fixed-order gradient
+           reduction keeps updates bit-identical for any pool size. *)
+        Network.mc_loss_pooled pool network ~noises:(draw_train ()) ~x:data.x_train
           ~labels:data.y_train)
       ~val_loss
       ~snapshot:(fun () -> best := Network.snapshot network)
@@ -78,8 +81,8 @@ let fit ?train_sampler ?val_noises rng network data =
   in
   { network; history; val_loss = history.Nn.Train.best_val_loss }
 
-let train_fresh ?init rng config surrogate ~n_classes split =
+let train_fresh ?pool ?init rng config surrogate ~n_classes split =
   let data = of_split ~n_classes split in
   let inputs = Tensor.cols data.x_train in
   let network = Network.create ?init rng config surrogate ~inputs ~outputs:n_classes in
-  fit rng network data
+  fit ?pool rng network data

@@ -22,6 +22,7 @@ type result = {
 val of_split : n_classes:int -> Datasets.Synth.split -> data
 
 val fit :
+  ?pool:Parallel.Pool.t ->
   ?train_sampler:(unit -> Noise.t list) ->
   ?val_noises:Noise.t list ->
   Rng.t ->
@@ -32,9 +33,15 @@ val fit :
     ⇒ nominal, else variation-aware with [n_mc_train] draws per epoch) and
     restores the best-validation weights.  [train_sampler] / [val_noises]
     override the default variation model — the hook used by aging-aware
-    training ({!Aging}). *)
+    training ({!Aging}).
+
+    The per-epoch Monte-Carlo loss runs data-parallel over [pool] (default:
+    the shared {!Parallel.get_pool}) via {!Network.mc_loss_pooled}; noises
+    are drawn on the training loop's domain, so the RNG stream and the
+    resulting parameter trajectory are bit-identical for any pool size. *)
 
 val train_fresh :
+  ?pool:Parallel.Pool.t ->
   ?init:[ `Centered | `Random_sign ] ->
   Rng.t -> Config.t -> Surrogate.Model.t -> n_classes:int -> Datasets.Synth.split -> result
 (** Convenience: build the paper-topology network for a dataset split and

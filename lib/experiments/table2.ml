@@ -26,14 +26,18 @@ let config_for scale arm eps =
   let base = Pnn.Config.with_learnable base arm.Setup.learnable in
   Pnn.Config.with_epsilon base (if arm.Setup.variation_aware then eps else 0.0)
 
-(* Train one arm for every seed and keep the best model by validation loss. *)
-let train_best scale surrogate ~dataset_seed ~n_classes ~splits arm eps =
+(* Train one arm for every seed and keep the best model by validation loss.
+   The per-seed runs are independent (each derives its own RNG stream from
+   [run_seed]) and fan out over the pool; the best-of fold below stays in
+   seed order, so the selection is identical for any worker count. *)
+let train_best ?pool scale surrogate ~dataset_seed ~n_classes ~splits arm eps =
+  let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
   let candidates =
-    List.map
+    Parallel.Pool.map_list pool
       (fun (seed, split) ->
         let rng = run_seed ~dataset_seed ~arm ~eps ~seed in
         let result =
-          Pnn.Training.train_fresh ~init:scale.Setup.init rng
+          Pnn.Training.train_fresh ~pool ~init:scale.Setup.init rng
             (config_for scale arm eps) surrogate ~n_classes split
         in
         (result, split))
@@ -47,15 +51,15 @@ let train_best scale surrogate ~dataset_seed ~n_classes ~splits arm eps =
       | _ -> Some (result, split))
     None candidates
 
-let evaluate scale ~dataset_seed network ~epsilon ~(split : Datasets.Synth.split) =
+let evaluate ?pool scale ~dataset_seed network ~epsilon ~(split : Datasets.Synth.split) =
   let rng = Rng.create ((dataset_seed * 31) + int_of_float (epsilon *. 1e4) + 5) in
   let r =
-    Pnn.Evaluation.mc_accuracy rng network ~epsilon ~n:scale.Setup.n_mc_test
+    Pnn.Evaluation.mc_accuracy ?pool rng network ~epsilon ~n:scale.Setup.n_mc_test
       ~x:split.Datasets.Synth.x_test ~y:split.Datasets.Synth.y_test
   in
   { mean = r.Pnn.Evaluation.mean_accuracy; std = r.Pnn.Evaluation.std_accuracy }
 
-let run_dataset ?(progress = fun _ -> ()) scale surrogate (data : Datasets.Synth.t) =
+let run_dataset ?pool ?(progress = fun _ -> ()) scale surrogate (data : Datasets.Synth.t) =
   let spec = data.Datasets.Synth.spec in
   let n_classes = spec.Datasets.Synth.classes in
   let dataset_seed = spec.Datasets.Synth.seed in
@@ -75,11 +79,11 @@ let run_dataset ?(progress = fun _ -> ()) scale surrogate (data : Datasets.Synth
                 (Printf.sprintf "%s %s eps=%g" spec.Datasets.Synth.name
                    (Setup.arm_name arm) eps);
               match
-                train_best scale surrogate ~dataset_seed ~n_classes ~splits arm eps
+                train_best ?pool scale surrogate ~dataset_seed ~n_classes ~splits arm eps
               with
               | Some (result, split) ->
                   ( (arm, eps),
-                    evaluate scale ~dataset_seed result.Pnn.Training.network
+                    evaluate ?pool scale ~dataset_seed result.Pnn.Training.network
                       ~epsilon:eps ~split )
               | None -> assert false)
             scale.Setup.test_epsilons
@@ -87,13 +91,13 @@ let run_dataset ?(progress = fun _ -> ()) scale surrogate (data : Datasets.Synth
           progress
             (Printf.sprintf "%s %s" spec.Datasets.Synth.name (Setup.arm_name arm));
           match
-            train_best scale surrogate ~dataset_seed ~n_classes ~splits arm 0.0
+            train_best ?pool scale surrogate ~dataset_seed ~n_classes ~splits arm 0.0
           with
           | Some (result, split) ->
               List.map
                 (fun eps ->
                   ( (arm, eps),
-                    evaluate scale ~dataset_seed result.Pnn.Training.network
+                    evaluate ?pool scale ~dataset_seed result.Pnn.Training.network
                       ~epsilon:eps ~split ))
                 scale.Setup.test_epsilons
           | None -> assert false
@@ -107,11 +111,11 @@ let column_keys scale =
     (fun arm -> List.map (fun eps -> (arm, eps)) scale.Setup.test_epsilons)
     Setup.arms
 
-let run ?progress ?datasets scale surrogate =
+let run ?pool ?progress ?datasets scale surrogate =
   let datasets =
     match datasets with Some d -> d | None -> Datasets.Bench13.load_all ()
   in
-  let rows = List.map (run_dataset ?progress scale surrogate) datasets in
+  let rows = List.map (run_dataset ?pool ?progress scale surrogate) datasets in
   let average =
     List.map
       (fun key ->

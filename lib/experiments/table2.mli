@@ -22,12 +22,17 @@ type t = {
 }
 
 val run :
+  ?pool:Parallel.Pool.t ->
   ?progress:(string -> unit) ->
   ?datasets:Datasets.Synth.t list ->
   Setup.scale ->
   Surrogate.Model.t ->
   t
-(** Defaults to all 13 benchmark datasets. *)
+(** Defaults to all 13 benchmark datasets.
+
+    Per-seed trainings fan out over [pool] (default: the shared
+    {!Parallel.get_pool}) and every reduction is in fixed seed/draw order, so
+    the table is bit-identical for any worker count. *)
 
 val cell_of : t -> dataset:string -> arm:Setup.arm -> epsilon:float -> cell
 (** Raises [Not_found]. *)

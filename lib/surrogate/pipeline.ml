@@ -14,31 +14,43 @@ let eta_sane (e : Fit.Ptanh.eta) =
   && e.Fit.Ptanh.eta3 <= 3.0
   && Float.abs e.Fit.Ptanh.eta4 <= 100.0
 
-let generate_dataset ?(n = 10_000) ?(sweep_points = 41) ?(max_fit_rmse = 0.02)
+let generate_dataset ?pool ?(n = 10_000) ?(sweep_points = 41) ?(max_fit_rmse = 0.02)
     ?(sampler = `Sobol) () =
+  let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
+  (* Candidates are sampled up-front on this domain (the Sobol / LHS streams
+     stay sequential); each candidate's MNA DC sweep + LM fit is independent
+     and fans out over the pool.  Acceptance is then folded in candidate
+     order, so the dataset is bit-identical for any worker count. *)
   let omegas =
     match sampler with
     | `Sobol -> Design_space.sample_sobol ~n
     | `Lhs rng -> Design_space.sample_lhs rng ~n
   in
+  let outcomes =
+    Parallel.Pool.map_array pool
+      (fun omega ->
+        match
+          Circuit.Ptanh_circuit.transfer ~points:sweep_points
+            (Circuit.Ptanh_circuit.omega_of_array omega)
+        with
+        | exception Circuit.Mna.No_convergence _ -> None
+        | vin, vout ->
+            let { Fit.Ptanh.eta; rmse; converged = _ } = Fit.Ptanh.fit ~vin ~vout in
+            if rmse <= max_fit_rmse && eta_sane eta then
+              Some (omega, Fit.Ptanh.eta_to_array eta, rmse)
+            else None)
+      omegas
+  in
   let kept_omegas = ref [] and kept_etas = ref [] and kept_rmses = ref [] in
   let rejected = ref 0 in
   Array.iter
-    (fun omega ->
-      match
-        Circuit.Ptanh_circuit.transfer ~points:sweep_points
-          (Circuit.Ptanh_circuit.omega_of_array omega)
-      with
-      | exception Circuit.Mna.No_convergence _ -> incr rejected
-      | vin, vout ->
-          let { Fit.Ptanh.eta; rmse; converged = _ } = Fit.Ptanh.fit ~vin ~vout in
-          if rmse <= max_fit_rmse && eta_sane eta then begin
-            kept_omegas := omega :: !kept_omegas;
-            kept_etas := Fit.Ptanh.eta_to_array eta :: !kept_etas;
-            kept_rmses := rmse :: !kept_rmses
-          end
-          else incr rejected)
-    omegas;
+    (function
+      | None -> incr rejected
+      | Some (omega, eta, rmse) ->
+          kept_omegas := omega :: !kept_omegas;
+          kept_etas := eta :: !kept_etas;
+          kept_rmses := rmse :: !kept_rmses)
+    outcomes;
   {
     omegas = Array.of_list (List.rev !kept_omegas);
     etas = Array.of_list (List.rev !kept_etas);

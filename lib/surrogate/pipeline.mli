@@ -15,6 +15,7 @@ type dataset = {
 }
 
 val generate_dataset :
+  ?pool:Parallel.Pool.t ->
   ?n:int ->
   ?sweep_points:int ->
   ?max_fit_rmse:float ->
@@ -22,7 +23,12 @@ val generate_dataset :
   unit ->
   dataset
 (** Defaults: [n = 10_000] (paper), [sweep_points = 41],
-    [max_fit_rmse = 0.02] V, Sobol sampling. *)
+    [max_fit_rmse = 0.02] V, Sobol sampling.
+
+    Candidates are sampled sequentially, then each candidate's DC sweep and
+    LM fit fan out over [pool] (default: the shared {!Parallel.get_pool});
+    acceptance keeps candidate order, so the dataset is bit-identical for any
+    worker count. *)
 
 type split = { train : int array; validation : int array; test : int array }
 

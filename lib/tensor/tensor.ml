@@ -163,7 +163,54 @@ let matmul a b =
   done;
   { rows = m; cols = n; data }
 
-let transpose t = init t.cols t.rows (fun r c -> t.data.((c * t.cols) + r))
+let transpose t =
+  (* Blocked copy instead of a closure-per-element [init]: both the read and
+     the write stay within a 32x32 tile, so one of the two strided streams is
+     always cache-resident. *)
+  let rows = t.rows and cols = t.cols in
+  let src = t.data in
+  let data = Array.make (rows * cols) 0.0 in
+  let bs = 32 in
+  let r0 = ref 0 in
+  while !r0 < rows do
+    let rmax = Stdlib.min rows (!r0 + bs) in
+    let c0 = ref 0 in
+    while !c0 < cols do
+      let cmax = Stdlib.min cols (!c0 + bs) in
+      for r = !r0 to rmax - 1 do
+        let base = r * cols in
+        for c = !c0 to cmax - 1 do
+          Array.unsafe_set data ((c * rows) + r) (Array.unsafe_get src (base + c))
+        done
+      done;
+      c0 := !c0 + bs
+    done;
+    r0 := !r0 + bs
+  done;
+  { rows = cols; cols = rows; data }
+
+let matmul_nt a b =
+  (* A · Bᵀ without materializing the transpose: rows of both operands are
+     contiguous, so the k-loop streams both.  The accumulation order (and the
+     skip of exact-zero A entries) mirrors [matmul a (transpose b)], keeping
+     results bit-identical to that formulation. *)
+  if a.cols <> b.cols then shape_fail "matmul_nt" a b;
+  let m = a.rows and k = a.cols and n = b.rows in
+  let data = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    let a_base = i * k and c_base = i * n in
+    for j = 0 to n - 1 do
+      let b_base = j * k in
+      let acc = ref 0.0 in
+      for p = 0 to k - 1 do
+        let aip = Array.unsafe_get a.data (a_base + p) in
+        if aip <> 0.0 then
+          acc := !acc +. (aip *. Array.unsafe_get b.data (b_base + p))
+      done;
+      Array.unsafe_set data (c_base + j) !acc
+    done
+  done;
+  { rows = m; cols = n; data }
 
 let dot a b =
   if a.rows <> b.rows || a.cols <> b.cols then shape_fail "dot" a b;

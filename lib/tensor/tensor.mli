@@ -82,6 +82,13 @@ val div_colvec : t -> t -> t
 (** {1 Linear algebra} *)
 
 val matmul : t -> t -> t
+
+val matmul_nt : t -> t -> t
+(** [matmul_nt a b] is [matmul a (transpose b)] (requires
+    [cols a = cols b]) without materializing the transpose; results are
+    bit-identical to that formulation.  Used on the autodiff matmul backward
+    path. *)
+
 val transpose : t -> t
 val dot : t -> t -> float
 (** Inner product of two tensors of identical shape. *)
