@@ -13,12 +13,18 @@
    and on the REPRO_JOBS-sized pool, plus a machine-readable BENCH_1.json
    baseline (name -> ns/run, jobs used) for later PRs to compare against.
 
+   Part 4 — allocation before/after pairs (BENCH_2.json): wall time plus
+   Gc minor/major words per run for the allocating reference vs the
+   in-place/cached implementations of the tensor kernels, surrogate batch
+   inference, Monte-Carlo evaluation and the variation-aware epoch.
+
    Environment knobs:
      REPRO_SCALE=quick|committed|paper   (default quick)
      REPRO_DATASETS=iris,seeds,...       (default: all 13)
      REPRO_SKIP_TABLES=1                 (micro-benches only)
      REPRO_JOBS=N                        (parallel pool size; 1 = sequential)
      REPRO_BENCH_JSON=path               (default BENCH_1.json)
+     REPRO_BENCH2_JSON=path              (default BENCH_2.json)
 *)
 
 open Bechamel
@@ -243,6 +249,164 @@ let parallel_benchmarks () =
   print_rows (Printf.sprintf "seq-vs-par benchmarks (par jobs=%d)" par_jobs) rows;
   rows
 
+(* {1 Allocation benchmarks (BENCH_2)}
+
+   Before/after pairs for the allocation-free training hot path: each pair
+   runs the allocating reference implementation and the in-place/cached one
+   over identical inputs, measuring wall time (bechamel) plus GC allocation
+   per run (Gc.quick_stat deltas; minor_words is the interesting figure — the
+   in-place paths should allocate almost nothing in steady state).
+
+   Gc counters are domain-local in OCaml 5, so every body here runs on the
+   calling domain: pooled paths use the 1-job pool, which executes inline. *)
+
+let measure_alloc ?(runs = 20) f =
+  (* two warm-up calls: force lazy fixtures and build the cached replica /
+     scratch buffers, so the measurement sees the steady state *)
+  f ();
+  f ();
+  Gc.full_major ();
+  let s0 = Gc.quick_stat () in
+  for _ = 1 to runs do
+    f ()
+  done;
+  (* quick_stat only reflects young-area allocation after a minor collection
+     (observed on OCaml 5.1); force one so low-allocation bodies are not
+     under-reported as zero *)
+  Gc.minor ();
+  let s1 = Gc.quick_stat () in
+  ( (s1.Gc.minor_words -. s0.Gc.minor_words) /. float_of_int runs,
+    (s1.Gc.major_words -. s0.Gc.major_words) /. float_of_int runs )
+
+let tensor_pair_fixture =
+  lazy
+    (let rng = Rng.create 5 in
+     let a = Tensor.uniform rng 128 64 ~lo:(-1.0) ~hi:1.0 in
+     let b = Tensor.uniform rng 128 64 ~lo:(-1.0) ~hi:1.0 in
+     let m = Tensor.uniform rng 64 32 ~lo:(-1.0) ~hi:1.0 in
+     let dst_add = Tensor.zeros 128 64 in
+     let dst_mm = Tensor.zeros 128 32 in
+     (a, b, m, dst_add, dst_mm))
+
+let tensor_add_alloc () =
+  let a, b, _, _, _ = Lazy.force tensor_pair_fixture in
+  ignore (Tensor.add a b)
+
+let tensor_add_into () =
+  let a, b, _, dst, _ = Lazy.force tensor_pair_fixture in
+  Tensor.add_into a b ~dst
+
+let tensor_matmul_alloc () =
+  let a, _, m, _, _ = Lazy.force tensor_pair_fixture in
+  ignore (Tensor.matmul a m)
+
+let tensor_matmul_into () =
+  let a, _, m, _, dst = Lazy.force tensor_pair_fixture in
+  Tensor.matmul_into a m ~dst
+
+let va_noises () =
+  let config, net, _ = Lazy.force iris_fixture in
+  let shapes = Pnn.Network.theta_shapes net in
+  Pnn.Noise.draw_many (Rng.create 3) ~epsilon:0.05 ~theta_shapes:shapes
+    ~n:config.Pnn.Config.n_mc_train
+
+let va_epoch_with mc_loss () =
+  let _, net, tdata = Lazy.force iris_fixture in
+  let loss =
+    mc_loss (Lazy.force pool_seq) net ~noises:(va_noises ())
+      ~x:tdata.Pnn.Training.x_train ~labels:tdata.Pnn.Training.y_train
+  in
+  Autodiff.backward loss
+
+let va_epoch_alloc = va_epoch_with Pnn.Network.mc_loss_pooled_alloc
+let va_epoch_cached = va_epoch_with Pnn.Network.mc_loss_pooled
+
+let mc_eval_with predict () =
+  let _, net, _ = Lazy.force iris_fixture in
+  let split = Lazy.force iris_split in
+  let shapes = Pnn.Network.theta_shapes net in
+  let rng = Rng.create 7 in
+  for _ = 1 to 30 do
+    let noise = Pnn.Noise.draw rng ~epsilon:0.1 ~theta_shapes:shapes in
+    ignore (predict net ~noise split.Datasets.Synth.x_test)
+  done
+
+let mc_eval_alloc = mc_eval_with Pnn.Network.predict
+let mc_eval_cached = mc_eval_with Pnn.Network.predict_cached
+
+(* Surrogate batch inference: 64 circuit parameter vectors through the
+   13-layer surrogate MLP graph — fresh graph per call vs one compiled tape
+   refreshed in place. *)
+let omegas64 =
+  lazy
+    (let lo = Surrogate.Design_space.omega_lo
+     and hi = Surrogate.Design_space.omega_hi in
+     let rng = Rng.create 11 in
+     Tensor.init 64 7 (fun _ c -> Rng.uniform rng ~lo:lo.(c) ~hi:hi.(c)))
+
+let surrogate_batch_alloc () =
+  let m = Lazy.force surrogate in
+  ignore (Autodiff.value (Surrogate.Model.eval_ad m (Autodiff.const (Lazy.force omegas64))))
+
+let surrogate_tape_fixture =
+  lazy
+    (let m = Lazy.force surrogate in
+     let leaf = Autodiff.const (Tensor.copy (Lazy.force omegas64)) in
+     let out = Surrogate.Model.eval_ad m leaf in
+     (leaf, out, Autodiff.compile out))
+
+let surrogate_batch_tape () =
+  let leaf, out, tape = Lazy.force surrogate_tape_fixture in
+  Autodiff.set_value leaf (Lazy.force omegas64);
+  Autodiff.refresh tape;
+  ignore (Autodiff.value out)
+
+let alloc_pairs =
+  [
+    ("tensor_add_128x64_alloc", tensor_add_alloc);
+    ("tensor_add_128x64_into", tensor_add_into);
+    ("tensor_matmul_128x64x32_alloc", tensor_matmul_alloc);
+    ("tensor_matmul_128x64x32_into", tensor_matmul_into);
+    ("surrogate_batch64_alloc", surrogate_batch_alloc);
+    ("surrogate_batch64_tape", surrogate_batch_tape);
+    ("mc_eval30_alloc", mc_eval_alloc);
+    ("mc_eval30_cached", mc_eval_cached);
+    ("va_epoch_alloc", va_epoch_alloc);
+    ("va_epoch_cached", va_epoch_cached);
+  ]
+
+let strip_group name =
+  match String.index_opt name '/' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+let alloc_benchmarks () =
+  let times =
+    analyze_group
+      (Test.make_grouped ~name:"alloc"
+         (List.map
+            (fun (name, f) -> Test.make ~name (Staged.stage f))
+            alloc_pairs))
+  in
+  let times = List.map (fun (name, ns) -> (strip_group name, ns)) times in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let minor, major = measure_alloc f in
+        let ns = List.assoc_opt name times in
+        (name, ns, minor, major))
+      alloc_pairs
+  in
+  Printf.printf "== allocation benchmarks (per run) ==\n";
+  List.iter
+    (fun (name, ns, minor, major) ->
+      Printf.printf "  %-32s %10.0f minor words  %10.0f major words  %s\n" name
+        minor major
+        (match ns with Some ns -> Printf.sprintf "%10.0f ns" ns | None -> ""))
+    rows;
+  print_newline ();
+  rows
+
 (* {1 BENCH_1.json perf baseline} *)
 
 let write_bench_json rows =
@@ -263,6 +427,32 @@ let write_bench_json rows =
   output_string oc "  ]\n}\n";
   close_out oc;
   Printf.printf "wrote %s (%d entries, jobs=%d)\n%!" path n par_jobs
+
+(* {1 BENCH_2.json allocation baseline} *)
+
+let write_bench2_json rows =
+  let path =
+    match Sys.getenv_opt "REPRO_BENCH2_JSON" with
+    | Some p -> p
+    | None -> "BENCH_2.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"BENCH_2\",\n  \"scale\": %S,\n" scale_name;
+  output_string oc "  \"results\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ns, minor, major) ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"ns_per_run\": %.1f, \"minor_words_per_run\": \
+         %.1f, \"major_words_per_run\": %.1f }%s\n"
+        name
+        (match ns with Some ns -> ns | None -> 0.0)
+        minor major
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d entries)\n%!" path n
 
 (* {1 Table/figure harnesses} *)
 
@@ -296,6 +486,7 @@ let () =
   let micro = micro_benchmarks () in
   let par = parallel_benchmarks () in
   write_bench_json (micro @ par);
+  write_bench2_json (alloc_benchmarks ());
   (match Sys.getenv_opt "REPRO_SKIP_TABLES" with
   | Some "1" -> ()
   | Some _ | None -> run_tables ());

@@ -1,0 +1,49 @@
+(* One-shot capture of a deterministic small training run, printed as %h
+   (bit-exact) floats.  The output seeds the golden-trajectory regression
+   test guarding the in-place/allocation-free training rewrite. *)
+
+let () =
+  let dataset = Surrogate.Pipeline.generate_dataset ~n:250 () in
+  let surrogate, _ =
+    Surrogate.Pipeline.train_surrogate ~arch:[ 10; 8; 6; 4 ] ~max_epochs:150
+      (Rng.create 42) dataset
+  in
+  let blob =
+    Datasets.Synth.generate
+      {
+        Datasets.Synth.name = "golden-blobs";
+        features = 3;
+        classes = 2;
+        samples = 70;
+        modes_per_class = 1;
+        class_sep = 0.32;
+        spread = 0.06;
+        label_noise = 0.0;
+        priors = None;
+        seed = 19;
+      }
+  in
+  let split = Datasets.Synth.split (Rng.create 8) blob in
+  let config =
+    {
+      Pnn.Config.default with
+      Pnn.Config.epsilon = 0.1;
+      n_mc_train = 4;
+      n_mc_val = 3;
+      max_epochs = 25;
+      patience = 50;
+    }
+  in
+  let net = Pnn.Network.create (Rng.create 23) config surrogate ~inputs:3 ~outputs:2 in
+  let data = Pnn.Training.of_split ~n_classes:2 split in
+  let res = Pnn.Training.fit (Rng.create 77) net data in
+  Array.iter
+    (fun l -> Printf.printf "T %h\n" l)
+    res.Pnn.Training.history.Nn.Train.train_losses;
+  Array.iter
+    (fun l -> Printf.printf "V %h\n" l)
+    res.Pnn.Training.history.Nn.Train.val_losses;
+  List.iter
+    (fun p ->
+      Array.iter (fun v -> Printf.printf "P %h\n" v) (Tensor.to_array (Autodiff.value p)))
+    (Pnn.Network.params_theta net @ Pnn.Network.params_omega net)

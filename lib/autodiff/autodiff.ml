@@ -3,10 +3,12 @@ module T = Tensor
 type t = {
   id : int;
   value : T.t;
-  mutable grad : T.t;
+  mutable grad : T.t option; (* allocated lazily, zeroed in place *)
   parents : t list;
-  push : t -> unit; (* propagate self.grad into parents' grads *)
+  push : t -> unit; (* propagate self's grad into parents' grads *)
+  recompute : t -> unit; (* refresh [value] in place from parents' values *)
   kind : kind;
+  needs_grad : bool; (* reachable from a Param leaf? *)
 }
 
 and kind = Param | Const | Op
@@ -17,124 +19,403 @@ let counter = Atomic.make 0
 let next_id () = Atomic.fetch_and_add counter 1 + 1
 
 let no_push _ = ()
+let no_recompute _ = ()
 
 let leaf kind value =
   {
     id = next_id ();
     value;
-    grad = T.zeros (T.rows value) (T.cols value);
+    grad = None;
     parents = [];
     push = no_push;
+    recompute = no_recompute;
     kind;
+    needs_grad = kind = Param;
   }
 
 let param value = leaf Param value
 let const value = leaf Const value
 let scalar v = const (T.scalar v)
 let value n = n.value
-let grad n = n.grad
 let is_param n = n.kind = Param
 let id n = n.id
-let zero_grad n = n.grad <- T.zeros (T.rows n.value) (T.cols n.value)
 
-let node value parents push =
+let grad_buffer n =
+  match n.grad with
+  | Some g -> g
+  | None ->
+      let g = T.zeros (T.rows n.value) (T.cols n.value) in
+      n.grad <- Some g;
+      g
+
+let grad n = grad_buffer n
+let zero_grad n = match n.grad with Some g -> T.fill g 0.0 | None -> ()
+
+let set_value n t =
+  if n.kind = Op then invalid_arg "Autodiff.set_value: node is not a leaf";
+  if T.shape t <> T.shape n.value then
+    invalid_arg "Autodiff.set_value: shape mismatch";
+  T.blit ~src:t ~dst:n.value
+
+let node ?(recompute = no_recompute) value parents push =
   {
     id = next_id ();
     value;
-    grad = T.zeros (T.rows value) (T.cols value);
+    grad = None;
     parents;
     push;
+    recompute;
     kind = Op;
+    needs_grad = List.exists (fun p -> p.needs_grad) parents;
   }
 
-let accum p g = p.grad <- T.add p.grad g
+(* First accumulation lands on a freshly zeroed buffer, so [0.0 +. x]
+   reproduces the old [T.add zeros g] bit-for-bit (including -0.0 -> +0.0). *)
+let accum p g =
+  if p.needs_grad then begin
+    let dst = grad_buffer p in
+    T.add_into dst g ~dst
+  end
+
+(* Per-node scratch buffers for backward temporaries: allocated on first
+   backward, reused on every subsequent pass over the same graph.  Cells are
+   captured per closure, so distinct replicas never share scratch. *)
+let scratch cell rows cols =
+  match !cell with
+  | Some s -> s
+  | None ->
+      let s = T.zeros rows cols in
+      cell := Some s;
+      s
+
+let scratch_like cell t = scratch cell (T.rows t) (T.cols t)
 
 (* {1 Arithmetic} *)
 
 let add a b =
-  node (T.add a.value b.value) [ a; b ] (fun self ->
-      accum a self.grad;
-      accum b self.grad)
+  node (T.add a.value b.value) [ a; b ]
+    ~recompute:(fun self -> T.add_into a.value b.value ~dst:self.value)
+    (fun self ->
+      if self.needs_grad then begin
+        let g = grad_buffer self in
+        accum a g;
+        accum b g
+      end)
 
 let sub a b =
-  node (T.sub a.value b.value) [ a; b ] (fun self ->
-      accum a self.grad;
-      accum b (T.neg self.grad))
+  let sc = ref None in
+  node (T.sub a.value b.value) [ a; b ]
+    ~recompute:(fun self -> T.sub_into a.value b.value ~dst:self.value)
+    (fun self ->
+      if self.needs_grad then begin
+        let g = grad_buffer self in
+        accum a g;
+        if b.needs_grad then begin
+          let s = scratch_like sc g in
+          T.neg_into g ~dst:s;
+          accum b s
+        end
+      end)
 
 let mul a b =
-  node (T.mul a.value b.value) [ a; b ] (fun self ->
-      accum a (T.mul self.grad b.value);
-      accum b (T.mul self.grad a.value))
+  let sc = ref None in
+  node (T.mul a.value b.value) [ a; b ]
+    ~recompute:(fun self -> T.mul_into a.value b.value ~dst:self.value)
+    (fun self ->
+      if self.needs_grad then begin
+        let g = grad_buffer self in
+        if a.needs_grad then begin
+          let s = scratch_like sc g in
+          T.mul_into g b.value ~dst:s;
+          accum a s
+        end;
+        if b.needs_grad then begin
+          let s = scratch_like sc g in
+          T.mul_into g a.value ~dst:s;
+          accum b s
+        end
+      end)
 
 let div a b =
-  node (T.div a.value b.value) [ a; b ] (fun self ->
-      accum a (T.div self.grad b.value);
-      (* d/db (a/b) = -a / b^2 *)
-      accum b (T.neg (T.div (T.mul self.grad a.value) (T.mul b.value b.value))))
+  let s1c = ref None and s2c = ref None in
+  node (T.div a.value b.value) [ a; b ]
+    ~recompute:(fun self -> T.div_into a.value b.value ~dst:self.value)
+    (fun self ->
+      if self.needs_grad then begin
+        let g = grad_buffer self in
+        if a.needs_grad then begin
+          let s = scratch_like s1c g in
+          T.div_into g b.value ~dst:s;
+          accum a s
+        end;
+        if b.needs_grad then begin
+          (* d/db (a/b) = -a / b^2 *)
+          let s1 = scratch_like s1c g in
+          let s2 = scratch_like s2c g in
+          T.mul_into g a.value ~dst:s1;
+          T.mul_into b.value b.value ~dst:s2;
+          T.div_into s1 s2 ~dst:s1;
+          T.neg_into s1 ~dst:s1;
+          accum b s1
+        end
+      end)
 
-let neg a = node (T.neg a.value) [ a ] (fun self -> accum a (T.neg self.grad))
-let scale k a = node (T.scale k a.value) [ a ] (fun self -> accum a (T.scale k self.grad))
+let neg a =
+  let sc = ref None in
+  node (T.neg a.value) [ a ]
+    ~recompute:(fun self -> T.neg_into a.value ~dst:self.value)
+    (fun self ->
+      if a.needs_grad then begin
+        let g = grad_buffer self in
+        let s = scratch_like sc g in
+        T.neg_into g ~dst:s;
+        accum a s
+      end)
+
+let scale k a =
+  let sc = ref None in
+  node (T.scale k a.value) [ a ]
+    ~recompute:(fun self -> T.scale_into k a.value ~dst:self.value)
+    (fun self ->
+      if a.needs_grad then begin
+        let g = grad_buffer self in
+        let s = scratch_like sc g in
+        T.scale_into k g ~dst:s;
+        accum a s
+      end)
 
 let add_scalar k a =
-  node (T.add_scalar k a.value) [ a ] (fun self -> accum a self.grad)
+  node (T.add_scalar k a.value) [ a ]
+    ~recompute:(fun self -> T.add_scalar_into k a.value ~dst:self.value)
+    (fun self -> if a.needs_grad then accum a (grad_buffer self))
 
 let pow_const a p =
-  let y = T.map (fun x -> x ** p) a.value in
-  node y [ a ] (fun self ->
-      let d = T.map (fun x -> p *. (x ** (p -. 1.0))) a.value in
-      accum a (T.mul self.grad d))
+  let sc = ref None in
+  node
+    (T.map (fun x -> x ** p) a.value)
+    [ a ]
+    ~recompute:(fun self -> T.map_into (fun x -> x ** p) a.value ~dst:self.value)
+    (fun self ->
+      if a.needs_grad then begin
+        let g = grad_buffer self in
+        let s = scratch_like sc g in
+        T.map_into (fun x -> p *. (x ** (p -. 1.0))) a.value ~dst:s;
+        T.mul_into g s ~dst:s;
+        accum a s
+      end)
 
-(* {1 Nonlinearities} *)
+(* {1 Nonlinearities}
 
-let unary f df a =
-  let y = T.map f a.value in
-  node y [ a ] (fun self ->
-      let d = T.map2 df a.value y in
-      accum a (T.mul self.grad d))
+   Each op is specialized as direct float-array loops rather than a generic
+   [unary f df] helper: applying a [float -> float] closure per element boxes
+   its argument and result on the minor heap, which dominated the training
+   hot path's allocation profile.  Backward fuses [g *. df x y] in one
+   expression — bitwise identical to the former
+   [map2_into df; mul_into g] pair (same operations, same order). *)
 
-let tanh a = unary Stdlib.tanh (fun _ y -> 1.0 -. (y *. y)) a
+let unary_spec ~fwd ~bwd a =
+  (* [fwd src dst] refreshes the forward value; [bwd x y g s] writes the
+     input gradient [g .* df] into [s].  All four are raw data arrays. *)
+  let sc = ref None in
+  let v = T.zeros (T.rows a.value) (T.cols a.value) in
+  fwd a.value.T.data v.T.data;
+  node v [ a ]
+    ~recompute:(fun self -> fwd a.value.T.data self.value.T.data)
+    (fun self ->
+      if a.needs_grad then begin
+        let g = grad_buffer self in
+        let s = scratch_like sc g in
+        bwd a.value.T.data self.value.T.data g.T.data s.T.data;
+        accum a s
+      end)
+
+let tanh a =
+  unary_spec a
+    ~fwd:(fun src dst ->
+      for i = 0 to Array.length dst - 1 do
+        Array.unsafe_set dst i (Stdlib.tanh (Array.unsafe_get src i))
+      done)
+    ~bwd:(fun _x y g s ->
+      for i = 0 to Array.length s - 1 do
+        let yi = Array.unsafe_get y i in
+        Array.unsafe_set s i (Array.unsafe_get g i *. (1.0 -. (yi *. yi)))
+      done)
 
 let sigmoid a =
-  let sg x = 1.0 /. (1.0 +. Stdlib.exp (-.x)) in
-  unary sg (fun _ y -> y *. (1.0 -. y)) a
+  unary_spec a
+    ~fwd:(fun src dst ->
+      for i = 0 to Array.length dst - 1 do
+        Array.unsafe_set dst i
+          (1.0 /. (1.0 +. Stdlib.exp (-.Array.unsafe_get src i)))
+      done)
+    ~bwd:(fun _x y g s ->
+      for i = 0 to Array.length s - 1 do
+        let yi = Array.unsafe_get y i in
+        Array.unsafe_set s i (Array.unsafe_get g i *. (yi *. (1.0 -. yi)))
+      done)
 
-let exp a = unary Stdlib.exp (fun _ y -> y) a
-let log a = unary Stdlib.log (fun x _ -> 1.0 /. x) a
-let sqrt a = unary Stdlib.sqrt (fun _ y -> 0.5 /. y) a
-let relu a = unary (fun x -> if x > 0.0 then x else 0.0) (fun x _ -> if x > 0.0 then 1.0 else 0.0) a
+let exp a =
+  unary_spec a
+    ~fwd:(fun src dst ->
+      for i = 0 to Array.length dst - 1 do
+        Array.unsafe_set dst i (Stdlib.exp (Array.unsafe_get src i))
+      done)
+    ~bwd:(fun _x y g s ->
+      for i = 0 to Array.length s - 1 do
+        Array.unsafe_set s i (Array.unsafe_get g i *. Array.unsafe_get y i)
+      done)
+
+let log a =
+  unary_spec a
+    ~fwd:(fun src dst ->
+      for i = 0 to Array.length dst - 1 do
+        Array.unsafe_set dst i (Stdlib.log (Array.unsafe_get src i))
+      done)
+    ~bwd:(fun x _y g s ->
+      for i = 0 to Array.length s - 1 do
+        Array.unsafe_set s i (Array.unsafe_get g i *. (1.0 /. Array.unsafe_get x i))
+      done)
+
+let sqrt a =
+  unary_spec a
+    ~fwd:(fun src dst ->
+      for i = 0 to Array.length dst - 1 do
+        Array.unsafe_set dst i (Stdlib.sqrt (Array.unsafe_get src i))
+      done)
+    ~bwd:(fun _x y g s ->
+      for i = 0 to Array.length s - 1 do
+        Array.unsafe_set s i (Array.unsafe_get g i *. (0.5 /. Array.unsafe_get y i))
+      done)
+
+let relu a =
+  unary_spec a
+    ~fwd:(fun src dst ->
+      for i = 0 to Array.length dst - 1 do
+        let x = Array.unsafe_get src i in
+        Array.unsafe_set dst i (if x > 0.0 then x else 0.0)
+      done)
+    ~bwd:(fun x _y g s ->
+      for i = 0 to Array.length s - 1 do
+        Array.unsafe_set s i
+          (Array.unsafe_get g i
+          *. (if Array.unsafe_get x i > 0.0 then 1.0 else 0.0))
+      done)
 
 let abs a =
-  unary Stdlib.abs_float
-    (fun x _ -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0)
-    a
+  unary_spec a
+    ~fwd:(fun src dst ->
+      for i = 0 to Array.length dst - 1 do
+        Array.unsafe_set dst i (Stdlib.abs_float (Array.unsafe_get src i))
+      done)
+    ~bwd:(fun x _y g s ->
+      for i = 0 to Array.length s - 1 do
+        let xi = Array.unsafe_get x i in
+        Array.unsafe_set s i
+          (Array.unsafe_get g i
+          *. (if xi > 0.0 then 1.0 else if xi < 0.0 then -1.0 else 0.0))
+      done)
 
 (* {1 Linear algebra} *)
 
 let matmul a b =
-  node (T.matmul a.value b.value) [ a; b ] (fun self ->
-      accum a (T.matmul_nt self.grad b.value);
-      accum b (T.matmul (T.transpose a.value) self.grad))
+  let sa = ref None and st = ref None and sb = ref None in
+  node (T.matmul a.value b.value) [ a; b ]
+    ~recompute:(fun self -> T.matmul_into a.value b.value ~dst:self.value)
+    (fun self ->
+      if self.needs_grad then begin
+        let g = grad_buffer self in
+        if a.needs_grad then begin
+          let s = scratch_like sa a.value in
+          T.matmul_nt_into g b.value ~dst:s;
+          accum a s
+        end;
+        if b.needs_grad then begin
+          let at = scratch st (T.cols a.value) (T.rows a.value) in
+          T.transpose_into a.value ~dst:at;
+          let s = scratch_like sb b.value in
+          T.matmul_into at g ~dst:s;
+          accum b s
+        end
+      end)
 
 let transpose a =
-  node (T.transpose a.value) [ a ] (fun self -> accum a (T.transpose self.grad))
+  let sc = ref None in
+  node (T.transpose a.value) [ a ]
+    ~recompute:(fun self -> T.transpose_into a.value ~dst:self.value)
+    (fun self ->
+      if a.needs_grad then begin
+        let g = grad_buffer self in
+        let s = scratch_like sc a.value in
+        T.transpose_into g ~dst:s;
+        accum a s
+      end)
 
 let add_rowvec m v =
-  node (T.add_rowvec m.value v.value) [ m; v ] (fun self ->
-      accum m self.grad;
-      accum v (T.sum_rows self.grad))
+  let sv = ref None in
+  node (T.add_rowvec m.value v.value) [ m; v ]
+    ~recompute:(fun self -> T.add_rowvec_into m.value v.value ~dst:self.value)
+    (fun self ->
+      if self.needs_grad then begin
+        let g = grad_buffer self in
+        accum m g;
+        if v.needs_grad then begin
+          let s = scratch_like sv v.value in
+          T.sum_rows_into g ~dst:s;
+          accum v s
+        end
+      end)
 
 let mul_rowvec m v =
-  node (T.mul_rowvec m.value v.value) [ m; v ] (fun self ->
-      accum m (T.mul_rowvec self.grad v.value);
-      accum v (T.sum_rows (T.mul self.grad m.value)))
+  let sm = ref None and sv = ref None in
+  node (T.mul_rowvec m.value v.value) [ m; v ]
+    ~recompute:(fun self -> T.mul_rowvec_into m.value v.value ~dst:self.value)
+    (fun self ->
+      if self.needs_grad then begin
+        let g = grad_buffer self in
+        if m.needs_grad then begin
+          let s = scratch_like sm g in
+          T.mul_rowvec_into g v.value ~dst:s;
+          accum m s
+        end;
+        if v.needs_grad then begin
+          let s = scratch_like sm g in
+          T.mul_into g m.value ~dst:s;
+          let sv' = scratch_like sv v.value in
+          T.sum_rows_into s ~dst:sv';
+          accum v sv'
+        end
+      end)
 
 let div_rowvec m v =
+  (* [inv] is a persistent forward cache, refreshed in place on recompute so
+     the node stays correct when the graph is reused with new leaf values. *)
   let inv = T.map (fun x -> 1.0 /. x) v.value in
-  node (T.mul_rowvec m.value inv) [ m; v ] (fun self ->
-      accum m (T.mul_rowvec self.grad inv);
-      (* d/dv (m / v) = -m / v^2, summed over rows *)
-      let minus_m_over_v2 = T.mul_rowvec (T.neg m.value) (T.mul inv inv) in
-      accum v (T.sum_rows (T.mul self.grad minus_m_over_v2)))
+  let sm = ref None and sv2 = ref None and svec = ref None in
+  node (T.mul_rowvec m.value inv) [ m; v ]
+    ~recompute:(fun self ->
+      T.map_into (fun x -> 1.0 /. x) v.value ~dst:inv;
+      T.mul_rowvec_into m.value inv ~dst:self.value)
+    (fun self ->
+      if self.needs_grad then begin
+        let g = grad_buffer self in
+        if m.needs_grad then begin
+          let s = scratch_like sm g in
+          T.mul_rowvec_into g inv ~dst:s;
+          accum m s
+        end;
+        if v.needs_grad then begin
+          (* d/dv (m / v) = -m / v^2, summed over rows *)
+          let s = scratch_like sm g in
+          let iv2 = scratch_like sv2 v.value in
+          T.mul_into inv inv ~dst:iv2;
+          T.neg_into m.value ~dst:s;
+          T.mul_rowvec_into s iv2 ~dst:s;
+          T.mul_into g s ~dst:s;
+          let sv' = scratch_like svec v.value in
+          T.sum_rows_into s ~dst:sv';
+          accum v sv'
+        end
+      end)
 
 let scalar_shape_check name s =
   if T.shape s.value <> (1, 1) then
@@ -142,117 +423,256 @@ let scalar_shape_check name s =
 
 let badd s m =
   scalar_shape_check "badd" s;
-  node (T.add_scalar (T.get s.value 0 0) m.value) [ s; m ] (fun self ->
-      accum m self.grad;
-      accum s (T.scalar (T.sum self.grad)))
+  let s11 = ref None in
+  node
+    (T.add_scalar (T.get s.value 0 0) m.value)
+    [ s; m ]
+    ~recompute:(fun self ->
+      T.add_scalar_into (T.get s.value 0 0) m.value ~dst:self.value)
+    (fun self ->
+      if self.needs_grad then begin
+        let g = grad_buffer self in
+        accum m g;
+        if s.needs_grad then begin
+          let t = scratch s11 1 1 in
+          T.set t 0 0 (T.sum g);
+          accum s t
+        end
+      end)
 
 let bmul s m =
   scalar_shape_check "bmul" s;
-  let sv = T.get s.value 0 0 in
-  node (T.scale sv m.value) [ s; m ] (fun self ->
-      accum m (T.scale sv self.grad);
-      accum s (T.scalar (T.sum (T.mul self.grad m.value))))
+  let sc = ref None and s11 = ref None in
+  node
+    (T.scale (T.get s.value 0 0) m.value)
+    [ s; m ]
+    ~recompute:(fun self ->
+      T.scale_into (T.get s.value 0 0) m.value ~dst:self.value)
+    (fun self ->
+      if self.needs_grad then begin
+        (* read the scalar here, not at build time: the graph may be reused
+           with refreshed leaf values *)
+        let sv = T.get s.value 0 0 in
+        let g = grad_buffer self in
+        if m.needs_grad then begin
+          let t = scratch_like sc g in
+          T.scale_into sv g ~dst:t;
+          accum m t
+        end;
+        if s.needs_grad then begin
+          let t = scratch_like sc g in
+          T.mul_into g m.value ~dst:t;
+          let t1 = scratch s11 1 1 in
+          T.set t1 0 0 (T.sum t);
+          accum s t1
+        end
+      end)
 
 (* {1 Reductions} *)
 
 let sum a =
-  node (T.scalar (T.sum a.value)) [ a ] (fun self ->
-      let g = T.get self.grad 0 0 in
-      accum a (T.full (T.rows a.value) (T.cols a.value) g))
+  let sc = ref None in
+  node
+    (T.scalar (T.sum a.value))
+    [ a ]
+    ~recompute:(fun self -> T.set self.value 0 0 (T.sum a.value))
+    (fun self ->
+      if a.needs_grad then begin
+        let g = T.get (grad_buffer self) 0 0 in
+        let s = scratch_like sc a.value in
+        T.fill s g;
+        accum a s
+      end)
 
 let mean a =
   let n = float_of_int (T.numel a.value) in
-  node (T.scalar (T.mean a.value)) [ a ] (fun self ->
-      let g = T.get self.grad 0 0 /. n in
-      accum a (T.full (T.rows a.value) (T.cols a.value) g))
+  let sc = ref None in
+  node
+    (T.scalar (T.mean a.value))
+    [ a ]
+    ~recompute:(fun self -> T.set self.value 0 0 (T.mean a.value))
+    (fun self ->
+      if a.needs_grad then begin
+        let g = T.get (grad_buffer self) 0 0 /. n in
+        let s = scratch_like sc a.value in
+        T.fill s g;
+        accum a s
+      end)
 
 let sum_rows a =
-  node (T.sum_rows a.value) [ a ] (fun self ->
-      (* broadcast the 1 x cols gradient back over all rows *)
-      accum a (T.mul_rowvec (T.ones (T.rows a.value) (T.cols a.value)) self.grad))
+  let sc = ref None in
+  node (T.sum_rows a.value) [ a ]
+    ~recompute:(fun self -> T.sum_rows_into a.value ~dst:self.value)
+    (fun self ->
+      if a.needs_grad then begin
+        let g = grad_buffer self in
+        (* broadcast the 1 x cols gradient back over all rows *)
+        let s = scratch_like sc a.value in
+        T.broadcast_rowvec_into g ~dst:s;
+        accum a s
+      end)
 
 (* {1 Structure} *)
 
 let concat_cols a b =
-  node (T.concat_cols a.value b.value) [ a; b ] (fun self ->
-      accum a (T.slice_cols self.grad 0 (T.cols a.value));
-      accum b (T.slice_cols self.grad (T.cols a.value) (T.cols b.value)))
+  let sa = ref None and sb = ref None in
+  node (T.concat_cols a.value b.value) [ a; b ]
+    ~recompute:(fun self -> T.concat_cols_into a.value b.value ~dst:self.value)
+    (fun self ->
+      if self.needs_grad then begin
+        let g = grad_buffer self in
+        if a.needs_grad then begin
+          let s = scratch_like sa a.value in
+          T.slice_cols_into g 0 (T.cols a.value) ~dst:s;
+          accum a s
+        end;
+        if b.needs_grad then begin
+          let s = scratch_like sb b.value in
+          T.slice_cols_into g (T.cols a.value) (T.cols b.value) ~dst:s;
+          accum b s
+        end
+      end)
+
+let concat_rows a b =
+  let sa = ref None and sb = ref None in
+  node (T.concat_rows a.value b.value) [ a; b ]
+    ~recompute:(fun self -> T.concat_rows_into a.value b.value ~dst:self.value)
+    (fun self ->
+      if self.needs_grad then begin
+        let g = grad_buffer self in
+        if a.needs_grad then begin
+          let s = scratch_like sa a.value in
+          T.slice_rows_into g 0 (T.rows a.value) ~dst:s;
+          accum a s
+        end;
+        if b.needs_grad then begin
+          let s = scratch_like sb b.value in
+          T.slice_rows_into g (T.rows a.value) (T.rows b.value) ~dst:s;
+          accum b s
+        end
+      end)
 
 let slice_cols a start len =
-  node (T.slice_cols a.value start len) [ a ] (fun self ->
-      let g = T.zeros (T.rows a.value) (T.cols a.value) in
-      for r = 0 to T.rows self.grad - 1 do
-        for c = 0 to len - 1 do
-          T.set g r (start + c) (T.get self.grad r c)
-        done
-      done;
-      accum a g)
+  let sc = ref None in
+  node
+    (T.slice_cols a.value start len)
+    [ a ]
+    ~recompute:(fun self -> T.slice_cols_into a.value start len ~dst:self.value)
+    (fun self ->
+      if a.needs_grad then begin
+        let g = grad_buffer self in
+        let s = scratch_like sc a.value in
+        T.embed_cols_into g start ~dst:s;
+        accum a s
+      end)
 
 let slice_rows a start len =
-  node (T.slice_rows a.value start len) [ a ] (fun self ->
-      let g = T.zeros (T.rows a.value) (T.cols a.value) in
-      for r = 0 to len - 1 do
-        for c = 0 to T.cols self.grad - 1 do
-          T.set g (start + r) c (T.get self.grad r c)
-        done
-      done;
-      accum a g)
+  let sc = ref None in
+  node
+    (T.slice_rows a.value start len)
+    [ a ]
+    ~recompute:(fun self -> T.slice_rows_into a.value start len ~dst:self.value)
+    (fun self ->
+      if a.needs_grad then begin
+        let g = grad_buffer self in
+        let s = scratch_like sc a.value in
+        T.embed_rows_into g start ~dst:s;
+        accum a s
+      end)
 
 (* {1 Straight-through estimators} *)
 
 let map_ste f a =
-  node (T.map f a.value) [ a ] (fun self -> accum a self.grad)
+  node (T.map f a.value) [ a ]
+    ~recompute:(fun self -> T.map_into f a.value ~dst:self.value)
+    (fun self -> if a.needs_grad then accum a (grad_buffer self))
 
 let clamp_ste ~lo ~hi a =
   map_ste (fun x -> if x < lo then lo else if x > hi then hi else x) a
 
 (* {1 Losses} *)
 
-let softmax_rows m =
-  (* stable row-wise softmax on a plain tensor *)
+let softmax_rows_into m ~dst =
+  (* stable row-wise softmax on a plain tensor; raw-array loops for the same
+     unboxed-float reason as the nonlinearities above *)
   let rows = T.rows m and cols = T.cols m in
-  let out = T.zeros rows cols in
+  let src = m.T.data and out = dst.T.data in
   for r = 0 to rows - 1 do
+    let base = r * cols in
     let mx = ref neg_infinity in
     for c = 0 to cols - 1 do
-      if T.get m r c > !mx then mx := T.get m r c
+      let x = Array.unsafe_get src (base + c) in
+      if x > !mx then mx := x
     done;
     let z = ref 0.0 in
     for c = 0 to cols - 1 do
-      let e = Stdlib.exp (T.get m r c -. !mx) in
-      T.set out r c e;
+      let e = Stdlib.exp (Array.unsafe_get src (base + c) -. !mx) in
+      Array.unsafe_set out (base + c) e;
       z := !z +. e
     done;
     for c = 0 to cols - 1 do
-      T.set out r c (T.get out r c /. !z)
+      Array.unsafe_set out (base + c) (Array.unsafe_get out (base + c) /. !z)
     done
-  done;
+  done
+
+let softmax_rows m =
+  let out = T.zeros (T.rows m) (T.cols m) in
+  softmax_rows_into m ~dst:out;
   out
+
+let ce_loss probs labels =
+  let batch = float_of_int (T.rows probs) in
+  let p = probs.T.data and y = labels.T.data in
+  let loss = ref 0.0 in
+  for i = 0 to Array.length p - 1 do
+    let yi = Array.unsafe_get y i in
+    if yi > 0.0 then
+      loss :=
+        !loss -. (yi *. Stdlib.log (Stdlib.max (Array.unsafe_get p i) 1e-30))
+  done;
+  !loss /. batch
 
 let softmax_cross_entropy ~logits ~labels =
   if T.shape logits.value <> T.shape labels then
     invalid_arg "Autodiff.softmax_cross_entropy: logits/labels shape mismatch";
+  (* [probs] persists across passes: recompute refreshes it in place *)
   let probs = softmax_rows logits.value in
-  let batch = float_of_int (T.rows probs) in
-  let loss = ref 0.0 in
-  for r = 0 to T.rows probs - 1 do
-    for c = 0 to T.cols probs - 1 do
-      let y = T.get labels r c in
-      if y > 0.0 then loss := !loss -. (y *. Stdlib.log (Stdlib.max (T.get probs r c) 1e-30))
-    done
-  done;
-  node (T.scalar (!loss /. batch)) [ logits ] (fun self ->
-      let g = T.get self.grad 0 0 /. batch in
-      accum logits (T.scale g (T.sub probs labels)))
+  let sc = ref None in
+  node
+    (T.scalar (ce_loss probs labels))
+    [ logits ]
+    ~recompute:(fun self ->
+      softmax_rows_into logits.value ~dst:probs;
+      T.set self.value 0 0 (ce_loss probs labels))
+    (fun self ->
+      if logits.needs_grad then begin
+        let batch = float_of_int (T.rows probs) in
+        let g = T.get (grad_buffer self) 0 0 /. batch in
+        let s = scratch_like sc probs in
+        T.sub_into probs labels ~dst:s;
+        T.scale_into g s ~dst:s;
+        accum logits s
+      end)
 
 let mse pred target =
   if T.shape pred.value <> T.shape target then
     invalid_arg "Autodiff.mse: shape mismatch";
   let diff = T.sub pred.value target in
   let n = float_of_int (T.numel target) in
-  node (T.scalar (T.sum (T.mul diff diff) /. n)) [ pred ] (fun self ->
-      let g = T.get self.grad 0 0 in
-      accum pred (T.scale (2.0 *. g /. n) diff))
+  let sc = ref None in
+  node
+    (T.scalar (T.dot diff diff /. n))
+    [ pred ]
+    ~recompute:(fun self ->
+      T.sub_into pred.value target ~dst:diff;
+      T.set self.value 0 0 (T.dot diff diff /. n))
+    (fun self ->
+      if pred.needs_grad then begin
+        let g = T.get (grad_buffer self) 0 0 in
+        let s = scratch_like sc diff in
+        T.scale_into (2.0 *. g /. n) diff ~dst:s;
+        accum pred s
+      end)
 
 (* {1 Externally computed gradients} *)
 
@@ -265,7 +685,7 @@ let precomputed ~value pairs =
         invalid_arg "Autodiff.precomputed: gradient shape mismatch")
     pairs;
   node value (List.map fst pairs) (fun self ->
-      let s = T.get self.grad 0 0 in
+      let s = T.get (grad_buffer self) 0 0 in
       List.iter (fun (p, g) -> accum p (T.scale s g)) pairs)
 
 (* {1 Backward pass} *)
@@ -285,13 +705,22 @@ let reachable root =
      what backward needs, and we consed each node after its parents. *)
   !acc
 
-let backward root =
-  if T.shape root.value <> (1, 1) then
-    invalid_arg "Autodiff.backward: root must be a 1x1 scalar";
+type tape = { root : t; order : t list; fwd : t list }
+
+let compile root =
   let order = reachable root in
-  List.iter zero_grad order;
-  root.grad <- T.ones 1 1;
-  List.iter (fun n -> n.push n) order
+  { root; order; fwd = List.rev order }
+
+let refresh tape = List.iter (fun n -> n.recompute n) tape.fwd
+
+let backward_tape tape =
+  if T.shape tape.root.value <> (1, 1) then
+    invalid_arg "Autodiff.backward: root must be a 1x1 scalar";
+  List.iter zero_grad tape.order;
+  T.set (grad_buffer tape.root) 0 0 1.0;
+  List.iter (fun n -> n.push n) tape.order
+
+let backward root = backward_tape (compile root)
 
 let params root =
   let order = reachable root in

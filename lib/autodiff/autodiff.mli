@@ -1,11 +1,25 @@
 (** Tape-based reverse-mode automatic differentiation over {!Tensor.t}.
 
     Building expressions with the functions below records a computation graph;
-    {!backward} then accumulates gradients of a scalar root into every
-    reachable node.  Leaves created with {!param} are the trainable tensors
-    (crossbar conductances θ, nonlinear-circuit parameters 𝔴, MLP weights);
-    leaves created with {!const} are data or frozen values and receive no
-    gradient storage traffic beyond a single buffer.
+    {!backward} then accumulates gradients of a scalar root into every node
+    that can reach a {!param} leaf.  Leaves created with {!param} are the
+    trainable tensors (crossbar conductances θ, nonlinear-circuit parameters
+    𝔴, MLP weights); leaves created with {!const} are data or frozen values
+    and receive no gradient traffic at all: subgraphs built only from consts
+    (e.g. a frozen surrogate MLP's weight branches) are skipped entirely
+    during backward, and their gradients read as zeros.
+
+    Gradient buffers are allocated lazily (on first accumulation or first
+    {!grad} read) and zeroed in place on subsequent passes; backward
+    temporaries live in per-node scratch buffers reused across passes.
+    Repeated {!backward} calls over the same graph therefore allocate
+    nothing beyond the first pass.
+
+    A graph can also be {e reused} with new leaf contents: update leaves
+    with {!set_value} (or mutate a {!param}'s tensor in place), then
+    {!refresh} a {!compile}d tape to re-run the forward pass in place and
+    {!backward_tape} to backpropagate — both bit-identical to rebuilding
+    the graph from scratch.
 
     The straight-through-estimator entry points ({!clamp_ste}, {!map_ste})
     implement the projection technique the paper uses to keep conductances in
@@ -25,11 +39,20 @@ val const : Tensor.t -> t
 
 val scalar : float -> t
 val value : t -> Tensor.t
+
 val grad : t -> Tensor.t
-(** Gradient accumulated by the last {!backward}; zeros before that. *)
+(** Gradient accumulated by the last {!backward}; zeros before that (and
+    always zeros for nodes not reaching a {!param}).  Returns the node's
+    {e live} accumulation buffer — copy it before the next backward pass if
+    you need to keep the values. *)
 
 val is_param : t -> bool
 val zero_grad : t -> unit
+
+val set_value : t -> Tensor.t -> unit
+(** [set_value leaf t] copies [t] into the leaf's value buffer (shape
+    checked); raises [Invalid_argument] on interior (op) nodes.  Used to
+    feed new inputs/noise draws into a reused graph before {!refresh}. *)
 
 val id : t -> int
 (** Unique per-node identifier (stable for the lifetime of the node); used by
@@ -90,6 +113,11 @@ val sum_rows : t -> t
 (** {1 Structure} *)
 
 val concat_cols : t -> t -> t
+val concat_rows : t -> t -> t
+(** Vertical stacking; gradients split back to the two blocks.  Lets
+    independent row-batches (e.g. the act/neg circuit parameter rows of one
+    pNN layer) share a single surrogate forward pass. *)
+
 val slice_cols : t -> int -> int -> t
 (** [slice_cols v start len]; gradient scatters back into the slice. *)
 
@@ -131,3 +159,26 @@ val backward : t -> unit
 
 val params : t -> t list
 (** All distinct {!param} leaves reachable from the node, in creation order. *)
+
+(** {1 Graph reuse}
+
+    A {!tape} caches the topological order of the graph under a root so the
+    same node structure can be run many times — once per Monte-Carlo draw and
+    per epoch — without rebuilding it.  The protocol is: mutate leaf values
+    ({!set_value} on consts, in-place optimizer updates on params),
+    {!refresh}, then {!backward_tape}.  Both passes write every node's
+    [value]/[grad] buffer in place and are bit-identical to building a fresh
+    graph from the same leaf contents. *)
+
+type tape
+
+val compile : t -> tape
+(** Record the topological order under [root].  The root need not be scalar
+    (forward-only tapes over logits are fine); only {!backward_tape}
+    requires a [1 × 1] root. *)
+
+val refresh : tape -> unit
+(** Re-run the forward pass in place, leaves first. *)
+
+val backward_tape : tape -> unit
+(** As {!backward}, but reusing the compiled order. *)

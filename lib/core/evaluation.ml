@@ -5,7 +5,8 @@ type result = {
 }
 
 let accuracy_under network noise ~x ~y =
-  let pred = Network.predict network ~noise x in
+  (* forward pass in place on this domain's cached replica *)
+  let pred = Network.predict_cached network ~noise x in
   if Array.length pred <> Array.length y then
     invalid_arg "Evaluation.accuracy: label count mismatch";
   let hits = ref 0 in

@@ -59,31 +59,69 @@ let project config v =
   else if mag > g_max then s *. g_max
   else v
 
-let projected_noisy config t ~(noise : Noise.layer_noise) =
-  let printed = A.map_ste (project config) t.theta in
-  A.mul printed (A.const noise.Noise.theta)
+(* Variation draws enter the graph as const leaf nodes so a compiled graph
+   can be re-fed new draws with [Autodiff.set_value] + [Autodiff.refresh].
+   The leaves own copies of the draw tensors: on reuse the new draw is
+   blitted into them, which must never mutate a caller-owned tensor (fixed
+   validation draws are reused across epochs). *)
+type noise_nodes = { theta_n : A.t; act_n : A.t; neg_n : A.t }
 
-let preactivation config t ~noise x =
-  let n_in = inputs t in
-  if Tensor.cols (A.value x) <> n_in then
-    invalid_arg "Layer.forward: input width mismatch";
-  let theta = projected_noisy config t ~noise in
-  let pos = A.relu theta and neg_part = A.relu (A.neg theta) in
-  (* augment the batch with the bias column (V_b = 1) *)
+let noise_nodes_of (noise : Noise.layer_noise) =
+  {
+    theta_n = A.const (Tensor.copy noise.Noise.theta);
+    act_n = A.const (Tensor.copy noise.Noise.act_omega);
+    neg_n = A.const (Tensor.copy noise.Noise.neg_omega);
+  }
+
+let set_noise_nodes nodes (noise : Noise.layer_noise) =
+  A.set_value nodes.theta_n noise.Noise.theta;
+  A.set_value nodes.act_n noise.Noise.act_omega;
+  A.set_value nodes.neg_n noise.Noise.neg_omega
+
+(* augment the batch with the bias column (V_b = 1) *)
+let augment x =
   let batch = Tensor.rows (A.value x) in
-  let x_aug = A.concat_cols x (A.const (Tensor.ones batch 1)) in
+  A.concat_cols x (A.const (Tensor.ones batch 1))
+
+let crossbar config t ~theta_n ~x_aug ~inv_x ~n_in =
+  let theta = A.mul (A.map_ste (project config) t.theta) theta_n in
+  let pos = A.relu theta and neg_part = A.relu (A.neg theta) in
   let input_rows = n_in + 1 in
   (* split θ rows: input+bias rows feed the numerator; all rows (incl. the
      dark conductance) feed the denominator *)
   let pos_top = A.slice_rows pos 0 input_rows in
   let neg_top = A.slice_rows neg_part 0 input_rows in
-  let inv_x = Nonlinear.apply_inv t.neg ~noise:noise.Noise.neg_omega x_aug in
   let numerator = A.add (A.matmul x_aug pos_top) (A.matmul inv_x neg_top) in
   let denominator = A.sum_rows (A.add pos neg_part) in
   A.div_rowvec numerator denominator
 
-let forward config t ~noise x =
-  Nonlinear.apply t.act ~noise:noise.Noise.act_omega (preactivation config t ~noise x)
+let check_width t x =
+  let n_in = inputs t in
+  if Tensor.cols (A.value x) <> n_in then
+    invalid_arg "Layer.forward: input width mismatch";
+  n_in
+
+let forward_nodes config t nodes x =
+  let n_in = check_width t x in
+  let act_eta, neg_eta =
+    Nonlinear.eta_pair t.act t.neg ~act_noise:nodes.act_n ~neg_noise:nodes.neg_n
+  in
+  let x_aug = augment x in
+  let inv_x = A.neg (Nonlinear.apply_eta neg_eta x_aug) in
+  let pre = crossbar config t ~theta_n:nodes.theta_n ~x_aug ~inv_x ~n_in in
+  Nonlinear.apply_eta act_eta pre
+
+let forward config t ~noise x = forward_nodes config t (noise_nodes_of noise) x
+
+let preactivation config t ~noise x =
+  let n_in = check_width t x in
+  let nodes = noise_nodes_of noise in
+  let _act_eta, neg_eta =
+    Nonlinear.eta_pair t.act t.neg ~act_noise:nodes.act_n ~neg_noise:nodes.neg_n
+  in
+  let x_aug = augment x in
+  let inv_x = A.neg (Nonlinear.apply_eta neg_eta x_aug) in
+  crossbar config t ~theta_n:nodes.theta_n ~x_aug ~inv_x ~n_in
 
 let printed_theta config t =
   Tensor.map (project config) (A.value t.theta)

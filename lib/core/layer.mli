@@ -41,7 +41,28 @@ val outputs : t -> int
 
 val forward :
   Config.t -> t -> noise:Noise.layer_noise -> Autodiff.t -> Autodiff.t
-(** Batch forward: [n × n_in] → [n × n_out] (after the ptanh activation). *)
+(** Batch forward: [n × n_in] → [n × n_out] (after the ptanh activation).
+    Both of the layer's nonlinear circuits go through a single batched
+    surrogate evaluation ({!Nonlinear.eta_pair}). *)
+
+(** {2 Reusable-graph building blocks}
+
+    The variation draw enters the graph through three const leaf nodes per
+    layer, so a compiled replica graph can be re-fed new draws in place
+    ({!set_noise_nodes} + {!Autodiff.refresh}) instead of being rebuilt —
+    see {!Network.mc_loss_pooled}. *)
+
+type noise_nodes = { theta_n : Autodiff.t; act_n : Autodiff.t; neg_n : Autodiff.t }
+
+val noise_nodes_of : Noise.layer_noise -> noise_nodes
+(** Fresh const leaves holding {e copies} of the draw tensors (the caller
+    keeps ownership of the originals). *)
+
+val set_noise_nodes : noise_nodes -> Noise.layer_noise -> unit
+(** Blit a new draw into the leaves (shape-checked). *)
+
+val forward_nodes : Config.t -> t -> noise_nodes -> Autodiff.t -> Autodiff.t
+(** As {!forward}, with the noise already in the graph. *)
 
 val preactivation :
   Config.t -> t -> noise:Noise.layer_noise -> Autodiff.t -> Autodiff.t

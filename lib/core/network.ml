@@ -68,20 +68,166 @@ let params_omega t = List.concat_map Layer.params_omega t.layers
 
 let replicate t = { layers = List.map Layer.replicate t.layers; config = t.config }
 
-(* One Monte-Carlo draw evaluated on a throwaway replica: the replica owns
-   every autodiff node it creates, so draws never share mutable state and can
-   run on any domain.  Returns the scalar loss and the gradients in the
-   canonical parameter order (params_theta @ params_omega). *)
+(* {2 Compiled replica cache}
+
+   A compiled replica is a full autodiff graph (fresh param leaves, noise
+   const leaves, loss or logits root) plus its topological tape.  It is
+   built once per (worker domain × network × input batch) and then reused
+   across Monte-Carlo draws and epochs: each use blits the master's current
+   parameter values and the draw's noise tensors into the leaves and re-runs
+   forward/backward in place over the same node structure — bit-identical to
+   building a throwaway replica per draw, without the build-and-discard
+   allocation churn.
+
+   The cache is domain-local (Domain.DLS): pool workers are long-lived
+   domains, and autodiff graphs are single-domain mutable state, so each
+   worker keeps its own replicas.  Entries are keyed by physical identity of
+   the master network and the input tensors (which are stable for the
+   lifetime of a training or evaluation run) and evicted LRU. *)
+
+let forward_nodes t ~noise_nodes x =
+  List.fold_left2
+    (fun acc layer nodes -> Layer.forward_nodes t.config layer nodes acc)
+    x t.layers noise_nodes
+
+type compiled = {
+  c_master : t; (* physical-identity key *)
+  c_x : Tensor.t; (* physical-identity key *)
+  c_labels : Tensor.t option; (* physical-identity key (loss graphs) *)
+  c_replica_params : A.t list; (* canonical order: theta @ omega *)
+  c_master_params : A.t list; (* same order on the master *)
+  c_noise : Layer.noise_nodes list;
+  c_root : A.t; (* loss (1×1) or logits *)
+  c_tape : A.tape;
+}
+
+let compile_graph t ~noise ~x ~labels =
+  let replica = replicate t in
+  let noise_nodes = List.map Layer.noise_nodes_of noise in
+  let lg =
+    A.scale t.config.Config.logit_scale (forward_nodes replica ~noise_nodes (A.const x))
+  in
+  let root =
+    match labels with
+    | Some labels -> A.softmax_cross_entropy ~logits:lg ~labels
+    | None -> lg
+  in
+  {
+    c_master = t;
+    c_x = x;
+    c_labels = labels;
+    c_replica_params = params_theta replica @ params_omega replica;
+    c_master_params = params_theta t @ params_omega t;
+    c_noise = noise_nodes;
+    c_root = root;
+    c_tape = A.compile root;
+  }
+
+let cache_capacity = 4
+
+let loss_cache : compiled list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let logits_cache : compiled list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | e :: rest -> e :: take (n - 1) rest
+
+(* Look up (or build) this domain's compiled replica and run its forward
+   pass for the given draw.  On a hit the master's parameters and the new
+   noise draw are blitted into the existing leaves first. *)
+let cached_graph cache_key t ~noise ~x ~labels =
+  let cache = Domain.DLS.get cache_key in
+  let hit e =
+    e.c_master == t && e.c_x == x
+    &&
+    match (e.c_labels, labels) with
+    | Some a, Some b -> a == b
+    | None, None -> true
+    | Some _, None | None, Some _ -> false
+  in
+  match List.find_opt hit !cache with
+  | Some e ->
+      (match !cache with
+      | front :: _ when front == e -> ()
+      | _ -> cache := e :: List.filter (fun e' -> e' != e) !cache);
+      List.iter2
+        (fun rp mp -> A.set_value rp (A.value mp))
+        e.c_replica_params e.c_master_params;
+      List.iter2 Layer.set_noise_nodes e.c_noise noise;
+      A.refresh e.c_tape;
+      e
+  | None ->
+      let e = compile_graph t ~noise ~x ~labels in
+      cache := take cache_capacity (e :: !cache);
+      e
+
+(* One Monte-Carlo draw on this domain's cached replica.  Returns the scalar
+   loss and fresh copies of the gradients in the canonical parameter order
+   (params_theta @ params_omega) — copies, because the accumulation buffers
+   are reused by the next draw. *)
 let draw_loss_and_grads t ~noise ~x ~labels =
+  let e = cached_graph loss_cache t ~noise ~x ~labels:(Some labels) in
+  A.backward_tape e.c_tape;
+  let grads = List.map (fun p -> Tensor.copy (A.grad p)) e.c_replica_params in
+  (Tensor.get (A.value e.c_root) 0 0, grads)
+
+(* Reference implementation: a throwaway replica per draw, as before the
+   compiled-replica cache existed.  Kept for the bit-identity tests and the
+   allocation benchmarks. *)
+let draw_loss_and_grads_alloc t ~noise ~x ~labels =
   let replica = replicate t in
   let l = loss replica ~noise ~x ~labels in
   A.backward l;
   let grads =
-    List.map A.grad (params_theta replica @ params_omega replica)
+    List.map (fun p -> Tensor.copy (A.grad p)) (params_theta replica @ params_omega replica)
   in
   (Tensor.get (A.value l) 0 0, grads)
 
+let mc_loss_pooled_with ~draw pool t ~noises ~x ~labels =
+  match noises with
+  | [] -> invalid_arg "Network.mc_loss: no noise draws"
+  | _ ->
+      let draws = Array.of_list noises in
+      let n = Array.length draws in
+      let per_draw =
+        Parallel.Pool.map_array pool (fun noise -> draw t ~noise ~x ~labels) draws
+      in
+      (* Ordered reduction over the draw index: the summation order is fixed
+         by the draw order alone, so the result is bit-identical for any
+         worker count.  Draw 0's gradient copies double as the accumulators;
+         every later draw is added into them in place. *)
+      let total_loss = ref 0.0 in
+      let total_grads = ref [] in
+      Array.iteri
+        (fun i (l, grads) ->
+          total_loss := !total_loss +. l;
+          if i = 0 then total_grads := grads
+          else
+            List.iter2
+              (fun acc g -> Tensor.add_into acc g ~dst:acc)
+              !total_grads grads)
+        per_draw;
+      let inv_n = 1.0 /. float_of_int n in
+      List.iter (fun g -> Tensor.scale_into inv_n g ~dst:g) !total_grads;
+      A.precomputed
+        ~value:(Tensor.scalar (!total_loss *. inv_n))
+        (List.combine (params_theta t @ params_omega t) !total_grads)
+
 let mc_loss_pooled pool t ~noises ~x ~labels =
+  mc_loss_pooled_with ~draw:draw_loss_and_grads pool t ~noises ~x ~labels
+
+let mc_loss_pooled_alloc pool t ~noises ~x ~labels =
+  mc_loss_pooled_with ~draw:draw_loss_and_grads_alloc pool t ~noises ~x ~labels
+
+(* Forward-only pooled MC loss value.  Per-draw losses come from the cached
+   replicas (no backward pass); the draw-order fold and the final 1/n scale
+   reproduce {!mc_loss}'s arithmetic exactly, so the value is bit-identical
+   to [Tensor.get (A.value (mc_loss ...)) 0 0]. *)
+let mc_loss_value pool t ~noises ~x ~labels =
   match noises with
   | [] -> invalid_arg "Network.mc_loss: no noise draws"
   | _ ->
@@ -89,24 +235,20 @@ let mc_loss_pooled pool t ~noises ~x ~labels =
       let n = Array.length draws in
       let per_draw =
         Parallel.Pool.map_array pool
-          (fun noise -> draw_loss_and_grads t ~noise ~x ~labels)
+          (fun noise ->
+            let e = cached_graph loss_cache t ~noise ~x ~labels:(Some labels) in
+            Tensor.get (A.value e.c_root) 0 0)
           draws
       in
-      (* Ordered reduction over the draw index: the summation order is fixed
-         by the draw order alone, so the result is bit-identical for any
-         worker count. *)
-      let total_loss = ref 0.0 in
-      let total_grads = ref [] in
-      Array.iteri
-        (fun i (l, grads) ->
-          total_loss := !total_loss +. l;
-          total_grads := (if i = 0 then grads else List.map2 Tensor.add !total_grads grads))
-        per_draw;
-      let inv_n = 1.0 /. float_of_int n in
-      let grads = List.map (Tensor.scale inv_n) !total_grads in
-      A.precomputed
-        ~value:(Tensor.scalar (!total_loss *. inv_n))
-        (List.combine (params_theta t @ params_omega t) grads)
+      let total = ref per_draw.(0) in
+      for i = 1 to n - 1 do
+        total := !total +. per_draw.(i)
+      done;
+      !total *. (1.0 /. float_of_int n)
+
+let predict_cached t ~noise x =
+  let e = cached_graph logits_cache t ~noise ~x ~labels:None in
+  Tensor.argmax_rows (A.value e.c_root)
 
 type weights = (Tensor.t * Tensor.t * Tensor.t) list
 

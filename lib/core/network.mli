@@ -32,6 +32,12 @@ val logits : t -> noise:Noise.t -> Tensor.t -> Autodiff.t
 val predict : t -> noise:Noise.t -> Tensor.t -> int array
 (** Argmax classification under a given variation draw. *)
 
+val predict_cached : t -> noise:Noise.t -> Tensor.t -> int array
+(** As {!predict}, but running the forward pass in place over this domain's
+    cached compiled replica (built on first use, keyed by the network and
+    input tensor identities, reused across draws).  Bit-identical to
+    {!predict}; the Monte-Carlo evaluation hot path. *)
+
 val loss : t -> noise:Noise.t -> x:Tensor.t -> labels:Tensor.t -> Autodiff.t
 (** Softmax cross-entropy of one variation draw. *)
 
@@ -49,7 +55,38 @@ val mc_loss_pooled :
     a per-domain replica, then reduced in draw order (a fixed-order sum, so
     the returned value and the gradients {!Autodiff.backward} injects into
     this network's parameters are bit-identical for any pool size).  The
-    result supports {!Autodiff.backward} like {!mc_loss} does. *)
+    result supports {!Autodiff.backward} like {!mc_loss} does.
+
+    Each worker domain compiles its replica graph once and reuses it across
+    draws and epochs, re-running forward/backward in place after blitting
+    the master's parameters and the draw's noise into the leaves; gradients
+    are reduced in place into the first draw's buffers.  Allocation per draw
+    is limited to small per-parameter gradient copies. *)
+
+val mc_loss_pooled_alloc :
+  Parallel.Pool.t ->
+  t -> noises:Noise.t list -> x:Tensor.t -> labels:Tensor.t -> Autodiff.t
+(** Reference implementation of {!mc_loss_pooled} that builds a throwaway
+    replica graph per draw (the pre-cache behaviour).  Bit-identical to
+    {!mc_loss_pooled}; kept for regression tests and benchmarks. *)
+
+val mc_loss_value :
+  Parallel.Pool.t ->
+  t -> noises:Noise.t list -> x:Tensor.t -> labels:Tensor.t -> float
+(** Forward-only pooled Monte-Carlo loss (no gradients): bit-identical to
+    [Tensor.get (Autodiff.value (mc_loss ...)) 0 0] but runs on the cached
+    replicas.  The validation-loss hot path. *)
+
+val draw_loss_and_grads :
+  t -> noise:Noise.t -> x:Tensor.t -> labels:Tensor.t -> float * Tensor.t list
+(** One Monte-Carlo draw on this domain's cached replica: scalar loss plus
+    gradient copies in canonical order ([params_theta @ params_omega]).
+    Exposed for tests and benchmarks. *)
+
+val draw_loss_and_grads_alloc :
+  t -> noise:Noise.t -> x:Tensor.t -> labels:Tensor.t -> float * Tensor.t list
+(** As {!draw_loss_and_grads} but building a throwaway replica graph
+    (bit-identical; the allocating reference). *)
 
 val params_theta : t -> Autodiff.t list
 val params_omega : t -> Autodiff.t list

@@ -20,7 +20,7 @@ let replicate t = { raw = A.param (Tensor.copy (A.value t.raw)); surrogate = t.s
    RacyLazy, and layer replicas are built inside pool workers. *)
 let w_scaler = Surrogate.Scaler.of_bounds ~lo:Ds.learnable_lo ~hi:Ds.learnable_hi
 
-let printable_omega t ~noise =
+let printable_omega_node t ~noise_node =
   let s = A.sigmoid t.raw in
   let w = Surrogate.Scaler.inverse_ad w_scaler s in
   let field i = A.slice_cols w i 1 in
@@ -35,10 +35,26 @@ let printable_omega t ~noise =
     List.fold_left A.concat_cols r1 [ r2; r3; r4; r5; wd; ld ]
   in
   (* Variation is applied to the printable values (paper §III-C). *)
-  A.mul omega (A.const noise)
+  A.mul omega noise_node
+
+let printable_omega t ~noise = printable_omega_node t ~noise_node:(A.const noise)
 
 let eta t ~noise =
   Surrogate.Model.eval_ad t.surrogate (printable_omega t ~noise)
+
+let eta_pair act neg ~act_noise ~neg_noise =
+  (* Stack the two circuits' printable ω rows and run one surrogate forward
+     over the 2 × 7 batch instead of two 1 × 7 passes.  Every op on the
+     surrogate path (slices, elementwise, rowvec broadcasts, matmul) treats
+     rows independently with a fixed per-row accumulation order, so each
+     output row is bit-identical to its own single-row evaluation. *)
+  let om =
+    A.concat_rows
+      (printable_omega_node act ~noise_node:act_noise)
+      (printable_omega_node neg ~noise_node:neg_noise)
+  in
+  let e = Surrogate.Model.eval_ad act.surrogate om in
+  (A.slice_rows e 0 1, A.slice_rows e 1 1)
 
 let apply_eta eta_node v =
   let e i = A.slice_cols eta_node i 1 in

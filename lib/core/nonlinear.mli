@@ -39,6 +39,17 @@ val printable_omega : t -> noise:Tensor.t -> Autodiff.t
 val eta : t -> noise:Tensor.t -> Autodiff.t
 (** The 1 × 4 η node for the given variation draw. *)
 
+val eta_pair :
+  t -> t -> act_noise:Autodiff.t -> neg_noise:Autodiff.t -> Autodiff.t * Autodiff.t
+(** [eta_pair act neg ~act_noise ~neg_noise] evaluates both circuits' η in a
+    single batched surrogate forward pass (one 2 × 7 MLP evaluation instead
+    of two 1 × 7 ones) and returns [(η_act, η_neg)].  Noises enter as graph
+    nodes so a reused graph can be fed new draws via {!Autodiff.set_value}.
+    Each returned row is bit-identical to the corresponding {!eta}. *)
+
+val apply_eta : Autodiff.t -> Autodiff.t -> Autodiff.t
+(** [apply_eta η v] is ptanh(v) for an already-evaluated 1 × 4 η node. *)
+
 val apply : t -> noise:Tensor.t -> Autodiff.t -> Autodiff.t
 (** [apply t ~noise v] is ptanh(v) elementwise over the batch. *)
 

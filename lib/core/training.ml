@@ -55,10 +55,10 @@ let fit ?pool ?train_sampler ?val_noises rng network data =
   in
   let best = ref (Network.snapshot network) in
   let val_loss () =
-    let l =
-      Network.mc_loss network ~noises:val_noises ~x:data.x_val ~labels:data.y_val
-    in
-    Tensor.get (Autodiff.value l) 0 0
+    (* Forward-only on the cached replicas; bit-identical to the
+       full-graph [Network.mc_loss] value. *)
+    Network.mc_loss_value pool network ~noises:val_noises ~x:data.x_val
+      ~labels:data.y_val
   in
   let history =
     Nn.Train.run

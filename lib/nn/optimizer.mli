@@ -18,7 +18,10 @@ val adam : ?beta1:float -> ?beta2:float -> ?eps:float -> lr:float -> unit -> t
 
 val step : t -> Autodiff.t list -> unit
 (** Apply one update to every parameter in the list using its current
-    gradient. Raises [Invalid_argument] if a node is not a parameter. *)
+    gradient. Raises [Invalid_argument] if a node is not a parameter.
+    Updates run in place: parameter tensors and the Adam moment estimates
+    are mutated directly, with no per-step tensor allocation (beyond the
+    one-time state created on a parameter's first step). *)
 
 val lr : t -> float
 val set_lr : t -> float -> unit

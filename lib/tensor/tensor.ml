@@ -90,56 +90,149 @@ let map2 f a b =
   if a.rows <> b.rows || a.cols <> b.cols then shape_fail "map2" a b;
   { a with data = Array.map2 f a.data b.data }
 
-let binop name f a b =
-  if a.rows <> b.rows || a.cols <> b.cols then shape_fail name a b;
+(* The arithmetic kernels below are written as monomorphic direct loops
+   instead of going through a [binop f]-style higher-order helper: calling a
+   [float -> float -> float] closure per element boxes its arguments and
+   result on the minor heap, which dominated minor-words profiles of the
+   training hot path.  A direct [a +. b] on float-array reads stays fully
+   unboxed. *)
+
+let binop_check name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then shape_fail name a b
+
+let add a b =
+  binop_check "add" a b;
   let n = Array.length a.data in
   let data = Array.make n 0.0 in
   for i = 0 to n - 1 do
-    Array.unsafe_set data i (f (Array.unsafe_get a.data i) (Array.unsafe_get b.data i))
+    Array.unsafe_set data i (Array.unsafe_get a.data i +. Array.unsafe_get b.data i)
   done;
   { a with data }
 
-let add a b = binop "add" ( +. ) a b
-let sub a b = binop "sub" ( -. ) a b
-let mul a b = binop "mul" ( *. ) a b
-let div a b = binop "div" ( /. ) a b
-let neg t = map (fun x -> -.x) t
-let scale k t = map (fun x -> k *. x) t
-let add_scalar k t = map (fun x -> k +. x) t
+let sub a b =
+  binop_check "sub" a b;
+  let n = Array.length a.data in
+  let data = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set data i (Array.unsafe_get a.data i -. Array.unsafe_get b.data i)
+  done;
+  { a with data }
+
+let mul a b =
+  binop_check "mul" a b;
+  let n = Array.length a.data in
+  let data = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set data i (Array.unsafe_get a.data i *. Array.unsafe_get b.data i)
+  done;
+  { a with data }
+
+let div a b =
+  binop_check "div" a b;
+  let n = Array.length a.data in
+  let data = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set data i (Array.unsafe_get a.data i /. Array.unsafe_get b.data i)
+  done;
+  { a with data }
+
+let neg t =
+  let n = Array.length t.data in
+  let data = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set data i (-.Array.unsafe_get t.data i)
+  done;
+  { t with data }
+
+let scale k t =
+  let n = Array.length t.data in
+  let data = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set data i (k *. Array.unsafe_get t.data i)
+  done;
+  { t with data }
+
+let add_scalar k t =
+  let n = Array.length t.data in
+  let data = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set data i (k +. Array.unsafe_get t.data i)
+  done;
+  { t with data }
 
 let clamp ~lo ~hi t =
   if hi < lo then invalid_arg "Tensor.clamp: hi < lo";
-  map (fun x -> if x < lo then lo else if x > hi then hi else x) t
+  let n = Array.length t.data in
+  let data = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let x = Array.unsafe_get t.data i in
+    Array.unsafe_set data i (if x < lo then lo else if x > hi then hi else x)
+  done;
+  { t with data }
 
-let rowvec_op name f m v =
-  if v.rows <> 1 || v.cols <> m.cols then shape_fail name m v;
+let rowvec_check name m v =
+  if v.rows <> 1 || v.cols <> m.cols then shape_fail name m v
+
+let add_rowvec m v =
+  rowvec_check "add_rowvec" m v;
   let data = Array.make (m.rows * m.cols) 0.0 in
   for r = 0 to m.rows - 1 do
     let base = r * m.cols in
     for c = 0 to m.cols - 1 do
-      data.(base + c) <- f m.data.(base + c) v.data.(c)
+      data.(base + c) <- m.data.(base + c) +. v.data.(c)
     done
   done;
   { m with data }
 
-let add_rowvec m v = rowvec_op "add_rowvec" ( +. ) m v
-let mul_rowvec m v = rowvec_op "mul_rowvec" ( *. ) m v
+let mul_rowvec m v =
+  rowvec_check "mul_rowvec" m v;
+  let data = Array.make (m.rows * m.cols) 0.0 in
+  for r = 0 to m.rows - 1 do
+    let base = r * m.cols in
+    for c = 0 to m.cols - 1 do
+      data.(base + c) <- m.data.(base + c) *. v.data.(c)
+    done
+  done;
+  { m with data }
 
-let colvec_op name f m v =
-  if v.cols <> 1 || v.rows <> m.rows then shape_fail name m v;
+let colvec_check name m v =
+  if v.cols <> 1 || v.rows <> m.rows then shape_fail name m v
+
+let add_colvec m v =
+  colvec_check "add_colvec" m v;
   let data = Array.make (m.rows * m.cols) 0.0 in
   for r = 0 to m.rows - 1 do
     let base = r * m.cols in
     let x = v.data.(r) in
     for c = 0 to m.cols - 1 do
-      data.(base + c) <- f m.data.(base + c) x
+      data.(base + c) <- m.data.(base + c) +. x
     done
   done;
   { m with data }
 
-let add_colvec m v = colvec_op "add_colvec" ( +. ) m v
-let mul_colvec m v = colvec_op "mul_colvec" ( *. ) m v
-let div_colvec m v = colvec_op "div_colvec" ( /. ) m v
+let mul_colvec m v =
+  colvec_check "mul_colvec" m v;
+  let data = Array.make (m.rows * m.cols) 0.0 in
+  for r = 0 to m.rows - 1 do
+    let base = r * m.cols in
+    let x = v.data.(r) in
+    for c = 0 to m.cols - 1 do
+      data.(base + c) <- m.data.(base + c) *. x
+    done
+  done;
+  { m with data }
+
+let div_colvec m v =
+  colvec_check "div_colvec" m v;
+  let data = Array.make (m.rows * m.cols) 0.0 in
+  for r = 0 to m.rows - 1 do
+    let base = r * m.cols in
+    let x = v.data.(r) in
+    for c = 0 to m.cols - 1 do
+      data.(base + c) <- m.data.(base + c) /. x
+    done
+  done;
+  { m with data }
 
 let matmul a b =
   if a.cols <> b.rows then shape_fail "matmul" a b;
@@ -216,11 +309,17 @@ let dot a b =
   if a.rows <> b.rows || a.cols <> b.cols then shape_fail "dot" a b;
   let acc = ref 0.0 in
   for i = 0 to Array.length a.data - 1 do
-    acc := !acc +. (a.data.(i) *. b.data.(i))
+    acc := !acc +. (Array.unsafe_get a.data i *. Array.unsafe_get b.data i)
   done;
   !acc
 
-let sum t = Array.fold_left ( +. ) 0.0 t.data
+let sum t =
+  (* left-to-right accumulation, same order as [Array.fold_left ( +. ) 0.0] *)
+  let acc = ref 0.0 in
+  for i = 0 to Array.length t.data - 1 do
+    acc := !acc +. Array.unsafe_get t.data i
+  done;
+  !acc
 
 let mean t =
   if numel t = 0 then invalid_arg "Tensor.mean: empty tensor";
@@ -297,12 +396,269 @@ let take_rows t idx =
         invalid_arg "Tensor.take_rows: index out of range";
       t.data.((src * t.cols) + c))
 
+(* {1 In-place (destination-passing) kernels}
+
+   Every [*_into] kernel performs the exact same floating-point operations in
+   the exact same order as its allocating counterpart, so results are
+   bit-identical — the training hot path relies on this to stay deterministic
+   while reusing buffers.  Elementwise kernels read and write index [i] only,
+   so [dst] may alias an input; kernels with non-trivial access patterns
+   (matmul, transpose, slices, reductions, broadcasts) require [dst] to be
+   distinct from every input (not enforced). *)
+
+let shape_check_dst name dst rows cols =
+  if dst.rows <> rows || dst.cols <> cols then
+    invalid_arg
+      (Printf.sprintf "Tensor.%s: dst shape %s, expected %s" name
+         (shape_string dst.rows dst.cols)
+         (shape_string rows cols))
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let blit ~src ~dst =
+  if src.rows <> dst.rows || src.cols <> dst.cols then shape_fail "blit" src dst;
+  Array.blit src.data 0 dst.data 0 (Array.length src.data)
+
+let map_into f a ~dst =
+  shape_check_dst "map_into" dst a.rows a.cols;
+  for i = 0 to Array.length a.data - 1 do
+    Array.unsafe_set dst.data i (f (Array.unsafe_get a.data i))
+  done
+
+let map2_into f a b ~dst =
+  if a.rows <> b.rows || a.cols <> b.cols then shape_fail "map2_into" a b;
+  shape_check_dst "map2_into" dst a.rows a.cols;
+  for i = 0 to Array.length a.data - 1 do
+    Array.unsafe_set dst.data i
+      (f (Array.unsafe_get a.data i) (Array.unsafe_get b.data i))
+  done
+
+(* Direct loops for the same boxing-avoidance reason as the allocating
+   arithmetic kernels above. *)
+
+let add_into a b ~dst =
+  binop_check "add_into" a b;
+  shape_check_dst "add_into" dst a.rows a.cols;
+  for i = 0 to Array.length a.data - 1 do
+    Array.unsafe_set dst.data i
+      (Array.unsafe_get a.data i +. Array.unsafe_get b.data i)
+  done
+
+let sub_into a b ~dst =
+  binop_check "sub_into" a b;
+  shape_check_dst "sub_into" dst a.rows a.cols;
+  for i = 0 to Array.length a.data - 1 do
+    Array.unsafe_set dst.data i
+      (Array.unsafe_get a.data i -. Array.unsafe_get b.data i)
+  done
+
+let mul_into a b ~dst =
+  binop_check "mul_into" a b;
+  shape_check_dst "mul_into" dst a.rows a.cols;
+  for i = 0 to Array.length a.data - 1 do
+    Array.unsafe_set dst.data i
+      (Array.unsafe_get a.data i *. Array.unsafe_get b.data i)
+  done
+
+let div_into a b ~dst =
+  binop_check "div_into" a b;
+  shape_check_dst "div_into" dst a.rows a.cols;
+  for i = 0 to Array.length a.data - 1 do
+    Array.unsafe_set dst.data i
+      (Array.unsafe_get a.data i /. Array.unsafe_get b.data i)
+  done
+
+let neg_into a ~dst =
+  shape_check_dst "neg_into" dst a.rows a.cols;
+  for i = 0 to Array.length a.data - 1 do
+    Array.unsafe_set dst.data i (-.Array.unsafe_get a.data i)
+  done
+
+let scale_into k a ~dst =
+  shape_check_dst "scale_into" dst a.rows a.cols;
+  for i = 0 to Array.length a.data - 1 do
+    Array.unsafe_set dst.data i (k *. Array.unsafe_get a.data i)
+  done
+
+let add_scalar_into k a ~dst =
+  shape_check_dst "add_scalar_into" dst a.rows a.cols;
+  for i = 0 to Array.length a.data - 1 do
+    Array.unsafe_set dst.data i (k +. Array.unsafe_get a.data i)
+  done
+
+let add_rowvec_into m v ~dst =
+  rowvec_check "add_rowvec_into" m v;
+  shape_check_dst "add_rowvec_into" dst m.rows m.cols;
+  for r = 0 to m.rows - 1 do
+    let base = r * m.cols in
+    for c = 0 to m.cols - 1 do
+      Array.unsafe_set dst.data (base + c)
+        (Array.unsafe_get m.data (base + c) +. Array.unsafe_get v.data c)
+    done
+  done
+
+let mul_rowvec_into m v ~dst =
+  rowvec_check "mul_rowvec_into" m v;
+  shape_check_dst "mul_rowvec_into" dst m.rows m.cols;
+  for r = 0 to m.rows - 1 do
+    let base = r * m.cols in
+    for c = 0 to m.cols - 1 do
+      Array.unsafe_set dst.data (base + c)
+        (Array.unsafe_get m.data (base + c) *. Array.unsafe_get v.data c)
+    done
+  done
+
+let broadcast_rowvec_into v ~dst =
+  (* each dst row := v; bit-identical to [mul_rowvec (ones …) v]
+     (1.0 *. x = x for every float, including signed zeros) *)
+  if v.rows <> 1 || v.cols <> dst.cols then shape_fail "broadcast_rowvec_into" dst v;
+  for r = 0 to dst.rows - 1 do
+    Array.blit v.data 0 dst.data (r * dst.cols) dst.cols
+  done
+
+let matmul_into a b ~dst =
+  if a.cols <> b.rows then shape_fail "matmul_into" a b;
+  let m = a.rows and k = a.cols and n = b.cols in
+  shape_check_dst "matmul_into" dst m n;
+  let data = dst.data in
+  Array.fill data 0 (m * n) 0.0;
+  (* identical ikj order and zero-skip as [matmul] *)
+  for i = 0 to m - 1 do
+    let a_base = i * k and c_base = i * n in
+    for p = 0 to k - 1 do
+      let aip = Array.unsafe_get a.data (a_base + p) in
+      if aip <> 0.0 then begin
+        let b_base = p * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set data (c_base + j)
+            (Array.unsafe_get data (c_base + j)
+            +. (aip *. Array.unsafe_get b.data (b_base + j)))
+        done
+      end
+    done
+  done
+
+let matmul_nt_into a b ~dst =
+  if a.cols <> b.cols then shape_fail "matmul_nt_into" a b;
+  let m = a.rows and k = a.cols and n = b.rows in
+  shape_check_dst "matmul_nt_into" dst m n;
+  let data = dst.data in
+  for i = 0 to m - 1 do
+    let a_base = i * k and c_base = i * n in
+    for j = 0 to n - 1 do
+      let b_base = j * k in
+      let acc = ref 0.0 in
+      for p = 0 to k - 1 do
+        let aip = Array.unsafe_get a.data (a_base + p) in
+        if aip <> 0.0 then
+          acc := !acc +. (aip *. Array.unsafe_get b.data (b_base + p))
+      done;
+      Array.unsafe_set data (c_base + j) !acc
+    done
+  done
+
+let transpose_into t ~dst =
+  let rows = t.rows and cols = t.cols in
+  shape_check_dst "transpose_into" dst cols rows;
+  let src = t.data and data = dst.data in
+  let bs = 32 in
+  let r0 = ref 0 in
+  while !r0 < rows do
+    let rmax = Stdlib.min rows (!r0 + bs) in
+    let c0 = ref 0 in
+    while !c0 < cols do
+      let cmax = Stdlib.min cols (!c0 + bs) in
+      for r = !r0 to rmax - 1 do
+        let base = r * cols in
+        for c = !c0 to cmax - 1 do
+          Array.unsafe_set data ((c * rows) + r) (Array.unsafe_get src (base + c))
+        done
+      done;
+      c0 := !c0 + bs
+    done;
+    r0 := !r0 + bs
+  done
+
+let sum_rows_into t ~dst =
+  shape_check_dst "sum_rows_into" dst 1 t.cols;
+  let data = dst.data in
+  Array.fill data 0 t.cols 0.0;
+  for r = 0 to t.rows - 1 do
+    let base = r * t.cols in
+    for c = 0 to t.cols - 1 do
+      Array.unsafe_set data c
+        (Array.unsafe_get data c +. Array.unsafe_get t.data (base + c))
+    done
+  done
+
+let sum_cols_into t ~dst =
+  shape_check_dst "sum_cols_into" dst t.rows 1;
+  for r = 0 to t.rows - 1 do
+    let base = r * t.cols in
+    let acc = ref 0.0 in
+    for c = 0 to t.cols - 1 do
+      acc := !acc +. Array.unsafe_get t.data (base + c)
+    done;
+    Array.unsafe_set dst.data r !acc
+  done
+
+let slice_cols_into t start len ~dst =
+  if start < 0 || len < 0 || start + len > t.cols then
+    invalid_arg
+      (Printf.sprintf "Tensor.slice_cols_into: [%d,%d) out of %d cols" start
+         (start + len) t.cols);
+  shape_check_dst "slice_cols_into" dst t.rows len;
+  for r = 0 to t.rows - 1 do
+    Array.blit t.data ((r * t.cols) + start) dst.data (r * len) len
+  done
+
+let slice_rows_into t start len ~dst =
+  if start < 0 || len < 0 || start + len > t.rows then
+    invalid_arg
+      (Printf.sprintf "Tensor.slice_rows_into: [%d,%d) out of %d rows" start
+         (start + len) t.rows);
+  shape_check_dst "slice_rows_into" dst len t.cols;
+  Array.blit t.data (start * t.cols) dst.data 0 (len * t.cols)
+
+let embed_cols_into src start ~dst =
+  (* dst := 0 everywhere except columns [start, start + cols src), which
+     receive src — the scatter used by the slice_cols gradient. *)
+  if src.rows <> dst.rows || start < 0 || start + src.cols > dst.cols then
+    shape_fail "embed_cols_into" src dst;
+  fill dst 0.0;
+  for r = 0 to src.rows - 1 do
+    Array.blit src.data (r * src.cols) dst.data ((r * dst.cols) + start) src.cols
+  done
+
+let embed_rows_into src start ~dst =
+  if src.cols <> dst.cols || start < 0 || start + src.rows > dst.rows then
+    shape_fail "embed_rows_into" src dst;
+  fill dst 0.0;
+  Array.blit src.data 0 dst.data (start * dst.cols) (src.rows * dst.cols)
+
+let concat_cols_into a b ~dst =
+  if a.rows <> b.rows then shape_fail "concat_cols_into" a b;
+  shape_check_dst "concat_cols_into" dst a.rows (a.cols + b.cols);
+  for r = 0 to a.rows - 1 do
+    Array.blit a.data (r * a.cols) dst.data (r * dst.cols) a.cols;
+    Array.blit b.data (r * b.cols) dst.data ((r * dst.cols) + a.cols) b.cols
+  done
+
+let concat_rows_into a b ~dst =
+  if a.cols <> b.cols then shape_fail "concat_rows_into" a b;
+  shape_check_dst "concat_rows_into" dst (a.rows + b.rows) a.cols;
+  Array.blit a.data 0 dst.data 0 (Array.length a.data);
+  Array.blit b.data 0 dst.data (Array.length a.data) (Array.length b.data)
+
 let equal ?(eps = 0.0) a b =
   a.rows = b.rows && a.cols = b.cols
   && begin
+       (* [not (|x - y| <= eps)] instead of [|x - y| > eps]: a NaN difference
+          fails both comparisons, so any NaN entry makes the tensors unequal
+          (IEEE semantics) instead of silently comparing as equal. *)
        let ok = ref true in
        Array.iteri
-         (fun i x -> if Float.abs (x -. b.data.(i)) > eps then ok := false)
+         (fun i x -> if not (Float.abs (x -. b.data.(i)) <= eps) then ok := false)
          a.data;
        !ok
      end

@@ -121,8 +121,74 @@ val slice_cols : t -> int -> int -> t
 val take_rows : t -> int array -> t
 (** Gather rows by index (used for dataset splits). *)
 
+(** {1 In-place (destination-passing) kernels}
+
+    Allocation-free counterparts of the operations above: each [*_into]
+    kernel writes its result into [dst] and performs the {e exact same
+    floating-point operations in the exact same order} as the allocating
+    version, so results are bit-identical — the autodiff scratch buffers and
+    the variation-aware training hot path rely on this for determinism.
+
+    Aliasing convention: elementwise kernels ([add_into] … [map2_into],
+    [neg_into], [scale_into], [add_scalar_into], and the [*_rowvec_into]
+    broadcasts) read and write only index [i] (resp. [(r, c)]) at a time, so
+    [dst] may alias an input.  All other kernels (matmul, transpose, slices,
+    embeds, concats, reductions, [broadcast_rowvec_into]) require [dst] to be
+    distinct from every input; aliasing them is undefined (and not checked).
+
+    All kernels raise [Invalid_argument] if [dst] has the wrong shape. *)
+
+val fill : t -> float -> unit
+(** Set every entry. *)
+
+val blit : src:t -> dst:t -> unit
+(** Copy [src] into [dst] (same shape). *)
+
+val map_into : (float -> float) -> t -> dst:t -> unit
+val map2_into : (float -> float -> float) -> t -> t -> dst:t -> unit
+val add_into : t -> t -> dst:t -> unit
+val sub_into : t -> t -> dst:t -> unit
+val mul_into : t -> t -> dst:t -> unit
+val div_into : t -> t -> dst:t -> unit
+val neg_into : t -> dst:t -> unit
+val scale_into : float -> t -> dst:t -> unit
+val add_scalar_into : float -> t -> dst:t -> unit
+val add_rowvec_into : t -> t -> dst:t -> unit
+val mul_rowvec_into : t -> t -> dst:t -> unit
+
+val broadcast_rowvec_into : t -> dst:t -> unit
+(** Every row of [dst] := the [1 × cols] vector.  Bit-identical to
+    [mul_rowvec (ones …) v] (multiplying by 1.0 is exact). *)
+
+val matmul_into : t -> t -> dst:t -> unit
+val matmul_nt_into : t -> t -> dst:t -> unit
+val transpose_into : t -> dst:t -> unit
+val sum_rows_into : t -> dst:t -> unit
+(** [dst] is [1 × cols]. *)
+
+val sum_cols_into : t -> dst:t -> unit
+(** [dst] is [rows × 1]. *)
+
+val slice_cols_into : t -> int -> int -> dst:t -> unit
+(** [slice_cols_into t start len ~dst] with [dst] of shape [rows × len]. *)
+
+val slice_rows_into : t -> int -> int -> dst:t -> unit
+
+val embed_cols_into : t -> int -> dst:t -> unit
+(** [embed_cols_into src start ~dst]: [dst] := zeros except columns
+    [start, start + cols src) := [src] — the scatter adjoint of
+    {!slice_cols}. *)
+
+val embed_rows_into : t -> int -> dst:t -> unit
+val concat_cols_into : t -> t -> dst:t -> unit
+val concat_rows_into : t -> t -> dst:t -> unit
+
 (** {1 Comparison and printing} *)
 
+(** [equal ?eps a b] is shape equality plus entrywise [|a - b| <= eps]
+    (default exact).  Any NaN entry on either side makes the result [false]
+    (IEEE comparison semantics): a NaN never equals anything, including
+    another NaN. *)
 val equal : ?eps:float -> t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -204,6 +204,37 @@ let test_generate_dataset_bit_identical () =
     (Array.map bits d1.Surrogate.Pipeline.fit_rmses)
     (Array.map bits d4.Surrogate.Pipeline.fit_rmses)
 
+(* A full (short) Training.fit — replica caches, in-place gradient reduction,
+   Adam and early stopping included — must produce bit-identical loss
+   histories and final parameters for 1 and 4 jobs. *)
+let test_fit_bit_identical () =
+  let fit pool =
+    let net = make_net 23 in
+    let data = Pnn.Training.of_split ~n_classes:2 (blob_split ()) in
+    let short = { config with Pnn.Config.max_epochs = 8; patience = 20 } in
+    let net = Pnn.Network.of_layers short (Pnn.Network.layers net) in
+    let res = Pnn.Training.fit ~pool (Rng.create 77) net data in
+    let params =
+      List.map
+        (fun p -> T.copy (A.value p))
+        (Pnn.Network.params_theta net @ Pnn.Network.params_omega net)
+    in
+    (res.Pnn.Training.history, params)
+  in
+  let h1, p1 = fit (Lazy.force pool1) in
+  let h4, p4 = fit (Lazy.force pool4) in
+  Alcotest.(check (array int64))
+    "train losses bitwise equal"
+    (Array.map bits h1.Nn.Train.train_losses)
+    (Array.map bits h4.Nn.Train.train_losses);
+  Alcotest.(check (array int64))
+    "val losses bitwise equal"
+    (Array.map bits h1.Nn.Train.val_losses)
+    (Array.map bits h4.Nn.Train.val_losses);
+  List.iteri
+    (fun i (a, b) -> check_tensor_bits (Printf.sprintf "final param %d" i) a b)
+    (List.combine p1 p4)
+
 (* Table II at a tiny scale: two seeds so train_best actually fans out, one
    test epsilon, a short training budget.  The rendered table (all cells) must
    match exactly across job counts. *)
@@ -258,6 +289,7 @@ let () =
             test_mc_accuracy_bit_identical;
           Alcotest.test_case "training step bit-identical" `Quick
             test_training_step_bit_identical;
+          Alcotest.test_case "fit bit-identical" `Quick test_fit_bit_identical;
           Alcotest.test_case "generate_dataset bit-identical" `Quick
             test_generate_dataset_bit_identical;
           Alcotest.test_case "table2 quick-scale bit-identical" `Quick
