@@ -156,6 +156,31 @@ let lifetime_cmd =
     (Cmd.info "lifetime" ~doc:"extension: aging-aware vs aging-unaware training")
     Term.(const cmd_lifetime $ scale_arg $ dataset_arg $ verbose_arg)
 
+let cmd_faults scale_name dataset epsilon csv verbose =
+  setup_logs verbose;
+  let scale = Experiments.Setup.of_name scale_name in
+  let surrogate = Experiments.Setup.surrogate_of_scale scale in
+  let progress msg = Printf.eprintf "[faults] %s\n%!" msg in
+  let t0 = Unix.gettimeofday () in
+  let result = Experiments.Faults.run ~progress ?dataset ~epsilon scale surrogate in
+  print_string (Experiments.Faults.render result);
+  Printf.printf "(%.1fs)\n" (Unix.gettimeofday () -. t0);
+  match csv with
+  | Some path ->
+      let header, rows = Experiments.Faults.to_csv_rows result in
+      Experiments.Report.write_csv ~path ~header ~rows;
+      Printf.printf "wrote %s\n" path
+  | None -> ()
+
+let epsilon_arg =
+  Arg.(value & opt float 0.10 & info [ "epsilon" ] ~doc:"family severity anchor")
+
+let faults_cmd =
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"extension: fault-injection grid and severity sweeps (Variation models)")
+    Term.(const cmd_faults $ scale_arg $ dataset_arg $ epsilon_arg $ csv_arg $ verbose_arg)
+
 let which_arg =
   Arg.(
     value
@@ -170,6 +195,9 @@ let ablations_cmd =
 let main =
   Cmd.group
     (Cmd.info "experiment" ~doc:"reproduce the paper's tables and figures")
-    [ table1_cmd; table2_cmd; table3_cmd; fig2_cmd; fig4_cmd; ablations_cmd; lifetime_cmd ]
+    [
+      table1_cmd; table2_cmd; table3_cmd; fig2_cmd; fig4_cmd; ablations_cmd;
+      lifetime_cmd; faults_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

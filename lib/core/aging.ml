@@ -2,41 +2,28 @@ type model = { kappa_max : float; beta : float }
 
 let default_model = { kappa_max = 0.2; beta = 0.5 }
 
-let omega_dim = Surrogate.Design_space.dim
+(* The drift law lives in {!Variation} now (as the [Aging] constructor);
+   this module keeps the aging-specific entry points as thin wrappers. *)
+let to_variation ?t_frac model =
+  Variation.Aging { kappa_max = model.kappa_max; beta = model.beta; t_frac }
 
-(* Multipliers: conductances decay (1 - delta); circuit resistances R1..R5
-   grow (1 + delta); W and L (geometry, indices 5 and 6) do not age. *)
 let draw rng model ~t_frac ~theta_shapes =
   if t_frac < 0.0 || t_frac > 1.0 then invalid_arg "Aging.draw: t_frac outside [0,1]";
-  let drift () = Rng.uniform rng ~lo:0.0 ~hi:model.kappa_max *. (t_frac ** model.beta) in
-  let theta_mult r c = Tensor.init r c (fun _ _ -> 1.0 -. drift ()) in
-  let omega_mult () =
-    Tensor.init 1 omega_dim (fun _ j -> if j >= 5 then 1.0 else 1.0 +. drift ())
-  in
-  List.map
-    (fun (r, c) ->
-      {
-        Noise.theta = theta_mult r c;
-        act_omega = omega_mult ();
-        neg_omega = omega_mult ();
-      })
-    theta_shapes
+  Variation.draw rng
+    (to_variation ~t_frac model)
+    (Variation.ctx_of_shapes theta_shapes)
 
 let draw_lifetime rng model ~theta_shapes ~n =
-  List.init n (fun _ -> draw rng model ~t_frac:(Rng.float rng) ~theta_shapes)
+  (* t ~ U[0,1] is drawn inside Variation (t_frac = None), immediately before
+     each realization — the same stream order as drawing t explicitly here. *)
+  Variation.draw_many rng (to_variation model) (Variation.ctx_of_shapes theta_shapes) ~n
 
-let fit_aging_aware rng model network data =
-  let config = Network.config network in
-  let shapes = Network.theta_shapes network in
-  let train_rng = Rng.copy rng in
-  let val_rng = Rng.split rng in
-  let train_sampler () =
-    draw_lifetime train_rng model ~theta_shapes:shapes ~n:config.Config.n_mc_train
-  in
-  let val_noises =
-    draw_lifetime val_rng model ~theta_shapes:shapes ~n:config.Config.n_mc_val
-  in
-  Training.fit ~train_sampler ~val_noises rng network data
+let fit_aging_aware ?pool rng model network data =
+  (* [Training.fit_under] derives the train/val streams with [Rng.split];
+     the previous implementation used [Rng.copy] for the training stream,
+     which aliased the caller's generator — every later draw from [rng]
+     replayed the training noise values (see docs/INTERNALS.md). *)
+  Training.fit_under ?pool rng ~model:(to_variation model) network data
 
 let accuracy_over_lifetime rng model network ~t_fracs ~n ~x ~y =
   let shapes = Network.theta_shapes network in

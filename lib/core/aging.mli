@@ -21,6 +21,14 @@ type model = {
 val default_model : model
 (** κ_max = 0.2, β = 0.5. *)
 
+val to_variation : ?t_frac:float -> model -> Variation.model
+(** The drift law as a composable {!Variation.model} — [Variation.Aging]
+    with this model's parameters.  Omitting [t_frac] gives the lifetime
+    sampler (t ~ U[0,1] per draw); passing it fixes the life fraction.
+    Compose with other families, e.g.
+    [Variation.Compose [to_variation m; Uniform 0.05]] for an aged device
+    that was also printed imperfectly. *)
+
 val draw :
   Rng.t -> model -> t_frac:float -> theta_shapes:(int * int) list -> Noise.t
 (** One aging realization at a fixed life fraction. Raises
@@ -32,8 +40,12 @@ val draw_lifetime :
     the training-time sampler. *)
 
 val fit_aging_aware :
+  ?pool:Parallel.Pool.t ->
   Rng.t -> model -> Network.t -> Training.data -> Training.result
-(** {!Training.fit} with lifetime sampling instead of printing variation. *)
+(** {!Training.fit_under} with the lifetime model: training noise resamples
+    t ~ U[0,1] every epoch, validation noise is fixed.  Train and validation
+    streams are independent [Rng.split]s of [rng] — neither aliases the
+    caller's stream. *)
 
 val accuracy_over_lifetime :
   Rng.t ->

@@ -10,6 +10,7 @@ type t = {
   g_min : float;
   g_max : float;
   logit_scale : float;
+  val_every : int;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     g_min = 0.01;
     g_max = 1.0;
     logit_scale = 4.0;
+    val_every = 5;
   }
 
 let paper () =

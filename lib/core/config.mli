@@ -21,6 +21,9 @@ type t = {
   logit_scale : float;
       (** temperature applied to output voltages before softmax cross-entropy
           (output voltages live in ≈[0,1], so raw differences are tiny) *)
+  val_every : int;
+      (** epochs between validation passes (and early-stopping checks);
+          1 validates every epoch as the paper's full runs do *)
 }
 
 val default : t

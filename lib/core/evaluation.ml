@@ -17,6 +17,42 @@ let nominal_accuracy network ~x ~y =
   let shapes = Network.theta_shapes network in
   accuracy_under network (Noise.none ~theta_shapes:shapes) ~x ~y
 
+type mc_result = {
+  mean : float;
+  std : float;
+  min : float;
+  q05 : float;
+  median : float;
+  q95 : float;
+  accuracies : float array;
+}
+
+let mc_result_under ?pool rng network ~model ~n ~x ~y =
+  if n < 1 then invalid_arg "Evaluation.mc_result_under: n < 1";
+  Variation.validate model;
+  let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
+  let ctx = Variation.ctx_of_network network in
+  (* Same determinism pattern as [mc_accuracy]: pre-draw sequentially on the
+     calling domain, fan out the pure forward passes. *)
+  let noises = Array.make n [] in
+  for i = 0 to n - 1 do
+    noises.(i) <- Variation.draw rng model ctx
+  done;
+  let accuracies =
+    Parallel.Pool.map_array pool
+      (fun noise -> accuracy_under network noise ~x ~y)
+      noises
+  in
+  {
+    mean = Stats.mean accuracies;
+    std = (if n > 1 then Stats.std accuracies else 0.0);
+    min = Stats.min accuracies;
+    q05 = Stats.quantile accuracies 0.05;
+    median = Stats.median accuracies;
+    q95 = Stats.quantile accuracies 0.95;
+    accuracies;
+  }
+
 let mc_accuracy ?pool rng network ~epsilon ~n ~x ~y =
   if n < 1 then invalid_arg "Evaluation.mc_accuracy: n < 1";
   let shapes = Network.theta_shapes network in

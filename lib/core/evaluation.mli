@@ -32,3 +32,28 @@ val mc_accuracy :
     @raise Invalid_argument if [n < 1]. *)
 
 val nominal_accuracy : Network.t -> x:Tensor.t -> y:int array -> float
+
+type mc_result = {
+  mean : float;
+  std : float;  (** sample std; [0.0] when [n = 1] *)
+  min : float;  (** worst draw — the robustness floor *)
+  q05 : float;
+  median : float;
+  q95 : float;
+  accuracies : float array;  (** one entry per draw, in draw order *)
+}
+(** Distribution summary of the Monte-Carlo test accuracy — the tails matter
+    for fault models, where the mean hides rare catastrophic draws. *)
+
+val mc_result_under :
+  ?pool:Parallel.Pool.t ->
+  Rng.t ->
+  Network.t ->
+  model:Variation.model -> n:int -> x:Tensor.t -> y:int array -> mc_result
+(** Evaluates [n] draws from an arbitrary {!Variation.model} (always [n]
+    draws — no nominal short-circuit) and summarizes the accuracy
+    distribution.  Pre-draws the noise sequentially, fans the pure forward
+    passes out over [pool]: bit-identical for any worker count.
+
+    @raise Invalid_argument if [n < 1] or the model fails
+    {!Variation.validate}. *)

@@ -13,14 +13,23 @@ let tensor_of_line line =
   | [] | [ _ ] -> failwith "Serialize: malformed tensor line"
 
 let config_line (c : Config.t) =
-  Printf.sprintf "config %d %h %h %h %d %d %d %d %h %h %h" c.Config.hidden
+  Printf.sprintf "config %d %h %h %h %d %d %d %d %h %h %h %d" c.Config.hidden
     c.Config.lr_theta c.Config.lr_omega c.Config.epsilon c.Config.n_mc_train
     c.Config.n_mc_val c.Config.max_epochs c.Config.patience c.Config.g_min
-    c.Config.g_max c.Config.logit_scale
+    c.Config.g_max c.Config.logit_scale c.Config.val_every
 
 let config_of_line line =
   match String.split_on_char ' ' (String.trim line) with
-  | [ "config"; hidden; lr_t; lr_o; eps; mct; mcv; me; pat; gmin; gmax; ls ] ->
+  | "config" :: hidden :: lr_t :: lr_o :: eps :: mct :: mcv :: me :: pat
+    :: gmin :: gmax :: ls :: rest ->
+      (* [rest] distinguishes format versions: pre-val_every lines have 11
+         fields and keep the historical default. *)
+      let val_every =
+        match rest with
+        | [] -> 5
+        | [ ve ] -> int_of_string ve
+        | _ -> failwith "Serialize: bad config line"
+      in
       {
         Config.hidden = int_of_string hidden;
         lr_theta = float_of_string lr_t;
@@ -33,6 +42,7 @@ let config_of_line line =
         g_min = float_of_string gmin;
         g_max = float_of_string gmax;
         logit_scale = float_of_string ls;
+        val_every;
       }
   | _ -> failwith "Serialize: bad config line"
 

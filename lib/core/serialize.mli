@@ -6,6 +6,18 @@
     is a shared artifact with its own cache); [load] takes it as an input and
     checks the architecture matches. *)
 
+val tensor_line : Tensor.t -> string
+val tensor_of_line : string -> Tensor.t
+(** Single-tensor line codec ([rows cols v0 v1 …] with [%h] hex floats —
+    bit-exact round-trips including ±inf, −0.0 and signed NaN; NaN payloads
+    are canonicalized by [%h]).  Raises [Failure] on malformed input. *)
+
+val config_line : Config.t -> string
+val config_of_line : string -> Config.t
+(** Config line codec.  [config_of_line] accepts both the current 12-field
+    format and pre-[val_every] 11-field lines (defaulting [val_every] to 5).
+    Raises [Failure] on malformed input. *)
+
 val to_lines : Network.t -> string list
 val of_lines : Surrogate.Model.t -> string list -> Network.t * string list
 (** Raises [Failure] on malformed input. *)

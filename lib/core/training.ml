@@ -67,7 +67,7 @@ let fit ?pool ?train_sampler ?val_noises rng network data =
           Nn.Train.default_config with
           max_epochs = config.Config.max_epochs;
           patience = config.Config.patience;
-          val_every = 5;
+          val_every = config.Config.val_every;
         }
       ~optimizers
       ~train_loss:(fun () ->
@@ -80,6 +80,20 @@ let fit ?pool ?train_sampler ?val_noises rng network data =
       ~restore:(fun () -> Network.restore network !best)
   in
   { network; history; val_loss = history.Nn.Train.best_val_loss }
+
+(* Sub-stream derivation follows the split-only convention (docs/INTERNALS):
+   the caller's rng is advanced by exactly two splits, and neither derived
+   stream aliases it — later caller draws never replay training noise. *)
+let fit_under ?pool rng ~model network data =
+  let config = Network.config network in
+  let ctx = Variation.ctx_of_network network in
+  let train_rng = Rng.split rng in
+  let val_rng = Rng.split rng in
+  let train_sampler =
+    Variation.sampler train_rng model ctx ~n:config.Config.n_mc_train
+  in
+  let val_noises = Variation.draw_many val_rng model ctx ~n:config.Config.n_mc_val in
+  fit ?pool ~train_sampler ~val_noises rng network data
 
 let train_fresh ?pool ?init rng config surrogate ~n_classes split =
   let data = of_split ~n_classes split in

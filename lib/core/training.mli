@@ -40,6 +40,17 @@ val fit :
     are drawn on the training loop's domain, so the RNG stream and the
     resulting parameter trajectory are bit-identical for any pool size. *)
 
+val fit_under :
+  ?pool:Parallel.Pool.t -> Rng.t -> model:Variation.model -> Network.t -> data -> result
+(** {!fit} with training and validation noise drawn from an arbitrary
+    {!Variation.model} instead of the config's uniform ε — variation-aware
+    training against any fault family.  The training sampler and the fixed
+    validation draws get independent sub-streams via [Rng.split] (the
+    caller's generator is advanced by exactly two splits and is never
+    aliased), and fresh training draws target the {e current} parameters, so
+    defect models track the optimizer.  Raises [Invalid_argument] on an
+    ill-formed model ({!Variation.validate}). *)
+
 val train_fresh :
   ?pool:Parallel.Pool.t ->
   ?init:[ `Centered | `Random_sign ] ->

@@ -32,6 +32,8 @@ let r2 ~pred ~target =
 
 let confusion ~logits ~labels ~n_classes =
   let pred = Tensor.argmax_rows logits in
+  if Array.length pred <> Array.length labels then
+    invalid_arg "Metrics.confusion: row count mismatch";
   let m = Array.make_matrix n_classes n_classes 0 in
   Array.iteri
     (fun i p ->

@@ -23,8 +23,9 @@ let max a =
 let quantile a q =
   check "quantile" a;
   if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  if Array.exists Float.is_nan a then invalid_arg "Stats.quantile: nan input";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let pos = q *. float_of_int (n - 1) in
   let lo = Stdlib.min (Stdlib.max (int_of_float pos) 0) (n - 1) in

@@ -14,6 +14,8 @@ val max : float array -> float
 val median : float array -> float
 val quantile : float array -> float -> float
 (** [quantile a q] with [q] in [\[0,1]]; linear interpolation between order
-    statistics. *)
+    statistics (sorted with [Float.compare]).  Raises [Invalid_argument] on
+    empty input, [q] outside [\[0,1]], or any NaN entry (a NaN has no order
+    statistic). *)
 
 val mean_std : float array -> float * float

@@ -214,6 +214,17 @@ let test_metrics_confusion () =
   Alcotest.(check int) "confusion 1->0" 1 m.(1).(0);
   Alcotest.(check int) "tp class1" 1 m.(1).(1)
 
+let test_metrics_confusion_length_mismatch () =
+  let logits = T.of_arrays [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  (* shorter labels used to raise Index out of bounds; longer labels were
+     silently truncated — both must be rejected up front *)
+  Alcotest.check_raises "short labels"
+    (Invalid_argument "Metrics.confusion: row count mismatch") (fun () ->
+      ignore (Nn.Metrics.confusion ~logits ~labels:[| 0; 1 |] ~n_classes:2));
+  Alcotest.check_raises "long labels"
+    (Invalid_argument "Metrics.confusion: row count mismatch") (fun () ->
+      ignore (Nn.Metrics.confusion ~logits ~labels:[| 0; 1; 1; 0 |] ~n_classes:2))
+
 let test_init_ranges () =
   let w = Nn.Init.tensor (rng ()) Nn.Init.Xavier ~inputs:10 ~outputs:10 in
   let bound = sqrt (6.0 /. 20.0) +. 1e-9 in
@@ -255,5 +266,7 @@ let () =
           Alcotest.test_case "accuracy" `Quick test_metrics_accuracy;
           Alcotest.test_case "r2" `Quick test_metrics_r2_perfect;
           Alcotest.test_case "confusion" `Quick test_metrics_confusion;
+          Alcotest.test_case "confusion length mismatch" `Quick
+            test_metrics_confusion_length_mismatch;
         ] );
     ]

@@ -1,0 +1,176 @@
+(* Round-trip tests for the pNN persistence format: bit-exact tensor codec
+   (including non-finite %h entries and degenerate shapes), the versioned
+   config line, and malformed-input rejection. *)
+
+module A = Autodiff
+module T = Tensor
+module C = Pnn.Config
+module S = Pnn.Serialize
+
+let surrogate =
+  lazy
+    (let dataset = Surrogate.Pipeline.generate_dataset ~n:250 () in
+     let model, _ =
+       Surrogate.Pipeline.train_surrogate ~arch:[ 10; 8; 6; 4 ] ~max_epochs:300
+         (Rng.create 42) dataset
+     in
+     model)
+
+let make_net ?(seed = 1) ?(config = C.default) ~inputs ~outputs () =
+  Pnn.Network.create (Rng.create seed) config (Lazy.force surrogate) ~inputs ~outputs
+
+let tensor_bits t = Array.map Int64.bits_of_float (T.to_array t)
+
+let check_tensor_bits msg a b =
+  Alcotest.(check (array int64)) msg (tensor_bits a) (tensor_bits b);
+  Alcotest.(check (pair int int)) (msg ^ " shape") (T.shape a) (T.shape b)
+
+(* {1 Tensor line codec} *)
+
+let test_tensor_line_special_values () =
+  (* canonical NaNs only: %h carries the sign but canonicalizes the payload *)
+  let nan = float_of_string "nan" and neg_nan = 0.0 /. 0.0 in
+  let t =
+    T.of_array [| nan; neg_nan; Float.infinity; Float.neg_infinity; -0.0; 1.5e-300 |]
+  in
+  let t' = S.tensor_of_line (S.tensor_line t) in
+  check_tensor_bits "non-finite entries round-trip bit-exact" t t'
+
+let test_tensor_line_degenerate_shapes () =
+  List.iter
+    (fun (r, c) ->
+      let t = T.zeros r c in
+      let t' = S.tensor_of_line (S.tensor_line t) in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "%dx%d round-trips" r c)
+        (r, c) (T.shape t'))
+    [ (0, 2); (0, 0); (1, 0) ]
+
+let test_tensor_line_malformed () =
+  List.iter
+    (fun line ->
+      match S.tensor_of_line line with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "expected Failure for %S" line)
+    [ ""; "3" ]
+
+(* {1 Config line codec} *)
+
+let test_config_line_roundtrip () =
+  let config = { C.default with C.epsilon = 0.1; val_every = 7; patience = 33 } in
+  Alcotest.(check bool) "12-field round-trip" true
+    (S.config_of_line (S.config_line config) = config)
+
+let test_config_line_back_compat () =
+  (* a pre-val_every save: 11 fields, no version tag *)
+  let c = C.default in
+  let legacy =
+    Printf.sprintf "config %d %h %h %h %d %d %d %d %h %h %h" c.C.hidden c.C.lr_theta
+      c.C.lr_omega c.C.epsilon c.C.n_mc_train c.C.n_mc_val c.C.max_epochs c.C.patience
+      c.C.g_min c.C.g_max c.C.logit_scale
+  in
+  let parsed = S.config_of_line legacy in
+  Alcotest.(check int) "val_every defaults to the historical 5" 5 parsed.C.val_every;
+  Alcotest.(check bool) "other fields preserved" true (parsed = { c with C.val_every = 5 })
+
+let test_config_line_malformed () =
+  List.iter
+    (fun line ->
+      match S.config_of_line line with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "expected Failure for %S" line)
+    [ "config 3"; "notconfig 1 2 3"; "" ]
+
+(* {1 Network round-trip: bit-exact} *)
+
+let check_network_roundtrip net =
+  let lines = S.to_lines net in
+  let net', rest = S.of_lines (Lazy.force surrogate) lines in
+  Alcotest.(check int) "all lines consumed" 0 (List.length rest);
+  Alcotest.(check bool) "config equal" true
+    (Pnn.Network.config net' = Pnn.Network.config net);
+  List.iter2
+    (fun l l' ->
+      check_tensor_bits "theta bit-exact"
+        (A.value l.Pnn.Layer.theta)
+        (A.value l'.Pnn.Layer.theta);
+      check_tensor_bits "act omega bit-exact"
+        (Pnn.Nonlinear.snapshot l.Pnn.Layer.act)
+        (Pnn.Nonlinear.snapshot l'.Pnn.Layer.act);
+      check_tensor_bits "neg omega bit-exact"
+        (Pnn.Nonlinear.snapshot l.Pnn.Layer.neg)
+        (Pnn.Nonlinear.snapshot l'.Pnn.Layer.neg))
+    (Pnn.Network.layers net) (Pnn.Network.layers net')
+
+let test_roundtrip_with_nonfinite_theta () =
+  let net = make_net ~inputs:3 ~outputs:2 () in
+  (* corrupt a θ with the values %h must still carry faithfully *)
+  let v = A.value (List.hd (Pnn.Network.params_theta net)) in
+  T.set v 0 0 (float_of_string "nan");
+  T.set v 0 1 Float.infinity;
+  T.set v 1 0 Float.neg_infinity;
+  T.set v 1 1 (-0.0);
+  check_network_roundtrip net
+
+let qcheck_roundtrip_bit_exact =
+  QCheck.Test.make ~name:"network save/load is bit-exact for any seed" ~count:15
+    QCheck.(pair (int_range 0 1000) (int_range 1 4))
+    (fun (seed, outputs) ->
+      let config = { C.default with C.val_every = 1 + (seed mod 9) } in
+      let net = make_net ~seed ~config ~inputs:3 ~outputs () in
+      check_network_roundtrip net;
+      true)
+
+(* {1 Malformed network input} *)
+
+let test_of_lines_truncated () =
+  let net = make_net ~inputs:3 ~outputs:2 () in
+  let lines = S.to_lines net in
+  let truncated = List.filteri (fun i _ -> i < List.length lines - 1) lines in
+  (match S.of_lines (Lazy.force surrogate) truncated with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on truncated input");
+  match S.of_lines (Lazy.force surrogate) [ "pnn 1"; S.config_line C.default ] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on missing layer section"
+
+let test_of_lines_malformed_header_or_config () =
+  List.iter
+    (fun lines ->
+      match S.of_lines (Lazy.force surrogate) lines with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected Failure")
+    [
+      [];
+      [ "pnn" ];
+      [ "bad 2"; S.config_line C.default ];
+      [ "pnn 1"; "config 3" ];
+    ]
+
+let () =
+  Alcotest.run "serialize"
+    [
+      ( "tensor-line",
+        [
+          Alcotest.test_case "nan/inf/-0.0 bit-exact" `Quick test_tensor_line_special_values;
+          Alcotest.test_case "degenerate shapes" `Quick test_tensor_line_degenerate_shapes;
+          Alcotest.test_case "malformed" `Quick test_tensor_line_malformed;
+        ] );
+      ( "config-line",
+        [
+          Alcotest.test_case "12-field roundtrip" `Quick test_config_line_roundtrip;
+          Alcotest.test_case "11-field back-compat" `Quick test_config_line_back_compat;
+          Alcotest.test_case "malformed" `Quick test_config_line_malformed;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "non-finite theta roundtrip" `Quick
+            test_roundtrip_with_nonfinite_theta;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip_bit_exact;
+        ] );
+      ( "malformed",
+        [
+          Alcotest.test_case "truncated" `Quick test_of_lines_truncated;
+          Alcotest.test_case "bad header/config" `Quick test_of_lines_malformed_header_or_config;
+        ] );
+    ]

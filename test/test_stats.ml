@@ -33,6 +33,21 @@ let test_quantile_invalid () =
   Alcotest.check_raises "q > 1" (Invalid_argument "Stats.quantile: q outside [0,1]")
     (fun () -> ignore (Stats.quantile [| 1.0 |] 1.5))
 
+let test_quantile_single_element () =
+  List.iter
+    (fun q -> feq (Printf.sprintf "q=%g of singleton" q) 7.0 (Stats.quantile [| 7.0 |] q))
+    [ 0.0; 0.3; 0.5; 1.0 ]
+
+let test_quantile_rejects_nan () =
+  Alcotest.check_raises "nan input" (Invalid_argument "Stats.quantile: nan input")
+    (fun () -> ignore (Stats.quantile [| 1.0; Float.nan; 2.0 |] 0.5))
+
+let test_quantile_negative_zero_sorts () =
+  (* Float.compare orders -0.0 before 0.0; polymorphic compare on boxed
+     floats did too, but this pins the behaviour against regressions *)
+  feq "q0 with signed zeros" (-1.0) (Stats.quantile [| 0.0; -0.0; -1.0 |] 0.0);
+  feq "q1 with signed zeros" 0.0 (Stats.quantile [| 0.0; -0.0; -1.0 |] 1.0)
+
 let test_mean_std () =
   let m, s = Stats.mean_std [| 1.0; 3.0 |] in
   feq "mean" 2.0 m;
@@ -78,6 +93,9 @@ let () =
           Alcotest.test_case "quantile endpoints" `Quick test_quantile_endpoints;
           Alcotest.test_case "quantile interpolation" `Quick test_quantile_interpolation;
           Alcotest.test_case "quantile invalid" `Quick test_quantile_invalid;
+          Alcotest.test_case "quantile singleton" `Quick test_quantile_single_element;
+          Alcotest.test_case "quantile rejects nan" `Quick test_quantile_rejects_nan;
+          Alcotest.test_case "quantile signed zeros" `Quick test_quantile_negative_zero_sorts;
           Alcotest.test_case "mean_std" `Quick test_mean_std;
         ] );
       ( "properties",

@@ -1,0 +1,495 @@
+(* Tests for the composable variation-model subsystem: per-family semantics,
+   bit-identity with the legacy Noise/Aging draws, the Rng split-vs-copy
+   convention, and pool-size-independent Monte-Carlo evaluation. *)
+
+module T = Tensor
+module V = Pnn.Variation
+module C = Pnn.Config
+
+let surrogate =
+  lazy
+    (let dataset = Surrogate.Pipeline.generate_dataset ~n:250 () in
+     let model, _ =
+       Surrogate.Pipeline.train_surrogate ~arch:[ 10; 8; 6; 4 ] ~max_epochs:300
+         (Rng.create 42) dataset
+     in
+     model)
+
+let config = C.default
+
+let make_net ?(seed = 1) ?(config = config) ~inputs ~outputs () =
+  Pnn.Network.create (Rng.create seed) config (Lazy.force surrogate) ~inputs ~outputs
+
+let shapes = [ (7, 3); (5, 3) ]
+let ctx = V.ctx_of_shapes shapes
+
+let noise_tensors (n : Pnn.Noise.t) =
+  List.concat_map
+    (fun ln -> [ ln.Pnn.Noise.theta; ln.Pnn.Noise.act_omega; ln.Pnn.Noise.neg_omega ])
+    n
+
+let noise_bits n =
+  List.concat_map
+    (fun t -> Array.to_list (Array.map Int64.bits_of_float (T.to_array t)))
+    (noise_tensors n)
+
+let check_noise_equal msg a b =
+  Alcotest.(check (list int64)) msg (noise_bits a) (noise_bits b)
+
+let iter_values f n = List.iter (fun t -> Array.iter f (T.to_array t)) (noise_tensors n)
+
+(* {1 Uniform: bit-identity with Noise.draw} *)
+
+let test_uniform_stream_identity () =
+  let rng_a = Rng.create 11 and rng_b = Rng.create 11 in
+  let legacy = Pnn.Noise.draw rng_a ~epsilon:0.1 ~theta_shapes:shapes in
+  let model = V.draw rng_b (V.Uniform 0.1) ctx in
+  check_noise_equal "same multipliers" legacy model;
+  (* identical stream consumption: the generators stay in lock-step *)
+  Alcotest.(check int64) "same rng state after draw" (Rng.uint64 rng_a) (Rng.uint64 rng_b)
+
+let test_uniform_zero_is_ones () =
+  iter_values
+    (fun v -> Alcotest.(check (float 0.0)) "exact one" 1.0 v)
+    (V.draw (Rng.create 1) (V.Uniform 0.0) ctx)
+
+(* {1 Gaussian} *)
+
+let test_gaussian_bounds_and_mean () =
+  let sigma = 0.1 in
+  let n = V.draw (Rng.create 5) (V.Gaussian sigma) (V.ctx_of_shapes [ (40, 25) ]) in
+  let lo = exp ((-3.0 *. sigma) -. (0.5 *. sigma *. sigma)) in
+  let hi = exp ((3.0 *. sigma) -. (0.5 *. sigma *. sigma)) in
+  let sum = ref 0.0 and count = ref 0 in
+  iter_values
+    (fun v ->
+      if v < lo -. 1e-12 || v > hi +. 1e-12 then
+        Alcotest.failf "multiplier %f outside clamp band [%f, %f]" v lo hi;
+      sum := !sum +. v;
+      incr count)
+    n;
+  let mean = !sum /. float_of_int !count in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.4f close to 1" mean)
+    true
+    (Float.abs (mean -. 1.0) < 0.02)
+
+let test_gaussian_zero_sigma_is_ones () =
+  iter_values
+    (fun v -> Alcotest.(check (float 0.0)) "exact one" 1.0 v)
+    (V.draw (Rng.create 2) (V.Gaussian 0.0) ctx)
+
+(* {1 Correlated} *)
+
+let test_correlated_local_zero_constant_per_tensor () =
+  let n =
+    V.draw (Rng.create 7) (V.Correlated { global = 0.2; local = 0.0 }) ctx
+  in
+  let firsts =
+    List.map
+      (fun t ->
+        let a = T.to_array t in
+        Array.iter
+          (fun v ->
+            Alcotest.(check (float 0.0)) "constant within tensor" a.(0) v)
+          a;
+        a.(0))
+      (noise_tensors n)
+  in
+  (* shared factors are drawn independently per tensor *)
+  let distinct = List.sort_uniq Float.compare firsts in
+  Alcotest.(check bool) "factors differ across tensors" true (List.length distinct > 1)
+
+let test_correlated_zero_is_ones () =
+  iter_values
+    (fun v -> Alcotest.(check (float 0.0)) "exact one" 1.0 v)
+    (V.draw (Rng.create 3) (V.Correlated { global = 0.0; local = 0.0 }) ctx)
+
+(* {1 Defects} *)
+
+let test_defects_need_network_ctx () =
+  Alcotest.check_raises "shape-only ctx"
+    (Invalid_argument "Variation.draw: Defects requires a network-backed ctx")
+    (fun () ->
+      ignore (V.draw (Rng.create 1) (V.Defects { p_open = 0.1; p_short = 0.0 }) ctx))
+
+let test_defects_zero_rate_is_ones () =
+  let net = make_net ~inputs:4 ~outputs:3 () in
+  iter_values
+    (fun v -> Alcotest.(check (float 0.0)) "exact one" 1.0 v)
+    (V.draw (Rng.create 1)
+       (V.Defects { p_open = 0.0; p_short = 0.0 })
+       (V.ctx_of_network net))
+
+let check_all_stuck ~p_open ~p_short ~rail () =
+  let net = make_net ~inputs:4 ~outputs:3 () in
+  let noise = V.draw (Rng.create 9) (V.Defects { p_open; p_short }) (V.ctx_of_network net) in
+  let r_rail = if p_open = 1.0 then Surrogate.Design_space.omega_hi
+               else Surrogate.Design_space.omega_lo in
+  List.iter2
+    (fun layer ln ->
+      let printed = Pnn.Layer.printed_theta config layer in
+      let mult = ln.Pnn.Noise.theta in
+      for r = 0 to T.rows printed - 1 do
+        for c = 0 to T.cols printed - 1 do
+          let g = T.get printed r c and m = T.get mult r c in
+          if g = 0.0 then
+            Alcotest.(check (float 0.0)) "unprinted cannot fail" 1.0 m
+          else begin
+            Alcotest.(check (float 1e-12)) "magnitude forced to rail" rail
+              (Float.abs (g *. m));
+            Alcotest.(check bool) "sign kept" true (g *. m *. g > 0.0)
+          end
+        done
+      done;
+      List.iter2
+        (fun circuit omega_mult ->
+          let values = Pnn.Nonlinear.omega_values circuit in
+          Array.iteri
+            (fun j m ->
+              if j >= 5 then
+                Alcotest.(check (float 0.0)) "geometry untouched" 1.0 m
+              else if
+                Float.abs ((values.(j) *. m) -. r_rail.(j)) /. r_rail.(j) > 1e-9
+              then
+                Alcotest.failf "resistance not on rail: %f * %f vs %f" values.(j)
+                  m r_rail.(j))
+            (T.to_array omega_mult))
+        [ layer.Pnn.Layer.act; layer.Pnn.Layer.neg ]
+        [ ln.Pnn.Noise.act_omega; ln.Pnn.Noise.neg_omega ])
+    (Pnn.Network.layers net) noise
+
+let test_defects_all_open () =
+  check_all_stuck ~p_open:1.0 ~p_short:0.0 ~rail:config.C.g_min ()
+
+let test_defects_all_short () =
+  check_all_stuck ~p_open:0.0 ~p_short:1.0 ~rail:config.C.g_max ()
+
+(* {1 Compose} *)
+
+let test_compose_is_sequential_product () =
+  let m1 = V.Uniform 0.1 and m2 = V.Gaussian 0.05 in
+  let composed = V.draw (Rng.create 21) (V.Compose [ m1; m2 ]) ctx in
+  let rng = Rng.create 21 in
+  let a = V.draw rng m1 ctx in
+  let b = V.draw rng m2 ctx in
+  let manual =
+    List.map2
+      (fun (x : Pnn.Noise.layer_noise) (y : Pnn.Noise.layer_noise) ->
+        {
+          Pnn.Noise.theta = T.mul x.Pnn.Noise.theta y.Pnn.Noise.theta;
+          act_omega = T.mul x.Pnn.Noise.act_omega y.Pnn.Noise.act_omega;
+          neg_omega = T.mul x.Pnn.Noise.neg_omega y.Pnn.Noise.neg_omega;
+        })
+      a b
+  in
+  check_noise_equal "compose = product of in-order draws" manual composed
+
+let test_compose_empty_is_ones () =
+  iter_values
+    (fun v -> Alcotest.(check (float 0.0)) "exact one" 1.0 v)
+    (V.draw (Rng.create 1) (V.Compose []) ctx)
+
+(* {1 Aging re-expression} *)
+
+let test_aging_fixed_t_matches_legacy_draw () =
+  let model = Pnn.Aging.default_model in
+  let legacy =
+    Pnn.Aging.draw (Rng.create 3) model ~t_frac:0.5 ~theta_shapes:shapes
+  in
+  let variation =
+    V.draw (Rng.create 3)
+      (V.Aging
+         {
+           kappa_max = model.Pnn.Aging.kappa_max;
+           beta = model.Pnn.Aging.beta;
+           t_frac = Some 0.5;
+         })
+      ctx
+  in
+  check_noise_equal "same draw" legacy variation
+
+let test_aging_lifetime_matches_legacy_draws () =
+  let model = Pnn.Aging.default_model in
+  let legacy = Pnn.Aging.draw_lifetime (Rng.create 4) model ~theta_shapes:shapes ~n:3 in
+  let variation =
+    V.draw_many (Rng.create 4) (Pnn.Aging.to_variation model) ctx ~n:3
+  in
+  List.iter2 (check_noise_equal "same lifetime draws") legacy variation
+
+let test_aging_t_zero_is_ones () =
+  iter_values
+    (fun v -> Alcotest.(check (float 0.0)) "exact one" 1.0 v)
+    (V.draw (Rng.create 5)
+       (V.Aging { kappa_max = 0.2; beta = 0.5; t_frac = Some 0.0 })
+       ctx)
+
+(* {1 Validation} *)
+
+let test_validate_rejects () =
+  let invalid =
+    [
+      ("uniform high", V.Uniform 1.0);
+      ("uniform negative", V.Uniform (-0.1));
+      ("gaussian negative", V.Gaussian (-1.0));
+      ("gaussian nan", V.Gaussian Float.nan);
+      ("correlated high", V.Correlated { global = 1.0; local = 0.0 });
+      ("defects sum", V.Defects { p_open = 0.7; p_short = 0.5 });
+      ("defects negative", V.Defects { p_open = -0.1; p_short = 0.0 });
+      ("aging kappa", V.Aging { kappa_max = 1.0; beta = 0.5; t_frac = None });
+      ("aging beta", V.Aging { kappa_max = 0.2; beta = 0.0; t_frac = None });
+      ("aging t", V.Aging { kappa_max = 0.2; beta = 0.5; t_frac = Some 1.5 });
+      ("nested in compose", V.Compose [ V.Uniform 0.1; V.Uniform 2.0 ]);
+    ]
+  in
+  List.iter
+    (fun (label, model) ->
+      match V.validate model with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.failf "%s: expected Invalid_argument" label)
+    invalid
+
+let test_names () =
+  Alcotest.(check string) "uniform" "uniform(0.1)" (V.name (V.Uniform 0.1));
+  Alcotest.(check string) "compose" "compose(uniform(0.05)+defects(0.02,0))"
+    (V.name (V.Compose [ V.Uniform 0.05; V.Defects { p_open = 0.02; p_short = 0.0 } ]))
+
+(* {1 Rng convention: split, never copy}
+
+   Regression for the aging-aware training bug where the training stream was
+   seeded with [Rng.copy rng]: the copy aliases the caller's stream, so every
+   later draw from [rng] replayed the training-noise values. *)
+
+let test_copy_aliases_split_does_not () =
+  (* [copy] aliases — this is exactly why it was a bug *)
+  let rng = Rng.create 7 in
+  let aliased = Rng.copy rng in
+  Alcotest.(check int64) "copy replays the parent stream" (Rng.uint64 aliased)
+    (Rng.uint64 (Rng.copy rng));
+  (* [split] derives an independent stream *)
+  let rng = Rng.create 7 in
+  let derived = Rng.split rng in
+  Alcotest.(check bool) "split stream differs from caller continuation" false
+    (Rng.uint64 derived = Rng.uint64 rng)
+
+let tiny_data () =
+  let data =
+    Datasets.Synth.generate
+      {
+        Datasets.Synth.name = "blob";
+        features = 3;
+        classes = 2;
+        samples = 80;
+        modes_per_class = 1;
+        class_sep = 0.3;
+        spread = 0.06;
+        label_noise = 0.0;
+        priors = None;
+        seed = 31;
+      }
+  in
+  let split = Datasets.Synth.split (Rng.create 8) data in
+  (split, Pnn.Training.of_split ~n_classes:2 split)
+
+let tiny_config =
+  { config with C.max_epochs = 5; patience = 5; n_mc_train = 2; n_mc_val = 2 }
+
+let test_fit_aging_aware_consumes_two_splits () =
+  let _, tdata = tiny_data () in
+  let net =
+    Pnn.Network.create (Rng.create 4) tiny_config (Lazy.force surrogate) ~inputs:3
+      ~outputs:2
+  in
+  let rng = Rng.create 99 in
+  let _ = Pnn.Aging.fit_aging_aware rng Pnn.Aging.default_model net tdata in
+  (* the caller's generator must have advanced by exactly two splits — its
+     continuation is independent of the training/validation noise streams *)
+  let reference = Rng.create 99 in
+  ignore (Rng.split reference);
+  ignore (Rng.split reference);
+  Alcotest.(check int64) "rng advanced by exactly two splits" (Rng.uint64 reference)
+    (Rng.uint64 rng)
+
+let test_fit_under_train_stream_not_aliased () =
+  let rng = Rng.create 99 in
+  let train_rng = Rng.split rng in
+  let val_rng = Rng.split rng in
+  let caller_next = Rng.uint64 rng in
+  Alcotest.(check bool) "train stream independent of caller" false
+    (Rng.uint64 train_rng = caller_next);
+  Alcotest.(check bool) "val stream independent of caller" false
+    (Rng.uint64 val_rng = caller_next)
+
+(* {1 mc_result_under} *)
+
+let eval_fixture () =
+  let net = make_net ~inputs:3 ~outputs:2 () in
+  let x = T.uniform (Rng.create 2) 12 3 ~lo:0.0 ~hi:1.0 in
+  let y = Array.init 12 (fun i -> i mod 2) in
+  (net, x, y)
+
+let test_mc_result_under_stats () =
+  let net, x, y = eval_fixture () in
+  let r =
+    Pnn.Evaluation.mc_result_under (Rng.create 5) net ~model:(V.Uniform 0.05) ~n:12 ~x ~y
+  in
+  Alcotest.(check int) "12 draws" 12 (Array.length r.Pnn.Evaluation.accuracies);
+  let open Pnn.Evaluation in
+  Alcotest.(check bool) "quantiles ordered" true
+    (r.min <= r.q05 && r.q05 <= r.median && r.median <= r.q95);
+  Alcotest.(check bool) "mean within range" true (r.mean >= r.min && r.mean <= 1.0);
+  Alcotest.(check bool) "std >= 0" true (r.std >= 0.0)
+
+let test_mc_result_under_invalid () =
+  let net, x, y = eval_fixture () in
+  Alcotest.check_raises "n" (Invalid_argument "Evaluation.mc_result_under: n < 1")
+    (fun () ->
+      ignore (Pnn.Evaluation.mc_result_under (Rng.create 1) net ~model:(V.Uniform 0.1) ~n:0 ~x ~y));
+  Alcotest.check_raises "model" (Invalid_argument "Variation: Uniform epsilon outside [0,1)")
+    (fun () ->
+      ignore (Pnn.Evaluation.mc_result_under (Rng.create 1) net ~model:(V.Uniform 1.5) ~n:4 ~x ~y))
+
+(* {1 Determinism: 1 worker vs 4 workers, bit-identical, all families} *)
+
+let family_models =
+  [
+    ("uniform", V.Uniform 0.08);
+    ("gaussian", V.Gaussian 0.05);
+    ("correlated", V.Correlated { global = 0.05; local = 0.05 });
+    ("defects", V.Defects { p_open = 0.05; p_short = 0.02 });
+  ]
+
+let test_pool_size_bit_identity () =
+  let net, x, y = eval_fixture () in
+  let pool1 = Parallel.Pool.create ~jobs:1 () in
+  let pool4 = Parallel.Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Parallel.Pool.shutdown pool1;
+      Parallel.Pool.shutdown pool4)
+    (fun () ->
+      List.iter
+        (fun (label, model) ->
+          let run pool =
+            Pnn.Evaluation.mc_result_under ~pool (Rng.create 77) net ~model ~n:8 ~x ~y
+          in
+          let r1 = run pool1 and r4 = run pool4 in
+          Alcotest.(check (array int64))
+            (label ^ " bit-identical across pool sizes")
+            (Array.map Int64.bits_of_float r1.Pnn.Evaluation.accuracies)
+            (Array.map Int64.bits_of_float r4.Pnn.Evaluation.accuracies))
+        family_models)
+
+(* {1 Variation-aware training under every family} *)
+
+let test_fit_under_all_families () =
+  let _, tdata = tiny_data () in
+  List.iter
+    (fun (label, model) ->
+      let net =
+        Pnn.Network.create (Rng.create 4) tiny_config (Lazy.force surrogate) ~inputs:3
+          ~outputs:2
+      in
+      let result = Pnn.Training.fit_under (Rng.create 6) ~model net tdata in
+      Alcotest.(check bool) (label ^ " finite val loss") true
+        (Float.is_finite result.Pnn.Training.val_loss))
+    family_models
+
+(* {1 Faults experiment (micro scale)} *)
+
+let test_faults_experiment_smoke () =
+  let scale =
+    {
+      Experiments.Setup.seeds = [ 1 ];
+      test_epsilons = [ 0.1 ];
+      n_mc_test = 4;
+      config = tiny_config;
+      init = `Centered;
+      surrogate_samples = 0;
+      surrogate_epochs = 0;
+    }
+  in
+  let t = Experiments.Faults.run ~epsilon:0.1 scale (Lazy.force surrogate) in
+  Alcotest.(check int) "5 train arms" 5 (List.length t.Experiments.Faults.train_arms);
+  Alcotest.(check int) "grid = 5 arms x 4 families" 20
+    (List.length t.Experiments.Faults.grid);
+  let header, rows = Experiments.Faults.to_csv_rows t in
+  Alcotest.(check int) "csv columns" 10 (List.length header);
+  Alcotest.(check int) "csv rows: grid + two sweeps" (20 + 25 + 25) (List.length rows);
+  let rendered = Experiments.Faults.render t in
+  Alcotest.(check bool) "render mentions defects" true
+    (let needle = "defects" in
+     let nl = String.length needle and hl = String.length rendered in
+     let rec go i = i + nl <= hl && (String.sub rendered i nl = needle || go (i + 1)) in
+     go 0)
+
+let () =
+  Alcotest.run "variation"
+    [
+      ( "uniform",
+        [
+          Alcotest.test_case "stream identity with Noise.draw" `Quick
+            test_uniform_stream_identity;
+          Alcotest.test_case "eps=0 exact ones" `Quick test_uniform_zero_is_ones;
+        ] );
+      ( "gaussian",
+        [
+          Alcotest.test_case "bounds and mean" `Quick test_gaussian_bounds_and_mean;
+          Alcotest.test_case "sigma=0 exact ones" `Quick test_gaussian_zero_sigma_is_ones;
+        ] );
+      ( "correlated",
+        [
+          Alcotest.test_case "local=0 constant per tensor" `Quick
+            test_correlated_local_zero_constant_per_tensor;
+          Alcotest.test_case "zero magnitudes exact ones" `Quick test_correlated_zero_is_ones;
+        ] );
+      ( "defects",
+        [
+          Alcotest.test_case "requires network ctx" `Quick test_defects_need_network_ctx;
+          Alcotest.test_case "zero rate is ones" `Quick test_defects_zero_rate_is_ones;
+          Alcotest.test_case "all open -> g_min rail" `Quick test_defects_all_open;
+          Alcotest.test_case "all short -> g_max rail" `Quick test_defects_all_short;
+        ] );
+      ( "compose",
+        [
+          Alcotest.test_case "sequential product" `Quick test_compose_is_sequential_product;
+          Alcotest.test_case "empty is ones" `Quick test_compose_empty_is_ones;
+        ] );
+      ( "aging",
+        [
+          Alcotest.test_case "fixed t matches legacy" `Quick
+            test_aging_fixed_t_matches_legacy_draw;
+          Alcotest.test_case "lifetime matches legacy" `Quick
+            test_aging_lifetime_matches_legacy_draws;
+          Alcotest.test_case "t=0 exact ones" `Quick test_aging_t_zero_is_ones;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "rejects bad parameters" `Quick test_validate_rejects;
+          Alcotest.test_case "names" `Quick test_names;
+        ] );
+      ( "rng-convention",
+        [
+          Alcotest.test_case "copy aliases, split does not" `Quick
+            test_copy_aliases_split_does_not;
+          Alcotest.test_case "fit_aging_aware consumes two splits" `Quick
+            test_fit_aging_aware_consumes_two_splits;
+          Alcotest.test_case "derived streams not aliased" `Quick
+            test_fit_under_train_stream_not_aliased;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "mc_result_under stats" `Quick test_mc_result_under_stats;
+          Alcotest.test_case "mc_result_under invalid" `Quick test_mc_result_under_invalid;
+          Alcotest.test_case "pool-size bit-identity (all families)" `Quick
+            test_pool_size_bit_identity;
+        ] );
+      ( "training",
+        [
+          Alcotest.test_case "fit_under all families" `Quick test_fit_under_all_families;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "faults smoke" `Quick test_faults_experiment_smoke;
+        ] );
+    ]
