@@ -18,6 +18,10 @@
    in-place/cached implementations of the tensor kernels, surrogate batch
    inference, Monte-Carlo evaluation and the variation-aware epoch.
 
+   Part 5 — cold-vs-warm content-addressed cache pair (BENCH_3.json): the
+   same Table II slice run twice against one fresh cache directory; the
+   second run must be served from the store (≥ 10× faster).
+
    Environment knobs:
      REPRO_SCALE=quick|committed|paper   (default quick)
      REPRO_DATASETS=iris,seeds,...       (default: all 13)
@@ -25,6 +29,9 @@
      REPRO_JOBS=N                        (parallel pool size; 1 = sequential)
      REPRO_BENCH_JSON=path               (default BENCH_1.json)
      REPRO_BENCH2_JSON=path              (default BENCH_2.json)
+     REPRO_BENCH3_JSON=path              (default BENCH_3.json)
+     REPRO_BENCH3_DATASETS=iris,seeds    (the Table II slice it re-runs)
+     REPRO_SKIP_BENCH3=1                 (skip the cold/warm pair)
 *)
 
 open Bechamel
@@ -454,6 +461,61 @@ let write_bench2_json rows =
   close_out oc;
   Printf.printf "wrote %s (%d entries)\n%!" path n
 
+(* {1 BENCH_3.json cold-vs-warm cache pair}
+
+   One Table II slice computed twice against the same fresh cache directory.
+   The cold pass trains and evaluates everything, populating the store; the
+   warm pass must reproduce the identical table from cache hits alone.  The
+   frozen surrogate is forced before timing so both passes measure only the
+   experiment work the cache is supposed to absorb. *)
+
+let cache_benchmarks () =
+  let dataset_names =
+    match Sys.getenv_opt "REPRO_BENCH3_DATASETS" with
+    | Some s -> s
+    | None -> "iris,seeds"
+  in
+  let datasets =
+    List.map Datasets.Bench13.load (String.split_on_char ',' dataset_names)
+  in
+  let surrogate = Lazy.force surrogate in
+  let dir = Filename.temp_file "pnnbench3" ".cache" in
+  Sys.remove dir;
+  let pass () =
+    let cache = Cache.create ~dir in
+    let t0 = Unix.gettimeofday () in
+    let table = Experiments.Table2.run ~cache ~datasets scale surrogate in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, table, cache)
+  in
+  let cold_s, cold_table, cold_cache = pass () in
+  let warm_s, warm_table, warm_cache = pass () in
+  if Experiments.Table2.render warm_table <> Experiments.Table2.render cold_table
+  then failwith "BENCH_3: warm table differs from cold table";
+  ignore (Cache.gc ~all:true ~dir ());
+  Printf.printf "== cold-vs-warm cache (table2, %s, scale=%s) ==\n"
+    dataset_names scale_name;
+  Printf.printf "  cold  %8.2f s   (%s)\n" cold_s (Cache.summary cold_cache);
+  Printf.printf "  warm  %8.2f s   (%s)\n" warm_s (Cache.summary warm_cache);
+  Printf.printf "  speedup %.0fx\n\n" (cold_s /. Float.max warm_s 1e-3);
+  (dataset_names, cold_s, warm_s)
+
+let write_bench3_json (dataset_names, cold_s, warm_s) =
+  let path =
+    match Sys.getenv_opt "REPRO_BENCH3_JSON" with
+    | Some p -> p
+    | None -> "BENCH_3.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"BENCH_3\",\n  \"scale\": %S,\n" scale_name;
+  Printf.fprintf oc "  \"jobs\": %d,\n  \"datasets\": %S,\n" par_jobs dataset_names;
+  (* a sub-millisecond warm pass would print an unbounded ratio *)
+  let speedup = cold_s /. Float.max warm_s 1e-3 in
+  Printf.fprintf oc "  \"cold_s\": %.3f,\n  \"warm_s\": %.4f,\n" cold_s warm_s;
+  Printf.fprintf oc "  \"speedup\": %.1f\n}\n" speedup;
+  close_out oc;
+  Printf.printf "wrote %s (speedup %.1fx)\n%!" path speedup
+
 (* {1 Table/figure harnesses} *)
 
 let section title = Printf.printf "\n===== %s =====\n%!" title
@@ -487,6 +549,9 @@ let () =
   let par = parallel_benchmarks () in
   write_bench_json (micro @ par);
   write_bench2_json (alloc_benchmarks ());
+  (match Sys.getenv_opt "REPRO_SKIP_BENCH3" with
+  | Some "1" -> ()
+  | Some _ | None -> write_bench3_json (cache_benchmarks ()));
   (match Sys.getenv_opt "REPRO_SKIP_TABLES" with
   | Some "1" -> ()
   | Some _ | None -> run_tables ());

@@ -1,0 +1,79 @@
+(* Inspect and maintain the content-addressed experiment cache.
+
+   Examples:
+     dune exec bin/cache_tool.exe -- ls
+     dune exec bin/cache_tool.exe -- verify --dir _cache
+     dune exec bin/cache_tool.exe -- gc --max-age-days 30
+     dune exec bin/cache_tool.exe -- gc --all
+*)
+
+open Cmdliner
+
+let human_bytes n =
+  let f = float_of_int n in
+  if f >= 1048576.0 then Printf.sprintf "%.1f MiB" (f /. 1048576.0)
+  else if f >= 1024.0 then Printf.sprintf "%.1f KiB" (f /. 1024.0)
+  else Printf.sprintf "%d B" n
+
+let cmd_ls dir =
+  let entries = Cache.entries ~dir () in
+  if entries = [] then Printf.printf "%s: empty\n" dir
+  else begin
+    List.iter
+      (fun (e : Cache.entry) ->
+        Printf.printf "%-10s %s  %10s\n" e.Cache.kind e.Cache.key
+          (human_bytes e.Cache.bytes))
+      entries;
+    let total = List.fold_left (fun acc e -> acc + e.Cache.bytes) 0 entries in
+    Printf.printf "%d entries, %s\n" (List.length entries) (human_bytes total)
+  end
+
+let cmd_verify dir =
+  let entries = Cache.entries ~check:true ~dir () in
+  let bad = List.filter (fun e -> not e.Cache.valid) entries in
+  List.iter
+    (fun (e : Cache.entry) -> Printf.printf "corrupt: %s\n" e.Cache.path)
+    bad;
+  Printf.printf "%d entries, %d corrupt\n" (List.length entries)
+    (List.length bad);
+  if bad <> [] then exit 1
+
+let cmd_gc dir max_age_days all =
+  let removed, kept = Cache.gc ?max_age_days ~all ~dir () in
+  Printf.printf "removed %d, kept %d\n" removed kept
+
+let dir_arg =
+  Arg.(
+    value
+    & opt string "_cache"
+    & info [ "dir" ] ~doc:"cache directory (matches experiment --cache-dir)")
+
+let max_age_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-age-days" ] ~doc:"also remove entries older than this")
+
+let all_arg =
+  Arg.(value & flag & info [ "all" ] ~doc:"remove every entry")
+
+let ls_cmd =
+  Cmd.v (Cmd.info "ls" ~doc:"list cache entries") Term.(const cmd_ls $ dir_arg)
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify" ~doc:"checksum every entry; exit 1 if any is corrupt")
+    Term.(const cmd_verify $ dir_arg)
+
+let gc_cmd =
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"remove corrupt entries and stale temp files (and more on request)")
+    Term.(const cmd_gc $ dir_arg $ max_age_arg $ all_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "cache_tool" ~doc:"inspect the content-addressed experiment cache")
+    [ ls_cmd; verify_cmd; gc_cmd ]
+
+let () = exit (Cmd.eval main)

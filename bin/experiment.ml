@@ -16,18 +16,33 @@ let setup_logs verbose =
 
 let progress msg = Printf.eprintf "[table2] %s\n%!" msg
 
+(* Install the process-wide default cache from the CLI flags so library
+   entry points that consult {!Cache.get_default} (surrogate pipeline,
+   ablation cells) agree with what the command was given. *)
+let setup_cache ~cache_dir ~no_cache =
+  let cache =
+    if no_cache then Cache.disabled () else Cache.create ~dir:cache_dir
+  in
+  Cache.set_default cache;
+  cache
+
+let report_cache cache =
+  if Cache.enabled cache then Printf.printf "%s\n" (Cache.summary cache)
+
 let load_datasets = function
   | None -> Datasets.Bench13.load_all ()
   | Some names ->
       List.map Datasets.Bench13.load (String.split_on_char ',' names)
 
-let run_table2 scale_name datasets_opt csv verbose =
-  setup_logs verbose;
+let run_table2 scale_name datasets_opt csv ~cache ~resume =
   let scale = Experiments.Setup.of_name scale_name in
   let surrogate = Experiments.Setup.surrogate_of_scale scale in
   let datasets = load_datasets datasets_opt in
   let t0 = Unix.gettimeofday () in
-  let table = Experiments.Table2.run ~progress ~datasets scale surrogate in
+  let table =
+    Experiments.Table2.run ~cache ~checkpoints:resume ~progress ~datasets scale
+      surrogate
+  in
   Printf.printf "%s" (Experiments.Table2.render table);
   Printf.printf "(%.1fs)\n" (Unix.gettimeofday () -. t0);
   (match csv with
@@ -38,15 +53,21 @@ let run_table2 scale_name datasets_opt csv verbose =
   | None -> ());
   table
 
-let cmd_table2 scale_name datasets_opt csv verbose =
-  ignore (run_table2 scale_name datasets_opt csv verbose)
+let cmd_table2 scale_name datasets_opt csv verbose cache_dir no_cache resume =
+  setup_logs verbose;
+  let cache = setup_cache ~cache_dir ~no_cache in
+  ignore (run_table2 scale_name datasets_opt csv ~cache ~resume);
+  report_cache cache
 
-let cmd_table3 scale_name datasets_opt csv verbose =
+let cmd_table3 scale_name datasets_opt csv verbose cache_dir no_cache resume =
+  setup_logs verbose;
+  let cache = setup_cache ~cache_dir ~no_cache in
   let scale = Experiments.Setup.of_name scale_name in
-  let table2 = run_table2 scale_name datasets_opt csv verbose in
+  let table2 = run_table2 scale_name datasets_opt csv ~cache ~resume in
   let table3 = Experiments.Table3.of_table2 scale table2 in
   print_newline ();
-  print_string (Experiments.Table3.render table3)
+  print_string (Experiments.Table3.render table3);
+  report_cache cache
 
 let cmd_fig2 csv verbose =
   setup_logs verbose;
@@ -82,8 +103,9 @@ let cmd_fig4 seed verbose =
 
 let cmd_table1 () = print_string (Experiments.Figures.render_table1 ())
 
-let cmd_ablations which verbose =
+let cmd_ablations which verbose cache_dir no_cache =
   setup_logs verbose;
+  let cache = setup_cache ~cache_dir ~no_cache in
   let all =
     [
       ("sampler", fun () -> Experiments.Ablations.sampler_ablation ());
@@ -104,7 +126,8 @@ let cmd_ablations which verbose =
     (fun (_, run) ->
       print_string (run ());
       print_newline ())
-    selected
+    selected;
+  report_cache cache
 
 let scale_arg =
   Arg.(value & opt string "quick" & info [ "scale" ] ~doc:"quick | committed | paper")
@@ -119,17 +142,39 @@ let csv_arg = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"write C
 let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"log progress")
 let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"pipeline seed")
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string "_cache"
+    & info [ "cache-dir" ] ~doc:"content-addressed artifact cache directory")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"disable the artifact cache")
+
+let resume_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "resume" ]
+        ~doc:
+          "checkpoint training cells periodically and resume interrupted runs \
+           bit-identically (requires the cache)")
+
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"print the enforced design space")
     Term.(const cmd_table1 $ const ())
 
 let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"run the main benchmark table")
-    Term.(const cmd_table2 $ scale_arg $ datasets_arg $ csv_arg $ verbose_arg)
+    Term.(
+      const cmd_table2 $ scale_arg $ datasets_arg $ csv_arg $ verbose_arg
+      $ cache_dir_arg $ no_cache_arg $ resume_arg)
 
 let table3_cmd =
   Cmd.v (Cmd.info "table3" ~doc:"run the ablation summary (includes table2)")
-    Term.(const cmd_table3 $ scale_arg $ datasets_arg $ csv_arg $ verbose_arg)
+    Term.(
+      const cmd_table3 $ scale_arg $ datasets_arg $ csv_arg $ verbose_arg
+      $ cache_dir_arg $ no_cache_arg $ resume_arg)
 
 let fig2_cmd =
   Cmd.v (Cmd.info "fig2" ~doc:"characteristic curves of the nonlinear circuits")
@@ -156,21 +201,26 @@ let lifetime_cmd =
     (Cmd.info "lifetime" ~doc:"extension: aging-aware vs aging-unaware training")
     Term.(const cmd_lifetime $ scale_arg $ dataset_arg $ verbose_arg)
 
-let cmd_faults scale_name dataset epsilon csv verbose =
+let cmd_faults scale_name dataset epsilon csv verbose cache_dir no_cache resume =
   setup_logs verbose;
+  let cache = setup_cache ~cache_dir ~no_cache in
   let scale = Experiments.Setup.of_name scale_name in
   let surrogate = Experiments.Setup.surrogate_of_scale scale in
   let progress msg = Printf.eprintf "[faults] %s\n%!" msg in
   let t0 = Unix.gettimeofday () in
-  let result = Experiments.Faults.run ~progress ?dataset ~epsilon scale surrogate in
+  let result =
+    Experiments.Faults.run ~cache ~checkpoints:resume ~progress ?dataset
+      ~epsilon scale surrogate
+  in
   print_string (Experiments.Faults.render result);
   Printf.printf "(%.1fs)\n" (Unix.gettimeofday () -. t0);
-  match csv with
+  (match csv with
   | Some path ->
       let header, rows = Experiments.Faults.to_csv_rows result in
       Experiments.Report.write_csv ~path ~header ~rows;
       Printf.printf "wrote %s\n" path
-  | None -> ()
+  | None -> ());
+  report_cache cache
 
 let epsilon_arg =
   Arg.(value & opt float 0.10 & info [ "epsilon" ] ~doc:"family severity anchor")
@@ -179,7 +229,9 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults"
        ~doc:"extension: fault-injection grid and severity sweeps (Variation models)")
-    Term.(const cmd_faults $ scale_arg $ dataset_arg $ epsilon_arg $ csv_arg $ verbose_arg)
+    Term.(
+      const cmd_faults $ scale_arg $ dataset_arg $ epsilon_arg $ csv_arg
+      $ verbose_arg $ cache_dir_arg $ no_cache_arg $ resume_arg)
 
 let which_arg =
   Arg.(
@@ -190,7 +242,7 @@ let which_arg =
 let ablations_cmd =
   Cmd.v
     (Cmd.info "ablations" ~doc:"design-choice ablation benches (DESIGN.md §5)")
-    Term.(const cmd_ablations $ which_arg $ verbose_arg)
+    Term.(const cmd_ablations $ which_arg $ verbose_arg $ cache_dir_arg $ no_cache_arg)
 
 let main =
   Cmd.group

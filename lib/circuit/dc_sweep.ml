@@ -5,12 +5,18 @@ let linspace lo hi n =
   Array.init n (fun i ->
       lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
 
-let run ?(options = Mna.default_options) ~model ~netlist ~source ~output ~sweep () =
+let run ?(options = Mna.default_options) ?workspace ~model ~netlist ~source
+    ~output ~sweep () =
   let guess = ref None in
+  (* one Newton scratch for the whole sweep: every point stamps the same
+     system dimension, so the per-point matrix allocations hoist out *)
+  let workspace =
+    match workspace with Some ws -> ws | None -> Mna.workspace_for netlist
+  in
   Array.map
     (fun vin ->
       Netlist.set_source netlist source vin;
-      let sol = Mna.solve ~options ?initial:!guess model netlist in
+      let sol = Mna.solve ~options ?initial:!guess ~workspace model netlist in
       guess := Some sol.Mna.voltages;
       { vin; vout = sol.Mna.voltages.(output) })
     sweep

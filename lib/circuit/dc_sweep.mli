@@ -11,6 +11,7 @@ val linspace : float -> float -> int -> float array
 
 val run :
   ?options:Mna.options ->
+  ?workspace:Mna.workspace ->
   model:Egt.params ->
   netlist:Netlist.t ->
   source:string ->
@@ -18,4 +19,7 @@ val run :
   sweep:float array ->
   unit ->
   point array
-(** Raises whatever {!Mna.solve} raises if any point fails to converge. *)
+(** Raises whatever {!Mna.solve} raises if any point fails to converge.
+    [workspace] (default: one fresh {!Mna.workspace_for} shared by all sweep
+    points) reuses the Newton scratch across points; pass your own to reuse
+    it across sweeps of the same circuit. *)

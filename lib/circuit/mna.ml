@@ -12,9 +12,38 @@ type solution = { voltages : float array; iterations : int }
 
 exception No_convergence of { iterations : int; residual : float }
 
+type workspace = {
+  ws_dim : int;
+  ws_a : float array array;
+  ws_rhs : float array;
+  ws_lu : float array array;
+  ws_x : float array;
+}
+
+let make_workspace ~dim =
+  {
+    ws_dim = dim;
+    ws_a = Array.make_matrix dim dim 0.0;
+    ws_rhs = Array.make dim 0.0;
+    ws_lu = Array.make_matrix dim dim 0.0;
+    ws_x = Array.make dim 0.0;
+  }
+
+let system_dim netlist =
+  let n_v = Netlist.node_count netlist - 1 in
+  let n_src =
+    List.length
+      (List.filter
+         (fun e -> match e with Netlist.Vsource _ -> true | _ -> false)
+         (Netlist.elements netlist))
+  in
+  n_v + n_src
+
+let workspace_for netlist = make_workspace ~dim:(system_dim netlist)
+
 (* Index mapping: node n (1..N-1) -> n-1 ; source s -> (N-1) + s. *)
 
-let solve ?(options = default_options) ?initial model netlist =
+let solve ?(options = default_options) ?initial ?workspace model netlist =
   (match Netlist.validate netlist with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Mna.solve: invalid netlist: " ^ msg));
@@ -35,8 +64,19 @@ let solve ?(options = default_options) ?initial model netlist =
       volts.(0) <- 0.0
   | None -> ());
   let idx n = n - 1 in
-  let a = Array.make_matrix dim dim 0.0 in
-  let rhs = Array.make dim 0.0 in
+  (* The Newton loop reuses one set of buffers: the stamped system (a, rhs)
+     and the LU scratch (lu, x) it is copied into each iteration, because
+     [Linalg.solve_in_place] destroys its inputs.  A caller-provided
+     [workspace] hoists all four allocations out of repeated solves
+     (DC sweeps stamp thousands of same-dimension systems). *)
+  let ws =
+    match workspace with
+    | None -> make_workspace ~dim
+    | Some ws ->
+        if ws.ws_dim <> dim then invalid_arg "Mna.solve: workspace dim mismatch";
+        ws
+  in
+  let a = ws.ws_a and rhs = ws.ws_rhs in
   let stamp_g n1 n2 g =
     if n1 > 0 then a.(idx n1).(idx n1) <- a.(idx n1).(idx n1) +. g;
     if n2 > 0 then a.(idx n2).(idx n2) <- a.(idx n2).(idx n2) +. g;
@@ -105,7 +145,14 @@ let solve ?(options = default_options) ?initial model netlist =
             stamp_i drain (-.ieq);
             stamp_i source ieq)
       elems;
-    let x = Linalg.solve_in_place (Array.map Array.copy a) (Array.copy rhs) in
+    (* Blit the stamped system into the LU scratch: [solve_in_place] swaps
+       row pointers while pivoting, but every row is fully re-blitted here,
+       so the permuted scratch from the previous iteration is fine to reuse. *)
+    for r = 0 to dim - 1 do
+      Array.blit a.(r) 0 ws.ws_lu.(r) 0 dim
+    done;
+    Array.blit rhs 0 ws.ws_x 0 dim;
+    let x = Linalg.solve_in_place ws.ws_lu ws.ws_x in
     (* damped update on node voltages *)
     let max_delta = ref 0.0 in
     for n = 1 to n_nodes - 1 do

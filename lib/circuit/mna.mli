@@ -21,9 +21,27 @@ type solution = { voltages : float array; iterations : int }
 
 exception No_convergence of { iterations : int; residual : float }
 
-val solve : ?options:options -> ?initial:float array -> Egt.params -> Netlist.t -> solution
+type workspace
+(** Reusable Newton scratch: the stamped MNA system plus the LU buffers it is
+    copied into each iteration.  One workspace serves any number of
+    sequential solves of the same system dimension; it is {e not} safe to
+    share across domains. *)
+
+val make_workspace : dim:int -> workspace
+
+val workspace_for : Netlist.t -> workspace
+(** A workspace sized for this netlist's MNA system
+    ((node count − 1) + voltage-source count). *)
+
+val solve :
+  ?options:options ->
+  ?initial:float array ->
+  ?workspace:workspace ->
+  Egt.params -> Netlist.t -> solution
 (** [solve model netlist] computes the DC operating point.  [initial] is a
     warm-start guess of node voltages (length [node_count]); the default
-    starts every node at 0.5 V.  Raises {!No_convergence} after
+    starts every node at 0.5 V.  [workspace] (default: freshly allocated)
+    hoists the per-solve matrix allocations out of repeated solves — results
+    are bit-identical with or without it.  Raises {!No_convergence} after
     [max_iterations], and [Invalid_argument] if the netlist fails
-    {!Netlist.validate}. *)
+    {!Netlist.validate} or the workspace dimension does not match. *)

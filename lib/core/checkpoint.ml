@@ -1,0 +1,172 @@
+let tag = "ckpt"
+
+type t = {
+  config : Config.t;
+  rng : Rng.t;
+  epoch : int;
+  best_epoch : int;
+  epochs_since_best : int;
+  stopped_early : bool;
+  best_val : float;
+  train_hist : float list;
+  val_hist : float list;
+  weights : Network.weights;
+  best : Network.weights;
+  opt_groups : int;
+  opt_lines : string list;
+}
+
+let state_line (st : Nn.Train.state) =
+  Printf.sprintf "state %d %d %d %b %h" st.Nn.Train.epoch st.Nn.Train.best_epoch
+    st.Nn.Train.epochs_since_best st.Nn.Train.stopped_early st.Nn.Train.best_val
+
+(* Histories are stored newest-first, exactly as [Nn.Train.state] keeps them,
+   so a restored state is field-for-field identical. *)
+let hist_line label values =
+  Printf.sprintf "%s %d%s" label (List.length values)
+    (match values with
+    | [] -> ""
+    | _ -> " " ^ Serialize.float_line (Array.of_list values))
+
+let weights_lines label (ws : Network.weights) =
+  Printf.sprintf "%s %d" label (List.length ws)
+  :: List.concat_map
+       (fun (theta, act, neg) ->
+         [
+           Serialize.tensor_line theta;
+           Serialize.tensor_line act;
+           Serialize.tensor_line neg;
+         ])
+       ws
+
+let save ~path ~config ~rng ~state ~network ~best ~optimizers =
+  let lines =
+    (Serialize.config_line config :: Serialize.rng_line rng
+    :: state_line state
+    :: hist_line "train" state.Nn.Train.train_hist
+    :: hist_line "val" state.Nn.Train.val_hist
+    :: weights_lines "weights" (Network.snapshot network))
+    @ weights_lines "best" best
+    @ (Printf.sprintf "opts %d" (List.length optimizers)
+      :: List.concat_map
+           (fun (opt, params) -> Nn.Optimizer.state_lines opt params)
+           optimizers)
+  in
+  ignore (Cache.Blob.write ~tag path lines)
+
+let words line = String.split_on_char ' ' (String.trim line)
+
+let hist_of_line label line =
+  match words line with
+  | l :: n :: floats when l = label && int_of_string_opt n = Some (List.length floats)
+    ->
+      Array.to_list (Serialize.floats_of_words floats)
+  | _ -> failwith (Printf.sprintf "Checkpoint: bad %s history line" label)
+
+let weights_of_lines label lines =
+  match lines with
+  | head :: rest -> (
+      match words head with
+      | [ l; n ] when l = label ->
+          let n = int_of_string n in
+          let rec take k lines acc =
+            if k = 0 then (List.rev acc, lines)
+            else
+              match lines with
+              | tl :: al :: nl :: rest ->
+                  take (k - 1) rest
+                    (( Serialize.tensor_of_line tl,
+                       Serialize.tensor_of_line al,
+                       Serialize.tensor_of_line nl )
+                    :: acc)
+              | _ -> failwith "Checkpoint: truncated weights section"
+          in
+          take n rest []
+      | _ -> failwith (Printf.sprintf "Checkpoint: bad %s header" label))
+  | [] -> failwith (Printf.sprintf "Checkpoint: missing %s section" label)
+
+let parse lines =
+  match lines with
+  | config_l :: rng_l :: state_l :: train_l :: val_l :: rest ->
+      let config = Serialize.config_of_line config_l in
+      let rng = Serialize.rng_of_line rng_l in
+      let epoch, best_epoch, epochs_since_best, stopped_early, best_val =
+        match words state_l with
+        | [ "state"; e; be; esb; se; bv ] ->
+            ( int_of_string e,
+              int_of_string be,
+              int_of_string esb,
+              bool_of_string se,
+              float_of_string bv )
+        | _ -> failwith "Checkpoint: bad state line"
+      in
+      let train_hist = hist_of_line "train" train_l in
+      let val_hist = hist_of_line "val" val_l in
+      let weights, rest = weights_of_lines "weights" rest in
+      let best, rest = weights_of_lines "best" rest in
+      let opt_groups, opt_lines =
+        match rest with
+        | head :: opt_lines -> (
+            match words head with
+            | [ "opts"; n ] -> (int_of_string n, opt_lines)
+            | _ -> failwith "Checkpoint: bad opts header")
+        | [] -> failwith "Checkpoint: missing opts section"
+      in
+      {
+        config;
+        rng;
+        epoch;
+        best_epoch;
+        epochs_since_best;
+        stopped_early;
+        best_val;
+        train_hist;
+        val_hist;
+        weights;
+        best;
+        opt_groups;
+        opt_lines;
+      }
+  | _ -> failwith "Checkpoint: truncated"
+
+let load path =
+  match Cache.Blob.read ~tag path with
+  | Cache.Blob.Valid lines -> ( try Some (parse lines) with _ -> None)
+  | Cache.Blob.Corrupt | Cache.Blob.Missing -> None
+
+let matches ck config = ck.config = config
+
+let same_shapes ws ws' =
+  List.length ws = List.length ws'
+  && List.for_all2
+       (fun (a, b, c) (a', b', c') ->
+         let dims t t' =
+           Tensor.rows t = Tensor.rows t' && Tensor.cols t = Tensor.cols t'
+         in
+         dims a a' && dims b b' && dims c c')
+       ws ws'
+
+let apply ck ~rng ~state ~network ~optimizers =
+  (* Validate structure before any mutation so a stale checkpoint from a
+     different architecture degrades to a clean fresh start. *)
+  let current = Network.snapshot network in
+  if not (same_shapes ck.weights current && same_shapes ck.best current) then
+    failwith "Checkpoint: architecture mismatch";
+  if ck.opt_groups <> List.length optimizers then
+    failwith "Checkpoint: optimizer group mismatch";
+  let rest =
+    List.fold_left
+      (fun lines (opt, params) -> Nn.Optimizer.restore_state opt params lines)
+      ck.opt_lines optimizers
+  in
+  if rest <> [] then failwith "Checkpoint: trailing optimizer state";
+  Network.restore network ck.weights;
+  state.Nn.Train.epoch <- ck.epoch;
+  state.Nn.Train.train_hist <- ck.train_hist;
+  state.Nn.Train.val_hist <- ck.val_hist;
+  state.Nn.Train.best_val <- ck.best_val;
+  state.Nn.Train.best_epoch <- ck.best_epoch;
+  state.Nn.Train.epochs_since_best <- ck.epochs_since_best;
+  state.Nn.Train.stopped_early <- ck.stopped_early;
+  Rng.set_state rng (Rng.state ck.rng);
+  ck.best

@@ -1,0 +1,50 @@
+(** Deterministic training checkpoints.
+
+    A checkpoint captures {e everything} the training loop reads at an epoch
+    boundary: the parameter tensors, the best-validation snapshot, the
+    {!Nn.Train.state} progress record, every optimizer's moment estimates and
+    the RNG stream position consumed by in-loop noise sampling.  Restoring it
+    and re-entering the loop therefore reproduces the uninterrupted run
+    bit-for-bit — the determinism contract survives a crash.
+
+    Checkpoints live in {!Cache.Blob} files (atomic write, checksummed, tag
+    ["ckpt"]), addressed by path rather than content key: the {e caller}
+    derives the path from the cell's cache key, so a checkpoint can only ever
+    resume the exact (config, dataset, seed, arm) cell that wrote it.  A
+    missing, corrupt or incompatible file degrades to a fresh start, never to
+    a misparse. *)
+
+type t
+
+val save :
+  path:string ->
+  config:Config.t ->
+  rng:Rng.t ->
+  state:Nn.Train.state ->
+  network:Network.t ->
+  best:Network.weights ->
+  optimizers:(Nn.Optimizer.t * Autodiff.t list) list ->
+  unit
+(** Atomically write a checkpoint of the loop's current position.  [rng] is
+    the generator consumed {e inside} the epoch loop (training-noise
+    sampling); pre-loop streams are re-derived from the seed on resume. *)
+
+val load : string -> t option
+(** [None] when the file is missing, corrupt, or unparseable. *)
+
+val matches : t -> Config.t -> bool
+(** Whether the checkpoint was written under exactly this training config —
+    the cheap guard callers check before {!apply}. *)
+
+val apply :
+  t ->
+  rng:Rng.t ->
+  state:Nn.Train.state ->
+  network:Network.t ->
+  optimizers:(Nn.Optimizer.t * Autodiff.t list) list ->
+  Network.weights
+(** Restore in place: network parameters, loop state, optimizer moments and
+    the RNG stream position.  Returns the best-validation weights snapshot.
+    Structure is validated (architecture shapes, optimizer group count)
+    {e before} any mutation; raises [Failure] on mismatch, leaving the fresh
+    start untouched. *)

@@ -17,6 +17,34 @@ let nominal_accuracy network ~x ~y =
   let shapes = Network.theta_shapes network in
   accuracy_under network (Noise.none ~theta_shapes:shapes) ~x ~y
 
+(* Cache payload: the raw per-draw accuracies in [%h]; every summary
+   statistic is recomputed from the decoded bits, so a hit is bit-identical
+   to the evaluation it replaced. *)
+let accs_line a =
+  Printf.sprintf "accs %d%s" (Array.length a)
+    (if Array.length a = 0 then "" else " " ^ Serialize.float_line a)
+
+let accs_of_lines lines =
+  match lines with
+  | [ line ] -> (
+      match String.split_on_char ' ' (String.trim line) with
+      | "accs" :: nw :: words when int_of_string_opt nw = Some (List.length words)
+        ->
+          Serialize.floats_of_words words
+      | _ -> failwith "Evaluation: bad accs line")
+  | _ -> failwith "Evaluation: bad cache payload"
+
+(* On a hit the evaluation rng is left untouched; callers hand every
+   evaluation its own derived generator, so nothing downstream observes the
+   skipped draws. *)
+let with_cache cache compute =
+  match cache with
+  | None -> compute ()
+  | Some (c, key) ->
+      Cache.memoize c ~kind:"mceval" ~key
+        ~encode:(fun a -> [ accs_line a ])
+        ~decode:accs_of_lines compute
+
 type mc_result = {
   mean : float;
   std : float;
@@ -27,21 +55,22 @@ type mc_result = {
   accuracies : float array;
 }
 
-let mc_result_under ?pool rng network ~model ~n ~x ~y =
+let mc_result_under ?pool ?cache rng network ~model ~n ~x ~y =
   if n < 1 then invalid_arg "Evaluation.mc_result_under: n < 1";
   Variation.validate model;
-  let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
-  let ctx = Variation.ctx_of_network network in
-  (* Same determinism pattern as [mc_accuracy]: pre-draw sequentially on the
-     calling domain, fan out the pure forward passes. *)
-  let noises = Array.make n [] in
-  for i = 0 to n - 1 do
-    noises.(i) <- Variation.draw rng model ctx
-  done;
   let accuracies =
-    Parallel.Pool.map_array pool
-      (fun noise -> accuracy_under network noise ~x ~y)
-      noises
+    with_cache cache (fun () ->
+        let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
+        let ctx = Variation.ctx_of_network network in
+        (* Same determinism pattern as [mc_accuracy]: pre-draw sequentially on
+           the calling domain, fan out the pure forward passes. *)
+        let noises = Array.make n [] in
+        for i = 0 to n - 1 do
+          noises.(i) <- Variation.draw rng model ctx
+        done;
+        Parallel.Pool.map_array pool
+          (fun noise -> accuracy_under network noise ~x ~y)
+          noises)
   in
   {
     mean = Stats.mean accuracies;
@@ -53,24 +82,26 @@ let mc_result_under ?pool rng network ~model ~n ~x ~y =
     accuracies;
   }
 
-let mc_accuracy ?pool rng network ~epsilon ~n ~x ~y =
+let mc_accuracy ?pool ?cache rng network ~epsilon ~n ~x ~y =
   if n < 1 then invalid_arg "Evaluation.mc_accuracy: n < 1";
   let shapes = Network.theta_shapes network in
   let accuracies =
-    if epsilon = 0.0 then [| nominal_accuracy network ~x ~y |]
-    else begin
-      let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
-      (* Pre-draw every noise record sequentially: the RNG stream is consumed
-         in exactly the per-draw order of the sequential implementation, and
-         the fan-out below is then a pure forward pass per draw. *)
-      let noises = Array.make n [] in
-      for i = 0 to n - 1 do
-        noises.(i) <- Noise.draw rng ~epsilon ~theta_shapes:shapes
-      done;
-      Parallel.Pool.map_array pool
-        (fun noise -> accuracy_under network noise ~x ~y)
-        noises
-    end
+    with_cache cache (fun () ->
+        if epsilon = 0.0 then [| nominal_accuracy network ~x ~y |]
+        else begin
+          let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
+          (* Pre-draw every noise record sequentially: the RNG stream is
+             consumed in exactly the per-draw order of the sequential
+             implementation, and the fan-out below is then a pure forward
+             pass per draw. *)
+          let noises = Array.make n [] in
+          for i = 0 to n - 1 do
+            noises.(i) <- Noise.draw rng ~epsilon ~theta_shapes:shapes
+          done;
+          Parallel.Pool.map_array pool
+            (fun noise -> accuracy_under network noise ~x ~y)
+            noises
+        end)
   in
   {
     mean_accuracy = Stats.mean accuracies;

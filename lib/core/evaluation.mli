@@ -16,6 +16,7 @@ type result = {
 
 val mc_accuracy :
   ?pool:Parallel.Pool.t ->
+  ?cache:Cache.t * string ->
   Rng.t -> Network.t -> epsilon:float -> n:int -> x:Tensor.t -> y:int array -> result
 (** Evaluates [n] variation draws of magnitude [epsilon].
 
@@ -28,6 +29,13 @@ val mc_accuracy :
     (pure) forward passes are fanned out over [pool] (default: the shared
     {!Parallel.get_pool}).  Results are bit-identical for any worker count,
     and the RNG stream is consumed exactly as by a sequential evaluation.
+
+    [cache] is an optional [(store, key)] pair memoizing the raw per-draw
+    accuracies; the key must cover everything the draws depend on (network
+    content hash, [epsilon], [n], test-set identity and the evaluation seed).
+    On a hit the summary statistics are recomputed from the decoded [%h]
+    bits — bit-identical to the evaluation they replace — and [rng] is left
+    untouched (callers hand each evaluation its own derived generator).
 
     @raise Invalid_argument if [n < 1]. *)
 
@@ -47,13 +55,15 @@ type mc_result = {
 
 val mc_result_under :
   ?pool:Parallel.Pool.t ->
+  ?cache:Cache.t * string ->
   Rng.t ->
   Network.t ->
   model:Variation.model -> n:int -> x:Tensor.t -> y:int array -> mc_result
 (** Evaluates [n] draws from an arbitrary {!Variation.model} (always [n]
     draws — no nominal short-circuit) and summarizes the accuracy
     distribution.  Pre-draws the noise sequentially, fans the pure forward
-    passes out over [pool]: bit-identical for any worker count.
+    passes out over [pool]: bit-identical for any worker count.  [cache] as
+    in {!mc_accuracy} (the key must additionally cover the model).
 
     @raise Invalid_argument if [n < 1] or the model fails
     {!Variation.validate}. *)

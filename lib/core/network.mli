@@ -91,7 +91,9 @@ val draw_loss_and_grads_alloc :
 val params_theta : t -> Autodiff.t list
 val params_omega : t -> Autodiff.t list
 
-type weights
+type weights = (Tensor.t * Tensor.t * Tensor.t) list
+(** Per-layer (θ, act 𝔴, neg 𝔴) value copies, outermost layer first.
+    Concrete so checkpointing can serialize the best-epoch snapshot. *)
 
 val snapshot : t -> weights
 val restore : t -> weights -> unit

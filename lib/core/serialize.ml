@@ -1,5 +1,12 @@
+let magic = "pnn-save"
+let format_version = 2
+let schema_tag = Printf.sprintf "%s-%d" magic format_version
+
 let float_line a =
   String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") a))
+
+let floats_of_words words =
+  Array.of_list (List.map float_of_string words)
 
 let tensor_line t =
   Printf.sprintf "%d %d %s" (Tensor.rows t) (Tensor.cols t)
@@ -46,9 +53,20 @@ let config_of_line line =
       }
   | _ -> failwith "Serialize: bad config line"
 
+let rng_line rng =
+  let s = Rng.state rng in
+  Printf.sprintf "rng %Lx %Lx %Lx %Lx" s.(0) s.(1) s.(2) s.(3)
+
+let rng_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "rng"; a; b; c; d ] ->
+      Rng.of_state
+        (Array.map (fun w -> Int64.of_string ("0x" ^ w)) [| a; b; c; d |])
+  | _ -> failwith "Serialize: bad rng line"
+
 let to_lines network =
   let layers = Network.layers network in
-  let header = Printf.sprintf "pnn %d" (List.length layers) in
+  let count = Printf.sprintf "pnn %d" (List.length layers) in
   let layer_lines layer =
     [
       tensor_line (Autodiff.value layer.Layer.theta);
@@ -56,11 +74,28 @@ let to_lines network =
       tensor_line (Nonlinear.snapshot layer.Layer.neg);
     ]
   in
-  (header :: config_line (Network.config network)
+  (Printf.sprintf "%s %d" magic format_version
+  :: count
+  :: config_line (Network.config network)
   :: List.concat_map layer_lines layers)
 
-let of_lines surrogate lines =
+let strip_header lines =
   match lines with
+  | first :: rest -> (
+      match String.split_on_char ' ' (String.trim first) with
+      | [ m; v ] when m = magic ->
+          if int_of_string_opt v = Some format_version then rest
+          else
+            failwith
+              (Printf.sprintf "Serialize: unsupported format version %s" v)
+      | _ ->
+          (* headerless v1 file: body starts directly with the "pnn <n>"
+             layer-count line *)
+          lines)
+  | [] -> failwith "Serialize: empty input"
+
+let of_lines surrogate lines =
+  match strip_header lines with
   | header :: config_l :: rest -> (
       match String.split_on_char ' ' (String.trim header) with
       | [ "pnn"; n ] ->
@@ -82,6 +117,9 @@ let of_lines surrogate lines =
           (Network.of_layers config layers, remaining)
       | _ -> failwith "Serialize: bad header")
   | _ -> failwith "Serialize: empty input"
+
+let digest network =
+  Digest.to_hex (Digest.string (String.concat "\n" (to_lines network)))
 
 let save_file network path =
   let oc = open_out path in

@@ -4,7 +4,30 @@
     layer and the training configuration — everything needed to re-evaluate
     or print the design later.  The frozen surrogate is {e not} embedded (it
     is a shared artifact with its own cache); [load] takes it as an input and
-    checks the architecture matches. *)
+    checks the architecture matches.
+
+    Files written since format version 2 start with a ["pnn-save <version>"]
+    header line; {!of_lines} also accepts the original headerless layout
+    (whose first line is the ["pnn <n>"] layer count) and rejects unknown or
+    future versions with [Failure] rather than misparsing them. *)
+
+val schema_tag : string
+(** Canonical name of the current on-disk format (["pnn-save-2"]).  Cache
+    keys fold this in so any format bump re-keys the store. *)
+
+val float_line : float array -> string
+(** Space-joined [%h] hex floats — bit-exact round-trips including ±inf,
+    −0.0 and signed NaN. *)
+
+val floats_of_words : string list -> float array
+(** Parse a list of [%h] (or decimal) float words back.  Raises [Failure] on
+    malformed input. *)
+
+val rng_line : Rng.t -> string
+val rng_of_line : string -> Rng.t
+(** RNG stream-position codec (["rng <s0> <s1> <s2> <s3>"], hex words).  The
+    restored generator continues the stream bit-exactly.  Raises [Failure] on
+    malformed input. *)
 
 val tensor_line : Tensor.t -> string
 val tensor_of_line : string -> Tensor.t
@@ -21,6 +44,10 @@ val config_of_line : string -> Config.t
 val to_lines : Network.t -> string list
 val of_lines : Surrogate.Model.t -> string list -> Network.t * string list
 (** Raises [Failure] on malformed input. *)
+
+val digest : Network.t -> string
+(** MD5 hex of the canonical serialization — the content hash used to key
+    evaluation results on the exact trained weights. *)
 
 val save_file : Network.t -> string -> unit
 val load_file : Surrogate.Model.t -> string -> Network.t

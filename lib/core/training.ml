@@ -19,8 +19,22 @@ let of_split ~n_classes (s : Datasets.Synth.split) =
     y_val = Datasets.Synth.one_hot ~n_classes s.Datasets.Synth.y_val;
   }
 
-let fit ?pool ?train_sampler ?val_noises rng network data =
+type checkpoint = {
+  ckpt_path : string;
+  every : int;
+  resume : bool;
+  interrupt_after : int option;
+}
+
+exception Interrupted
+
+let fit ?pool ?train_sampler ?val_noises ?sampler_rng ?checkpoint rng network
+    data =
   let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
+  (* The generator consumed inside the epoch loop; its position is part of
+     every checkpoint.  The default [fit] path draws training noise from the
+     caller's [rng]; [fit_under] samples from its derived train stream. *)
+  let sampler_rng = match sampler_rng with Some r -> r | None -> rng in
   let config = Network.config network in
   let shapes = Network.theta_shapes network in
   let epsilon = config.Config.epsilon in
@@ -54,6 +68,36 @@ let fit ?pool ?train_sampler ?val_noises rng network data =
     else groups
   in
   let best = ref (Network.snapshot network) in
+  let st = Nn.Train.fresh_state () in
+  (* Resume before the first epoch: the caller has just re-run the identical
+     pre-loop derivations (network init, fixed validation noises), so
+     restoring the loop-time state — weights, best snapshot, progress,
+     optimizer moments, in-loop RNG position — re-enters the interrupted
+     trajectory bit-exactly.  Anything wrong with the file is a fresh start. *)
+  (match checkpoint with
+  | Some ck when ck.resume -> (
+      match Checkpoint.load ck.ckpt_path with
+      | Some c when Checkpoint.matches c config -> (
+          match
+            Checkpoint.apply c ~rng:sampler_rng ~state:st ~network ~optimizers
+          with
+          | b -> best := b
+          | exception Failure _ -> ())
+      | Some _ | None -> ())
+  | Some _ | None -> ());
+  let on_epoch =
+    match checkpoint with
+    | None -> None
+    | Some ck ->
+        Some
+          (fun (s : Nn.Train.state) ->
+            if ck.every > 0 && s.Nn.Train.epoch mod ck.every = 0 then
+              Checkpoint.save ~path:ck.ckpt_path ~config ~rng:sampler_rng
+                ~state:s ~network ~best:!best ~optimizers;
+            match ck.interrupt_after with
+            | Some n when s.Nn.Train.epoch >= n -> raise Interrupted
+            | Some _ | None -> ())
+  in
   let val_loss () =
     (* Forward-only on the cached replicas; bit-identical to the
        full-graph [Network.mc_loss] value. *)
@@ -61,7 +105,7 @@ let fit ?pool ?train_sampler ?val_noises rng network data =
       ~labels:data.y_val
   in
   let history =
-    Nn.Train.run
+    Nn.Train.run ~state:st ?on_epoch
       ~config:
         {
           Nn.Train.default_config with
@@ -78,13 +122,14 @@ let fit ?pool ?train_sampler ?val_noises rng network data =
       ~val_loss
       ~snapshot:(fun () -> best := Network.snapshot network)
       ~restore:(fun () -> Network.restore network !best)
+      ()
   in
   { network; history; val_loss = history.Nn.Train.best_val_loss }
 
 (* Sub-stream derivation follows the split-only convention (docs/INTERNALS):
    the caller's rng is advanced by exactly two splits, and neither derived
    stream aliases it — later caller draws never replay training noise. *)
-let fit_under ?pool rng ~model network data =
+let fit_under ?pool ?checkpoint rng ~model network data =
   let config = Network.config network in
   let ctx = Variation.ctx_of_network network in
   let train_rng = Rng.split rng in
@@ -93,10 +138,59 @@ let fit_under ?pool rng ~model network data =
     Variation.sampler train_rng model ctx ~n:config.Config.n_mc_train
   in
   let val_noises = Variation.draw_many val_rng model ctx ~n:config.Config.n_mc_val in
-  fit ?pool ~train_sampler ~val_noises rng network data
+  fit ?pool ~train_sampler ~val_noises ~sampler_rng:train_rng ?checkpoint rng
+    network data
 
-let train_fresh ?pool ?init rng config surrogate ~n_classes split =
+let train_fresh ?pool ?init ?checkpoint rng config surrogate ~n_classes split =
   let data = of_split ~n_classes split in
   let inputs = Tensor.cols data.x_train in
   let network = Network.create ?init rng config surrogate ~inputs ~outputs:n_classes in
-  fit ?pool rng network data
+  fit ?pool ?checkpoint rng network data
+
+(* {2 Result codec}
+
+   Cache payload for a completed training run: the trained network plus its
+   full history, [%h]-exact so a cache hit is bit-identical to the compute it
+   replaced. *)
+
+let floats_line label a =
+  Printf.sprintf "%s %d%s" label (Array.length a)
+    (if Array.length a = 0 then "" else " " ^ Serialize.float_line a)
+
+let floats_of_line label line =
+  match String.split_on_char ' ' (String.trim line) with
+  | l :: n :: words when l = label && int_of_string_opt n = Some (List.length words)
+    ->
+      Serialize.floats_of_words words
+  | _ -> failwith (Printf.sprintf "Training: bad %s line" label)
+
+let result_lines r =
+  Serialize.to_lines r.network
+  @ [
+      Printf.sprintf "hist %d %b %h" r.history.Nn.Train.best_epoch
+        r.history.Nn.Train.stopped_early r.history.Nn.Train.best_val_loss;
+      floats_line "train" r.history.Nn.Train.train_losses;
+      floats_line "val" r.history.Nn.Train.val_losses;
+    ]
+
+let result_of_lines surrogate lines =
+  let network, rest = Serialize.of_lines surrogate lines in
+  match rest with
+  | [ hist_l; train_l; val_l ] ->
+      let best_epoch, stopped_early, best_val_loss =
+        match String.split_on_char ' ' (String.trim hist_l) with
+        | [ "hist"; be; se; bv ] ->
+            (int_of_string be, bool_of_string se, float_of_string bv)
+        | _ -> failwith "Training: bad hist line"
+      in
+      let history =
+        {
+          Nn.Train.train_losses = floats_of_line "train" train_l;
+          val_losses = floats_of_line "val" val_l;
+          best_epoch;
+          best_val_loss;
+          stopped_early;
+        }
+      in
+      { network; history; val_loss = best_val_loss }
+  | _ -> failwith "Training: bad result payload"

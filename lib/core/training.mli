@@ -21,10 +21,30 @@ type result = {
 
 val of_split : n_classes:int -> Datasets.Synth.split -> data
 
+type checkpoint = {
+  ckpt_path : string;  (** blob file location (inside the cache tree) *)
+  every : int;  (** write a checkpoint every [every] completed epochs *)
+  resume : bool;  (** restore from [ckpt_path] before the first epoch *)
+  interrupt_after : int option;
+      (** crash-injection test hook: raise {!Interrupted} once this many
+          epochs have completed (after any due checkpoint write) *)
+}
+(** Periodic checkpointing for {!fit}: every state the loop reads — weights,
+    best snapshot, progress, optimizer moments, in-loop RNG position — is
+    persisted atomically, so an interrupted run resumed with [resume = true]
+    finishes bit-identically to an uninterrupted one.  A missing, corrupt or
+    mismatched checkpoint silently falls back to a fresh start. *)
+
+exception Interrupted
+(** Raised by the [interrupt_after] hook; propagates out of {!fit} like any
+    crash would. *)
+
 val fit :
   ?pool:Parallel.Pool.t ->
   ?train_sampler:(unit -> Noise.t list) ->
   ?val_noises:Noise.t list ->
+  ?sampler_rng:Rng.t ->
+  ?checkpoint:checkpoint ->
   Rng.t ->
   Network.t ->
   data ->
@@ -38,10 +58,19 @@ val fit :
     The per-epoch Monte-Carlo loss runs data-parallel over [pool] (default:
     the shared {!Parallel.get_pool}) via {!Network.mc_loss_pooled}; noises
     are drawn on the training loop's domain, so the RNG stream and the
-    resulting parameter trajectory are bit-identical for any pool size. *)
+    resulting parameter trajectory are bit-identical for any pool size.
+
+    [sampler_rng] names the generator consumed {e inside} the epoch loop
+    (defaults to [rng], which is what the default training sampler draws
+    from); its stream position is saved in every [checkpoint] so a resumed
+    run continues the noise sequence exactly.  Callers passing a custom
+    [train_sampler] that draws from a different generator must name it here
+    for checkpointing to be exact. *)
 
 val fit_under :
-  ?pool:Parallel.Pool.t -> Rng.t -> model:Variation.model -> Network.t -> data -> result
+  ?pool:Parallel.Pool.t ->
+  ?checkpoint:checkpoint ->
+  Rng.t -> model:Variation.model -> Network.t -> data -> result
 (** {!fit} with training and validation noise drawn from an arbitrary
     {!Variation.model} instead of the config's uniform ε — variation-aware
     training against any fault family.  The training sampler and the fixed
@@ -54,6 +83,13 @@ val fit_under :
 val train_fresh :
   ?pool:Parallel.Pool.t ->
   ?init:[ `Centered | `Random_sign ] ->
+  ?checkpoint:checkpoint ->
   Rng.t -> Config.t -> Surrogate.Model.t -> n_classes:int -> Datasets.Synth.split -> result
 (** Convenience: build the paper-topology network for a dataset split and
     {!fit} it. *)
+
+val result_lines : result -> string list
+val result_of_lines : Surrogate.Model.t -> string list -> result
+(** Cache codec for a completed run (network + full history, [%h]-exact:
+    a cache hit is bit-identical to the compute it replaced).
+    [result_of_lines] raises [Failure] on malformed input. *)

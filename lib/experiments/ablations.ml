@@ -92,21 +92,49 @@ let architecture_ablation ?(n = 1200) ?(epochs = 800) () =
 
 let surrogate_small = lazy (Setup.surrogate_of_scale Setup.quick)
 
-let train_once ~init ~config ~seed data =
+let surrogate_small_digest =
+  lazy (Cache.digest_lines (Surrogate.Model.to_lines (Lazy.force surrogate_small)))
+
+let init_name = function `Centered -> "centered" | `Random_sign -> "random_sign"
+
+let train_once ?cache ~init ~config ~seed data =
+  let cache = match cache with Some c -> c | None -> Cache.get_default () in
   let spec = data.Datasets.Synth.spec in
-  let split = Datasets.Synth.split (Rng.create (seed + 100)) data in
-  let rng = Rng.create seed in
-  let tdata = Pnn.Training.of_split ~n_classes:spec.Datasets.Synth.classes split in
-  let net =
-    Pnn.Network.create ~init rng config (Lazy.force surrogate_small)
-      ~inputs:spec.Datasets.Synth.features ~outputs:spec.Datasets.Synth.classes
+  let key =
+    Cache.key ~schema:Pnn.Serialize.schema_tag ~kind:"ablcell"
+      [
+        Lazy.force surrogate_small_digest;
+        Pnn.Serialize.config_line config;
+        spec.Datasets.Synth.name;
+        string_of_int seed;
+        init_name init;
+      ]
   in
-  let result = Pnn.Training.fit rng net tdata in
-  let acc =
-    Pnn.Evaluation.nominal_accuracy result.Pnn.Training.network
-      ~x:split.Datasets.Synth.x_test ~y:split.Datasets.Synth.y_test
-  in
-  (acc, Datasets.Synth.majority_fraction data)
+  Cache.memoize cache ~kind:"ablcell" ~key
+    ~encode:(fun (acc, majority) -> [ Printf.sprintf "acc %h %h" acc majority ])
+    ~decode:(fun lines ->
+      match lines with
+      | [ line ] -> (
+          match String.split_on_char ' ' (String.trim line) with
+          | [ "acc"; a; m ] -> (float_of_string a, float_of_string m)
+          | _ -> failwith "Ablations: bad cell payload")
+      | _ -> failwith "Ablations: bad cell payload")
+    (fun () ->
+      let split = Datasets.Synth.split (Rng.create (seed + 100)) data in
+      let rng = Rng.create seed in
+      let tdata =
+        Pnn.Training.of_split ~n_classes:spec.Datasets.Synth.classes split
+      in
+      let net =
+        Pnn.Network.create ~init rng config (Lazy.force surrogate_small)
+          ~inputs:spec.Datasets.Synth.features ~outputs:spec.Datasets.Synth.classes
+      in
+      let result = Pnn.Training.fit rng net tdata in
+      let acc =
+        Pnn.Evaluation.nominal_accuracy result.Pnn.Training.network
+          ~x:split.Datasets.Synth.x_test ~y:split.Datasets.Synth.y_test
+      in
+      (acc, Datasets.Synth.majority_fraction data))
 
 let initialization_ablation ?(seeds = 4) () =
   let config =

@@ -32,6 +32,23 @@ let sigmas = [ 0.0; 0.025; 0.05; 0.10; 0.20 ]
 let train_rng ~arm_idx ~seed = Rng.create ((arm_idx * 7907) lxor (seed * 131) lxor 5557)
 let eval_rng ~arm_idx ~test_idx = Rng.create ((arm_idx * 101) lxor (test_idx * 9176) lxor 33)
 
+(* Canonical fault-model descriptor folded into cache keys: the family alone
+   is not enough, the parameters change both training and evaluation. *)
+let rec model_desc = function
+  | Pnn.Variation.Uniform e -> Printf.sprintf "uniform:%h" e
+  | Pnn.Variation.Gaussian s -> Printf.sprintf "gaussian:%h" s
+  | Pnn.Variation.Correlated { global; local } ->
+      Printf.sprintf "correlated:%h:%h" global local
+  | Pnn.Variation.Defects { p_open; p_short } ->
+      Printf.sprintf "defects:%h:%h" p_open p_short
+  | Pnn.Variation.Aging { kappa_max; beta; t_frac } ->
+      Printf.sprintf "aging:%h:%h:%s" kappa_max beta
+        (match t_frac with None -> "-" | Some t -> Printf.sprintf "%h" t)
+  | Pnn.Variation.Compose models ->
+      Printf.sprintf "compose[%s]" (String.concat ";" (List.map model_desc models))
+
+let model_tag = function None -> "nominal" | Some m -> model_desc m
+
 let best_of candidates =
   match candidates with
   | [] -> invalid_arg "Faults.run: no seeds"
@@ -42,9 +59,11 @@ let best_of candidates =
           else (best, bsplit))
         first rest
 
-let run ?pool ?(progress = fun _ -> ()) ?(dataset = "seeds") ?(epsilon = 0.10) scale
-    surrogate =
+let run ?pool ?cache ?(checkpoints = false) ?(progress = fun _ -> ())
+    ?(dataset = "seeds") ?(epsilon = 0.10) scale surrogate =
   let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
+  let cache = match cache with Some c -> c | None -> Cache.get_default () in
+  let digest = Cache.digest_lines (Surrogate.Model.to_lines surrogate) in
   let data = Datasets.Bench13.load dataset in
   let spec = data.Datasets.Synth.spec in
   let n_classes = spec.Datasets.Synth.classes in
@@ -54,17 +73,63 @@ let run ?pool ?(progress = fun _ -> ()) ?(dataset = "seeds") ?(epsilon = 0.10) s
       (fun seed -> (seed, Datasets.Synth.split (Rng.create (seed + 700)) data))
       scale.Setup.seeds
   in
+  let init_name =
+    match scale.Setup.init with
+    | `Centered -> "centered"
+    | `Random_sign -> "random_sign"
+  in
   let train_one ~arm_idx model (seed, split) =
-    let rng = train_rng ~arm_idx ~seed in
-    let tdata = Pnn.Training.of_split ~n_classes split in
-    let network =
-      Pnn.Network.create ~init:scale.Setup.init rng scale.Setup.config surrogate
-        ~inputs:spec.Datasets.Synth.features ~outputs:n_classes
+    (* [train_rng]'s tag covers (arm_idx, seed); the key carries both plus
+       the model descriptor, so arms sharing a config never collide. *)
+    let key =
+      Cache.key ~schema:Pnn.Serialize.schema_tag ~kind:"faultcell"
+        [
+          digest;
+          Pnn.Serialize.config_line scale.Setup.config;
+          dataset;
+          string_of_int arm_idx;
+          model_tag model;
+          string_of_int seed;
+          init_name;
+        ]
     in
     let result =
-      match model with
-      | None -> Pnn.Training.fit ~pool rng network tdata
-      | Some m -> Pnn.Training.fit_under ~pool rng ~model:m network tdata
+      Cache.memoize cache ~kind:"faultcell" ~key
+        ~encode:Pnn.Training.result_lines
+        ~decode:(Pnn.Training.result_of_lines surrogate)
+        (fun () ->
+          let rng = train_rng ~arm_idx ~seed in
+          let tdata = Pnn.Training.of_split ~n_classes split in
+          let network =
+            Pnn.Network.create ~init:scale.Setup.init rng scale.Setup.config
+              surrogate ~inputs:spec.Datasets.Synth.features ~outputs:n_classes
+          in
+          let checkpoint =
+            if not checkpoints then None
+            else
+              match Cache.member_path cache ~kind:"ckpt" ~key with
+              | None -> None
+              | Some path ->
+                  Some
+                    {
+                      Pnn.Training.ckpt_path = path;
+                      every = 50;
+                      resume = true;
+                      interrupt_after = None;
+                    }
+          in
+          let r =
+            match model with
+            | None -> Pnn.Training.fit ~pool ?checkpoint rng network tdata
+            | Some m ->
+                Pnn.Training.fit_under ~pool ?checkpoint rng ~model:m network
+                  tdata
+          in
+          (match checkpoint with
+          | Some c -> (
+              try Sys.remove c.Pnn.Training.ckpt_path with Sys_error _ -> ())
+          | None -> ());
+          r)
     in
     (result, split)
   in
@@ -78,7 +143,28 @@ let run ?pool ?(progress = fun _ -> ()) ?(dataset = "seeds") ?(epsilon = 0.10) s
       (train_arms epsilon)
   in
   let evaluate ~arm_idx ~test_idx network (split : Datasets.Synth.split) model =
-    Pnn.Evaluation.mc_result_under ~pool
+    (* arm_idx and test_idx determine the evaluation stream ([eval_rng]), so
+       both belong in the key alongside the content inputs. *)
+    let eval_cache =
+      if not (Cache.enabled cache) then None
+      else
+        Some
+          ( cache,
+            Cache.key ~schema:Pnn.Serialize.schema_tag ~kind:"mceval"
+              [
+                Pnn.Serialize.digest network;
+                model_tag (Some model);
+                string_of_int arm_idx;
+                string_of_int test_idx;
+                string_of_int scale.Setup.n_mc_test;
+                Cache.digest_lines
+                  [ Pnn.Serialize.tensor_line split.Datasets.Synth.x_test ];
+                Cache.digest_lines
+                  (List.map string_of_int
+                     (Array.to_list split.Datasets.Synth.y_test));
+              ] )
+    in
+    Pnn.Evaluation.mc_result_under ~pool ?cache:eval_cache
       (eval_rng ~arm_idx ~test_idx)
       network ~model ~n:scale.Setup.n_mc_test ~x:split.Datasets.Synth.x_test
       ~y:split.Datasets.Synth.y_test

@@ -37,6 +37,8 @@ val families : float -> (string * Pnn.Variation.model) list
 
 val run :
   ?pool:Parallel.Pool.t ->
+  ?cache:Cache.t ->
+  ?checkpoints:bool ->
   ?progress:(string -> unit) ->
   ?dataset:string ->
   ?epsilon:float ->
@@ -45,7 +47,13 @@ val run :
   t
 (** Defaults: dataset ["seeds"], [epsilon = 0.10].  Trains best-of-seeds per
     arm (validation loss, as Table II does) with {!Pnn.Training.fit_under},
-    then evaluates every view with [scale.n_mc_test] draws per cell. *)
+    then evaluates every view with [scale.n_mc_test] draws per cell.
+
+    [cache] (default {!Cache.get_default}) memoizes per-(arm, seed) trainings
+    and per-cell Monte-Carlo evaluations — keys cover the arm's fault model
+    and both stream indices, so arms sharing a config never collide; hits
+    are bit-identical to the computes they replace.  [checkpoints] as in
+    {!Table2.run}. *)
 
 val render : t -> string
 

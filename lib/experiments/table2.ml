@@ -26,19 +26,75 @@ let config_for scale arm eps =
   let base = Pnn.Config.with_learnable base arm.Setup.learnable in
   Pnn.Config.with_epsilon base (if arm.Setup.variation_aware then eps else 0.0)
 
+let init_tag = function `Centered -> "centered" | `Random_sign -> "random_sign"
+
+(* Content address of one (dataset, seed, arm) training cell: everything the
+   run reads — the frozen surrogate, the resolved config (which encodes arm
+   and ε), the dataset identity and both seed layers.  [run_seed]'s stream
+   tag is derived from the same inputs, so the key covers it. *)
+let cell_key ~kind ~surrogate_digest ~config ~dataset ~dataset_seed ~seed ~init =
+  Cache.key ~schema:Pnn.Serialize.schema_tag ~kind
+    [
+      surrogate_digest;
+      Pnn.Serialize.config_line config;
+      dataset;
+      string_of_int dataset_seed;
+      string_of_int seed;
+      init_tag init;
+    ]
+
+let surrogate_digest surrogate =
+  Cache.digest_lines (Surrogate.Model.to_lines surrogate)
+
+let checkpoint_for cache ~checkpoints ~key =
+  if not checkpoints then None
+  else
+    match Cache.member_path cache ~kind:"ckpt" ~key with
+    | None -> None
+    | Some path ->
+        Some
+          {
+            Pnn.Training.ckpt_path = path;
+            every = 50;
+            resume = true;
+            interrupt_after = None;
+          }
+
 (* Train one arm for every seed and keep the best model by validation loss.
    The per-seed runs are independent (each derives its own RNG stream from
    [run_seed]) and fan out over the pool; the best-of fold below stays in
    seed order, so the selection is identical for any worker count. *)
-let train_best ?pool scale surrogate ~dataset_seed ~n_classes ~splits arm eps =
+let train_best ?pool ?(cache = Cache.disabled ()) ?(checkpoints = false)
+    ?digest scale surrogate ~dataset ~dataset_seed ~n_classes ~splits arm eps =
   let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
+  let digest =
+    match digest with Some d -> d | None -> surrogate_digest surrogate
+  in
+  let config = config_for scale arm eps in
   let candidates =
     Parallel.Pool.map_list pool
       (fun (seed, split) ->
-        let rng = run_seed ~dataset_seed ~arm ~eps ~seed in
+        let key =
+          cell_key ~kind:"t2cell" ~surrogate_digest:digest ~config ~dataset
+            ~dataset_seed ~seed ~init:scale.Setup.init
+        in
         let result =
-          Pnn.Training.train_fresh ~pool ~init:scale.Setup.init rng
-            (config_for scale arm eps) surrogate ~n_classes split
+          Cache.memoize cache ~kind:"t2cell" ~key
+            ~encode:Pnn.Training.result_lines
+            ~decode:(Pnn.Training.result_of_lines surrogate)
+            (fun () ->
+              let rng = run_seed ~dataset_seed ~arm ~eps ~seed in
+              let checkpoint = checkpoint_for cache ~checkpoints ~key in
+              let r =
+                Pnn.Training.train_fresh ~pool ~init:scale.Setup.init
+                  ?checkpoint rng config surrogate ~n_classes split
+              in
+              (* the completed result supersedes any in-progress checkpoint *)
+              (match checkpoint with
+              | Some c -> (
+                  try Sys.remove c.Pnn.Training.ckpt_path with Sys_error _ -> ())
+              | None -> ());
+              r)
         in
         (result, split))
       splits
@@ -51,23 +107,53 @@ let train_best ?pool scale surrogate ~dataset_seed ~n_classes ~splits arm eps =
       | _ -> Some (result, split))
     None candidates
 
-let evaluate ?pool scale ~dataset_seed network ~epsilon ~(split : Datasets.Synth.split) =
+let evaluate ?pool ?(cache = Cache.disabled ()) scale ~dataset_seed network
+    ~epsilon ~(split : Datasets.Synth.split) =
   let rng = Rng.create ((dataset_seed * 31) + int_of_float (epsilon *. 1e4) + 5) in
+  let eval_cache =
+    if not (Cache.enabled cache) then None
+    else
+      Some
+        ( cache,
+          Cache.key ~schema:Pnn.Serialize.schema_tag ~kind:"mceval"
+            [
+              Pnn.Serialize.digest network;
+              Printf.sprintf "%h" epsilon;
+              string_of_int scale.Setup.n_mc_test;
+              string_of_int dataset_seed;
+              Cache.digest_lines
+                [ Pnn.Serialize.tensor_line split.Datasets.Synth.x_test ];
+              Cache.digest_lines
+                (List.map string_of_int
+                   (Array.to_list split.Datasets.Synth.y_test));
+            ] )
+  in
   let r =
-    Pnn.Evaluation.mc_accuracy ?pool rng network ~epsilon ~n:scale.Setup.n_mc_test
-      ~x:split.Datasets.Synth.x_test ~y:split.Datasets.Synth.y_test
+    Pnn.Evaluation.mc_accuracy ?pool ?cache:eval_cache rng network ~epsilon
+      ~n:scale.Setup.n_mc_test ~x:split.Datasets.Synth.x_test
+      ~y:split.Datasets.Synth.y_test
   in
   { mean = r.Pnn.Evaluation.mean_accuracy; std = r.Pnn.Evaluation.std_accuracy }
 
-let run_dataset ?pool ?(progress = fun _ -> ()) scale surrogate (data : Datasets.Synth.t) =
+let run_dataset ?pool ?cache ?checkpoints ?digest ?(progress = fun _ -> ())
+    scale surrogate (data : Datasets.Synth.t) =
   let spec = data.Datasets.Synth.spec in
   let n_classes = spec.Datasets.Synth.classes in
   let dataset_seed = spec.Datasets.Synth.seed in
+  let dataset = spec.Datasets.Synth.name in
+  let cache = match cache with Some c -> c | None -> Cache.disabled () in
+  let digest =
+    match digest with Some d -> d | None -> surrogate_digest surrogate
+  in
   (* one split per seed, shared by all arms for a fair comparison *)
   let splits =
     List.map
       (fun seed -> (seed, Datasets.Synth.split (Rng.create (dataset_seed + seed)) data))
       scale.Setup.seeds
+  in
+  let train_best arm eps =
+    train_best ?pool ~cache ?checkpoints ~digest scale surrogate ~dataset
+      ~dataset_seed ~n_classes ~splits arm eps
   in
   let cells =
     List.concat_map
@@ -78,27 +164,23 @@ let run_dataset ?pool ?(progress = fun _ -> ()) scale surrogate (data : Datasets
               progress
                 (Printf.sprintf "%s %s eps=%g" spec.Datasets.Synth.name
                    (Setup.arm_name arm) eps);
-              match
-                train_best ?pool scale surrogate ~dataset_seed ~n_classes ~splits arm eps
-              with
+              match train_best arm eps with
               | Some (result, split) ->
                   ( (arm, eps),
-                    evaluate ?pool scale ~dataset_seed result.Pnn.Training.network
-                      ~epsilon:eps ~split )
+                    evaluate ?pool ~cache scale ~dataset_seed
+                      result.Pnn.Training.network ~epsilon:eps ~split )
               | None -> assert false)
             scale.Setup.test_epsilons
         else begin
           progress
             (Printf.sprintf "%s %s" spec.Datasets.Synth.name (Setup.arm_name arm));
-          match
-            train_best ?pool scale surrogate ~dataset_seed ~n_classes ~splits arm 0.0
-          with
+          match train_best arm 0.0 with
           | Some (result, split) ->
               List.map
                 (fun eps ->
                   ( (arm, eps),
-                    evaluate ?pool scale ~dataset_seed result.Pnn.Training.network
-                      ~epsilon:eps ~split ))
+                    evaluate ?pool ~cache scale ~dataset_seed
+                      result.Pnn.Training.network ~epsilon:eps ~split ))
                 scale.Setup.test_epsilons
           | None -> assert false
         end)
@@ -111,11 +193,17 @@ let column_keys scale =
     (fun arm -> List.map (fun eps -> (arm, eps)) scale.Setup.test_epsilons)
     Setup.arms
 
-let run ?pool ?progress ?datasets scale surrogate =
+let run ?pool ?cache ?checkpoints ?progress ?datasets scale surrogate =
   let datasets =
     match datasets with Some d -> d | None -> Datasets.Bench13.load_all ()
   in
-  let rows = List.map (run_dataset ?pool ?progress scale surrogate) datasets in
+  let cache = match cache with Some c -> c | None -> Cache.get_default () in
+  let digest = surrogate_digest surrogate in
+  let rows =
+    List.map
+      (run_dataset ?pool ~cache ?checkpoints ~digest ?progress scale surrogate)
+      datasets
+  in
   let average =
     List.map
       (fun key ->

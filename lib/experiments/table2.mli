@@ -23,6 +23,8 @@ type t = {
 
 val run :
   ?pool:Parallel.Pool.t ->
+  ?cache:Cache.t ->
+  ?checkpoints:bool ->
   ?progress:(string -> unit) ->
   ?datasets:Datasets.Synth.t list ->
   Setup.scale ->
@@ -32,7 +34,15 @@ val run :
 
     Per-seed trainings fan out over [pool] (default: the shared
     {!Parallel.get_pool}) and every reduction is in fixed seed/draw order, so
-    the table is bit-identical for any worker count. *)
+    the table is bit-identical for any worker count.
+
+    [cache] (default {!Cache.get_default}) memoizes each (dataset, seed, arm)
+    training cell and each Monte-Carlo evaluation; hits are bit-identical to
+    the computes they replace, so a warm run reproduces the cold table
+    exactly.  With [checkpoints = true] (and an enabled cache) each in-flight
+    training writes periodic {!Pnn.Training.checkpoint}s inside the cache
+    tree and resumes from them after an interruption; a cell's checkpoint is
+    deleted once its result lands in the cache. *)
 
 val cell_of : t -> dataset:string -> arm:Setup.arm -> epsilon:float -> cell
 (** Raises [Not_found]. *)

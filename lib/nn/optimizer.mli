@@ -26,3 +26,15 @@ val step : t -> Autodiff.t list -> unit
 val lr : t -> float
 val set_lr : t -> float -> unit
 (** Mutate the learning rate (for schedules). *)
+
+val state_lines : t -> Autodiff.t list -> string list
+(** Serialize the optimizer's per-parameter state for the given parameter
+    group as text lines ([%h] floats, bit-exact).  State is addressed
+    positionally by the list, so {!restore_state} must be given the same
+    parameters in the same order. *)
+
+val restore_state : t -> Autodiff.t list -> string list -> string list
+(** [restore_state t params lines] consumes this optimizer's section from
+    [lines] (re-keying moment estimates onto [params]) and returns the
+    remaining lines.  Raises [Failure] on malformed input, a parameter-count
+    or size mismatch, or an algorithm mismatch. *)

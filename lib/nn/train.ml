@@ -17,45 +17,66 @@ type history = {
   stopped_early : bool;
 }
 
-let run ~config ~optimizers ~train_loss ~val_loss ~snapshot ~restore =
+type state = {
+  mutable epoch : int;
+  mutable train_hist : float list;
+  mutable val_hist : float list;
+  mutable best_val : float;
+  mutable best_epoch : int;
+  mutable epochs_since_best : int;
+  mutable stopped_early : bool;
+}
+
+let fresh_state () =
+  {
+    epoch = 0;
+    train_hist = [];
+    val_hist = [];
+    best_val = infinity;
+    best_epoch = 0;
+    epochs_since_best = 0;
+    stopped_early = false;
+  }
+
+let run ?state ?on_epoch ~config ~optimizers ~train_loss ~val_loss ~snapshot
+    ~restore () =
   if config.val_every < 1 then invalid_arg "Train.run: val_every < 1";
-  let train_hist = ref [] and val_hist = ref [] in
-  let best_val = ref infinity and best_epoch = ref 0 in
-  let epochs_since_best = ref 0 in
-  let stopped_early = ref false in
+  let st = match state with Some s -> s | None -> fresh_state () in
   (try
-     for epoch = 0 to config.max_epochs - 1 do
+     for epoch = st.epoch to config.max_epochs - 1 do
        let loss = train_loss () in
        Autodiff.backward loss;
        List.iter (fun (opt, ps) -> Optimizer.step opt ps) optimizers;
        let tl = Tensor.get (Autodiff.value loss) 0 0 in
-       train_hist := tl :: !train_hist;
-       incr epochs_since_best;
+       st.train_hist <- tl :: st.train_hist;
+       st.epochs_since_best <- st.epochs_since_best + 1;
        if epoch mod config.val_every = 0 then begin
          let vl = val_loss () in
-         val_hist := vl :: !val_hist;
+         st.val_hist <- vl :: st.val_hist;
          if config.log_every > 0 && epoch mod config.log_every = 0 then
            Logs.info (fun m ->
                m "epoch %d: train %.5f val %.5f (best %.5f @%d)" epoch tl vl
-                 !best_val !best_epoch);
-         if vl < !best_val -. config.min_delta then begin
-           best_val := vl;
-           best_epoch := epoch;
-           epochs_since_best := 0;
+                 st.best_val st.best_epoch);
+         if vl < st.best_val -. config.min_delta then begin
+           st.best_val <- vl;
+           st.best_epoch <- epoch;
+           st.epochs_since_best <- 0;
            snapshot ()
          end
-         else if !epochs_since_best > config.patience then begin
-           stopped_early := true;
+         else if st.epochs_since_best > config.patience then begin
+           st.stopped_early <- true;
            raise Exit
          end
-       end
+       end;
+       st.epoch <- epoch + 1;
+       match on_epoch with Some f -> f st | None -> ()
      done
    with Exit -> ());
-  if !best_val < infinity then restore ();
+  if st.best_val < infinity then restore ();
   {
-    train_losses = Array.of_list (List.rev !train_hist);
-    val_losses = Array.of_list (List.rev !val_hist);
-    best_epoch = !best_epoch;
-    best_val_loss = !best_val;
-    stopped_early = !stopped_early;
+    train_losses = Array.of_list (List.rev st.train_hist);
+    val_losses = Array.of_list (List.rev st.val_hist);
+    best_epoch = st.best_epoch;
+    best_val_loss = st.best_val;
+    stopped_early = st.stopped_early;
   }

@@ -27,15 +27,41 @@ type history = {
   stopped_early : bool;
 }
 
+type state = {
+  mutable epoch : int;  (** next epoch to run (= epochs completed so far) *)
+  mutable train_hist : float list;  (** newest first *)
+  mutable val_hist : float list;  (** newest first *)
+  mutable best_val : float;
+  mutable best_epoch : int;
+  mutable epochs_since_best : int;
+  mutable stopped_early : bool;
+}
+(** The loop's full mutable progress, exposed so checkpointing can persist it
+    and resume can re-enter the loop mid-run.  Together with the parameter
+    tensors, the best-weights snapshot, the optimizer state and the RNG
+    stream position, this is everything the loop reads. *)
+
+val fresh_state : unit -> state
+(** A start-of-training state ([epoch = 0], empty histories). *)
+
 val run :
+  ?state:state ->
+  ?on_epoch:(state -> unit) ->
   config:config ->
   optimizers:(Optimizer.t * Autodiff.t list) list ->
   train_loss:(unit -> Autodiff.t) ->
   val_loss:(unit -> float) ->
   snapshot:(unit -> unit) ->
   restore:(unit -> unit) ->
+  unit ->
   history
 (** Runs until [max_epochs] or patience exhaustion, keeping the best weights
     (by validation loss) via [snapshot]; calls [restore] before returning so
     the model ends at its best validation epoch.  Each optimizer updates its
-    own parameter group, enabling the paper's two learning rates. *)
+    own parameter group, enabling the paper's two learning rates.
+
+    [state] (default {!fresh_state}) is where progress lives; pass a restored
+    one to resume mid-run — the loop continues from [state.epoch] exactly as
+    if it had never stopped.  [on_epoch] fires after every completed epoch
+    with the up-to-date state (the checkpoint hook); it is not called on the
+    epoch that trips early stopping. *)

@@ -14,32 +14,91 @@ let eta_sane (e : Fit.Ptanh.eta) =
   && e.Fit.Ptanh.eta3 <= 3.0
   && Float.abs e.Fit.Ptanh.eta4 <= 100.0
 
-let generate_dataset ?pool ?(n = 10_000) ?(sweep_points = 41) ?(max_fit_rmse = 0.02)
-    ?(sampler = `Sobol) () =
+(* {2 Per-chunk dataset cache}
+
+   The DC sweep + LM fit per candidate dominates pipeline cost, so outcomes
+   are memoized in fixed-size chunks keyed by the chunk's ω content plus
+   every knob the sweep/fit/filter reads.  ω itself is reconstructed from the
+   input on decode, so the payload stores only the (η, rmse) verdicts. *)
+
+(* bump when the transfer sweep, the ptanh fit or the η sanity box changes:
+   old verdict entries silently re-key instead of being replayed *)
+let chunk_schema = "surchunk-1"
+let chunk_size = 256
+
+let hex_floats a =
+  String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") a))
+
+let outcome_line = function
+  | None -> "r"
+  | Some (_omega, eta, rmse) ->
+      Printf.sprintf "k %s %h" (hex_floats eta) rmse
+
+let outcome_of_line omega line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "r" ] -> None
+  | [ "k"; e1; e2; e3; e4; rmse ] ->
+      let f = float_of_string in
+      Some (omega, [| f e1; f e2; f e3; f e4 |], f rmse)
+  | _ -> failwith "Pipeline: bad outcome line"
+
+let generate_dataset ?pool ?cache ?(n = 10_000) ?(sweep_points = 41)
+    ?(max_fit_rmse = 0.02) ?(sampler = `Sobol) () =
   let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
+  let cache = match cache with Some c -> c | None -> Cache.disabled () in
   (* Candidates are sampled up-front on this domain (the Sobol / LHS streams
      stay sequential); each candidate's MNA DC sweep + LM fit is independent
      and fans out over the pool.  Acceptance is then folded in candidate
-     order, so the dataset is bit-identical for any worker count. *)
+     order, so the dataset is bit-identical for any worker count — and
+     sampling stays ahead of the cache, so hits leave every RNG stream
+     exactly where a cold run would. *)
   let omegas =
     match sampler with
     | `Sobol -> Design_space.sample_sobol ~n
     | `Lhs rng -> Design_space.sample_lhs rng ~n
   in
+  let candidate omega =
+    match
+      Circuit.Ptanh_circuit.transfer ~points:sweep_points
+        (Circuit.Ptanh_circuit.omega_of_array omega)
+    with
+    | exception Circuit.Mna.No_convergence _ -> None
+    | vin, vout ->
+        let { Fit.Ptanh.eta; rmse; converged = _ } = Fit.Ptanh.fit ~vin ~vout in
+        if rmse <= max_fit_rmse && eta_sane eta then
+          Some (omega, Fit.Ptanh.eta_to_array eta, rmse)
+        else None
+  in
+  let chunk_outcomes chunk =
+    let key =
+      Cache.key ~schema:chunk_schema ~kind:"surchunk"
+        [
+          string_of_int sweep_points;
+          Printf.sprintf "%h" max_fit_rmse;
+          Cache.digest_lines (Array.to_list (Array.map hex_floats chunk));
+        ]
+    in
+    Cache.memoize cache ~kind:"surchunk" ~key
+      ~encode:(fun outcomes ->
+        Array.to_list (Array.map outcome_line outcomes))
+      ~decode:(fun lines ->
+        if List.length lines <> Array.length chunk then
+          failwith "Pipeline: chunk length mismatch";
+        Array.mapi
+          (fun i line -> outcome_of_line chunk.(i) line)
+          (Array.of_list lines))
+      (fun () -> Parallel.Pool.map_array pool candidate chunk)
+  in
   let outcomes =
-    Parallel.Pool.map_array pool
-      (fun omega ->
-        match
-          Circuit.Ptanh_circuit.transfer ~points:sweep_points
-            (Circuit.Ptanh_circuit.omega_of_array omega)
-        with
-        | exception Circuit.Mna.No_convergence _ -> None
-        | vin, vout ->
-            let { Fit.Ptanh.eta; rmse; converged = _ } = Fit.Ptanh.fit ~vin ~vout in
-            if rmse <= max_fit_rmse && eta_sane eta then
-              Some (omega, Fit.Ptanh.eta_to_array eta, rmse)
-            else None)
-      omegas
+    if not (Cache.enabled cache) then Parallel.Pool.map_array pool candidate omegas
+    else begin
+      let total = Array.length omegas in
+      let n_chunks = (total + chunk_size - 1) / chunk_size in
+      Array.concat
+        (List.init n_chunks (fun c ->
+             let lo = c * chunk_size in
+             chunk_outcomes (Array.sub omegas lo (min chunk_size (total - lo)))))
+    end
   in
   let kept_omegas = ref [] and kept_etas = ref [] and kept_rmses = ref [] in
   let rejected = ref 0 in
@@ -116,6 +175,7 @@ let train_surrogate ?(arch = Model.paper_arch) ?(max_epochs = 3000) ?(patience =
       ~val_loss:(fun () -> Nn.Metrics.mse (Nn.Mlp.forward_tensor mlp x_val) y_val)
       ~snapshot:(fun () -> best := Nn.Mlp.snapshot mlp)
       ~restore:(fun () -> Nn.Mlp.restore mlp !best)
+      ()
   in
   let model = { Model.mlp; omega_scaler; eta_scaler } in
   let metrics x y =
@@ -158,7 +218,7 @@ let ensure ?(dir = "_artifacts") ?(n = 4000) ?(arch = Model.paper_arch)
   if Sys.file_exists path then Model.load_file path
   else begin
     Logs.info (fun m -> m "surrogate cache miss; running pipeline (n=%d) -> %s" n path);
-    let dataset = generate_dataset ~n () in
+    let dataset = generate_dataset ~cache:(Cache.get_default ()) ~n () in
     let rng = Rng.create seed in
     let model, report = train_surrogate ~arch ~max_epochs rng dataset in
     Logs.info (fun m ->

@@ -16,6 +16,7 @@ type dataset = {
 
 val generate_dataset :
   ?pool:Parallel.Pool.t ->
+  ?cache:Cache.t ->
   ?n:int ->
   ?sweep_points:int ->
   ?max_fit_rmse:float ->
@@ -28,7 +29,13 @@ val generate_dataset :
     Candidates are sampled sequentially, then each candidate's DC sweep and
     LM fit fan out over [pool] (default: the shared {!Parallel.get_pool});
     acceptance keeps candidate order, so the dataset is bit-identical for any
-    worker count. *)
+    worker count.
+
+    [cache] (default: disabled) memoizes sweep+fit outcomes in fixed-size
+    chunks keyed by chunk content and every sweep/fit/filter knob; candidates
+    are sampled before the cache is consulted, so a warm run leaves all RNG
+    streams exactly where a cold one would and returns a bit-identical
+    dataset. *)
 
 type split = { train : int array; validation : int array; test : int array }
 

@@ -20,6 +20,20 @@ let create seed =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let state t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let set_state t words =
+  if Array.length words <> 4 then invalid_arg "Rng.set_state: need 4 words";
+  t.s0 <- words.(0);
+  t.s1 <- words.(1);
+  t.s2 <- words.(2);
+  t.s3 <- words.(3)
+
+let of_state words =
+  let t = { s0 = 0L; s1 = 0L; s2 = 0L; s3 = 0L } in
+  set_state t words;
+  t
+
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 

@@ -19,6 +19,19 @@ val split : t -> t
 val copy : t -> t
 (** Duplicate the current state (the two generators then evolve separately). *)
 
+val state : t -> int64 array
+(** The full xoshiro256** state as 4 words — everything needed to resume the
+    stream bit-exactly (checkpoint/resume).  The generator is not advanced. *)
+
+val of_state : int64 array -> t
+(** Rebuild a generator from {!state} output.  The restored stream produces
+    exactly the draws the original would have from that point on.  Raises
+    [Invalid_argument] unless given exactly 4 words. *)
+
+val set_state : t -> int64 array -> unit
+(** In-place {!of_state}: repositions an existing generator (and therefore
+    every closure holding it) onto a saved stream position. *)
+
 val uint64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -155,6 +155,7 @@ let test_train_xor () =
       ~val_loss:(fun () -> Nn.Metrics.mse (Nn.Mlp.forward_tensor m x) y)
       ~snapshot:(fun () -> best := Nn.Mlp.snapshot m)
       ~restore:(fun () -> Nn.Mlp.restore m !best)
+      ()
   in
   let acc = Nn.Metrics.accuracy ~logits:(Nn.Mlp.forward_tensor m x) ~labels:y in
   Alcotest.(check (float 0.0)) "xor solved" 1.0 acc
@@ -170,6 +171,7 @@ let test_early_stopping_triggers () =
       ~val_loss:(fun () -> 1.0)
       ~snapshot:(fun () -> ())
       ~restore:(fun () -> ())
+      ()
   in
   Alcotest.(check bool) "stopped early" true history.Nn.Train.stopped_early;
   Alcotest.(check bool) "ran few epochs" true
@@ -195,6 +197,7 @@ let test_train_restores_best () =
         (v -. 1.0) *. (v -. 1.0))
       ~snapshot:(fun () -> ())
       ~restore:(fun () -> ())
+      ()
   in
   ()
 

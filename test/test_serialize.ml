@@ -54,6 +54,69 @@ let test_tensor_line_malformed () =
       | _ -> Alcotest.failf "expected Failure for %S" line)
     [ ""; "3" ]
 
+(* {1 Rng stream-position codec} *)
+
+let test_rng_line_roundtrip () =
+  let rng = Rng.create 1234 in
+  (* advance off the seed so the state words are arbitrary *)
+  for _ = 1 to 57 do
+    ignore (Rng.float rng)
+  done;
+  let line = S.rng_line rng in
+  let rng' = S.rng_of_line line in
+  Alcotest.(check (array int64))
+    "restored state words bit-equal" (Rng.state rng) (Rng.state rng');
+  let next r = Array.init 64 (fun _ -> Int64.bits_of_float (Rng.float r)) in
+  Alcotest.(check (array int64))
+    "restored stream continues bit-exactly" (next rng) (next rng')
+
+let test_rng_line_restores_midstream () =
+  (* the practical checkpoint use: record, keep drawing, rewind, re-draw *)
+  let rng = Rng.create 9 in
+  ignore (Rng.normal rng);
+  let line = S.rng_line rng in
+  let tail = Array.init 32 (fun _ -> Int64.bits_of_float (Rng.normal rng)) in
+  Rng.set_state rng (Rng.state (S.rng_of_line line));
+  let replay = Array.init 32 (fun _ -> Int64.bits_of_float (Rng.normal rng)) in
+  Alcotest.(check (array int64)) "replay after set_state bit-equal" tail replay
+
+let test_rng_line_malformed () =
+  List.iter
+    (fun line ->
+      match S.rng_of_line line with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "expected Failure for %S" line)
+    [ ""; "rng"; "rng 1 2 3"; "notrng 1 2 3 4"; "rng 1 2 3 zz" ]
+
+(* {1 Format-version header} *)
+
+let test_header_present_and_versioned () =
+  let net = make_net ~inputs:3 ~outputs:2 () in
+  match S.to_lines net with
+  | header :: _ ->
+      Alcotest.(check string) "header line" "pnn-save 2" header;
+      Alcotest.(check string) "schema tag matches" "pnn-save-2" S.schema_tag
+  | [] -> Alcotest.fail "to_lines returned nothing"
+
+let test_headerless_v1_accepted () =
+  let net = make_net ~inputs:3 ~outputs:2 () in
+  let headerless = List.tl (S.to_lines net) in
+  let net', rest = S.of_lines (Lazy.force surrogate) headerless in
+  Alcotest.(check int) "all lines consumed" 0 (List.length rest);
+  List.iter2
+    (fun l l' ->
+      check_tensor_bits "theta bit-exact"
+        (A.value l.Pnn.Layer.theta)
+        (A.value l'.Pnn.Layer.theta))
+    (Pnn.Network.layers net) (Pnn.Network.layers net')
+
+let test_unknown_version_rejected () =
+  let net = make_net ~inputs:3 ~outputs:2 () in
+  let future = "pnn-save 99" :: List.tl (S.to_lines net) in
+  match S.of_lines (Lazy.force surrogate) future with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on future format version"
+
 (* {1 Config line codec} *)
 
 let test_config_line_roundtrip () =
@@ -155,6 +218,21 @@ let () =
           Alcotest.test_case "nan/inf/-0.0 bit-exact" `Quick test_tensor_line_special_values;
           Alcotest.test_case "degenerate shapes" `Quick test_tensor_line_degenerate_shapes;
           Alcotest.test_case "malformed" `Quick test_tensor_line_malformed;
+        ] );
+      ( "rng-line",
+        [
+          Alcotest.test_case "state+stream roundtrip" `Quick test_rng_line_roundtrip;
+          Alcotest.test_case "midstream rewind/replay" `Quick
+            test_rng_line_restores_midstream;
+          Alcotest.test_case "malformed" `Quick test_rng_line_malformed;
+        ] );
+      ( "header",
+        [
+          Alcotest.test_case "versioned header present" `Quick
+            test_header_present_and_versioned;
+          Alcotest.test_case "headerless v1 accepted" `Quick test_headerless_v1_accepted;
+          Alcotest.test_case "future version rejected" `Quick
+            test_unknown_version_rejected;
         ] );
       ( "config-line",
         [
