@@ -32,6 +32,8 @@
      REPRO_BENCH3_JSON=path              (default BENCH_3.json)
      REPRO_BENCH3_DATASETS=iris,seeds    (the Table II slice it re-runs)
      REPRO_SKIP_BENCH3=1                 (skip the cold/warm pair)
+     REPRO_SANITIZER_DATASETS=iris       (the slice the sanitizer re-runs)
+     REPRO_SKIP_SANITIZER=1              (skip the checked-mode cross-check)
 *)
 
 open Bechamel
@@ -152,13 +154,15 @@ let analyze_group tests =
   let raw = Benchmark.all cfg [ instance ] tests in
   let results = Analyze.all ols instance raw in
   let rows = ref [] in
+  (* pnnlint:allow R3 hash order cannot escape: the rows are re-sorted on
+     their unique test-name key immediately below *)
   Hashtbl.iter
     (fun name result ->
       match Analyze.OLS.estimates result with
       | Some [ ns ] -> rows := (name, ns) :: !rows
       | Some _ | None -> ())
     results;
-  List.sort compare !rows
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
 
 let print_rows header rows =
   Printf.printf "== %s (monotonic clock) ==\n" header;
@@ -516,6 +520,44 @@ let write_bench3_json (dataset_names, cold_s, warm_s) =
   close_out oc;
   Printf.printf "wrote %s (speedup %.1fx)\n%!" path speedup
 
+(* {1 Sanitizer cross-check}
+
+   The PNN_CHECKED dual-loop tensor kernels promise the checked bodies run
+   the same float operations in the same order as the unsafe ones.  Prove it
+   on a real workload: one quick Table II slice computed unchecked and again
+   in checked mode must render byte-equal, and the timing pair is the
+   sanitizer's true end-to-end overhead. *)
+
+let sanitizer_benchmarks () =
+  let dataset_names =
+    match Sys.getenv_opt "REPRO_SANITIZER_DATASETS" with
+    | Some s -> s
+    | None -> "iris"
+  in
+  let datasets =
+    List.map Datasets.Bench13.load (String.split_on_char ',' dataset_names)
+  in
+  let surrogate = Lazy.force surrogate in
+  let pass checked =
+    Tensor.set_checked checked;
+    let t0 = Unix.gettimeofday () in
+    let table = Experiments.Table2.run ~datasets scale surrogate in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, Experiments.Table2.render table)
+  in
+  let was = Tensor.checked () in
+  let unchecked_s, unchecked_text = pass false in
+  let checked_s, checked_text = pass true in
+  Tensor.set_checked was;
+  if checked_text <> unchecked_text then
+    failwith "sanitizer: checked-mode table2 differs from unchecked";
+  Printf.printf "== sanitizer cross-check (table2, %s, scale=%s) ==\n"
+    dataset_names scale_name;
+  Printf.printf "  unchecked %8.2f s\n" unchecked_s;
+  Printf.printf "  checked   %8.2f s   (output byte-equal)\n" checked_s;
+  Printf.printf "  overhead %.2fx\n\n%!"
+    (checked_s /. Float.max unchecked_s 1e-3)
+
 (* {1 Table/figure harnesses} *)
 
 let section title = Printf.printf "\n===== %s =====\n%!" title
@@ -552,6 +594,9 @@ let () =
   (match Sys.getenv_opt "REPRO_SKIP_BENCH3" with
   | Some "1" -> ()
   | Some _ | None -> write_bench3_json (cache_benchmarks ()));
+  (match Sys.getenv_opt "REPRO_SKIP_SANITIZER" with
+  | Some "1" -> ()
+  | Some _ | None -> sanitizer_benchmarks ());
   (match Sys.getenv_opt "REPRO_SKIP_TABLES" with
   | Some "1" -> ()
   | Some _ | None -> run_tables ());

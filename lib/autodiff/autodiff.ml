@@ -229,14 +229,21 @@ let unary_spec ~fwd ~bwd a =
         accum a s
       end)
 
+(* Every fwd/bwd closure below receives arrays of a.value's length —
+   [unary_spec] allocates value, gradient, and scratch with a's shape — so
+   an index below [Array.length dst] (resp. [s]) is in bounds for all of
+   them.  The per-loop SAFETY notes refer back to this invariant. *)
+
 let tanh a =
   unary_spec a
     ~fwd:(fun src dst ->
       for i = 0 to Array.length dst - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         Array.unsafe_set dst i (Stdlib.tanh (Array.unsafe_get src i))
       done)
     ~bwd:(fun _x y g s ->
       for i = 0 to Array.length s - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         let yi = Array.unsafe_get y i in
         Array.unsafe_set s i (Array.unsafe_get g i *. (1.0 -. (yi *. yi)))
       done)
@@ -245,11 +252,13 @@ let sigmoid a =
   unary_spec a
     ~fwd:(fun src dst ->
       for i = 0 to Array.length dst - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         Array.unsafe_set dst i
           (1.0 /. (1.0 +. Stdlib.exp (-.Array.unsafe_get src i)))
       done)
     ~bwd:(fun _x y g s ->
       for i = 0 to Array.length s - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         let yi = Array.unsafe_get y i in
         Array.unsafe_set s i (Array.unsafe_get g i *. (yi *. (1.0 -. yi)))
       done)
@@ -258,10 +267,12 @@ let exp a =
   unary_spec a
     ~fwd:(fun src dst ->
       for i = 0 to Array.length dst - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         Array.unsafe_set dst i (Stdlib.exp (Array.unsafe_get src i))
       done)
     ~bwd:(fun _x y g s ->
       for i = 0 to Array.length s - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         Array.unsafe_set s i (Array.unsafe_get g i *. Array.unsafe_get y i)
       done)
 
@@ -269,10 +280,12 @@ let log a =
   unary_spec a
     ~fwd:(fun src dst ->
       for i = 0 to Array.length dst - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         Array.unsafe_set dst i (Stdlib.log (Array.unsafe_get src i))
       done)
     ~bwd:(fun x _y g s ->
       for i = 0 to Array.length s - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         Array.unsafe_set s i (Array.unsafe_get g i *. (1.0 /. Array.unsafe_get x i))
       done)
 
@@ -280,10 +293,12 @@ let sqrt a =
   unary_spec a
     ~fwd:(fun src dst ->
       for i = 0 to Array.length dst - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         Array.unsafe_set dst i (Stdlib.sqrt (Array.unsafe_get src i))
       done)
     ~bwd:(fun _x y g s ->
       for i = 0 to Array.length s - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         Array.unsafe_set s i (Array.unsafe_get g i *. (0.5 /. Array.unsafe_get y i))
       done)
 
@@ -291,11 +306,13 @@ let relu a =
   unary_spec a
     ~fwd:(fun src dst ->
       for i = 0 to Array.length dst - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         let x = Array.unsafe_get src i in
         Array.unsafe_set dst i (if x > 0.0 then x else 0.0)
       done)
     ~bwd:(fun x _y g s ->
       for i = 0 to Array.length s - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         Array.unsafe_set s i
           (Array.unsafe_get g i
           *. (if Array.unsafe_get x i > 0.0 then 1.0 else 0.0))
@@ -305,10 +322,12 @@ let abs a =
   unary_spec a
     ~fwd:(fun src dst ->
       for i = 0 to Array.length dst - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         Array.unsafe_set dst i (Stdlib.abs_float (Array.unsafe_get src i))
       done)
     ~bwd:(fun x _y g s ->
       for i = 0 to Array.length s - 1 do
+        (* SAFETY: unary_spec arrays share a's length; i is below it *)
         let xi = Array.unsafe_get x i in
         Array.unsafe_set s i
           (Array.unsafe_get g i
@@ -600,16 +619,20 @@ let softmax_rows_into m ~dst =
   for r = 0 to rows - 1 do
     let base = r * cols in
     let mx = ref neg_infinity in
+    (* SAFETY: base + c < rows * cols, the length of src and of out (the
+       caller checks dst has m's shape) — holds for all three loops *)
     for c = 0 to cols - 1 do
       let x = Array.unsafe_get src (base + c) in
       if x > !mx then mx := x
     done;
     let z = ref 0.0 in
+    (* SAFETY: base + c < rows * cols = length of src and out *)
     for c = 0 to cols - 1 do
       let e = Stdlib.exp (Array.unsafe_get src (base + c) -. !mx) in
       Array.unsafe_set out (base + c) e;
       z := !z +. e
     done;
+    (* SAFETY: base + c < rows * cols = length of out *)
     for c = 0 to cols - 1 do
       Array.unsafe_set out (base + c) (Array.unsafe_get out (base + c) /. !z)
     done
@@ -625,10 +648,11 @@ let ce_loss probs labels =
   let p = probs.T.data and y = labels.T.data in
   let loss = ref 0.0 in
   for i = 0 to Array.length p - 1 do
+    (* SAFETY: callers pass probs/labels of identical shape, so i is below
+       the length of both p and y *)
     let yi = Array.unsafe_get y i in
     if yi > 0.0 then
-      loss :=
-        !loss -. (yi *. Stdlib.log (Stdlib.max (Array.unsafe_get p i) 1e-30))
+      loss := !loss -. (yi *. Stdlib.log (Stdlib.max (Array.unsafe_get p i) 1e-30))
   done;
   !loss /. batch
 
@@ -725,4 +749,4 @@ let backward root = backward_tape (compile root)
 let params root =
   let order = reachable root in
   let ps = List.filter is_param order in
-  List.sort (fun a b -> compare a.id b.id) ps
+  List.sort (fun a b -> Int.compare a.id b.id) ps

@@ -223,14 +223,14 @@ let entries ?(check = false) ~dir () =
     let kinds =
       Array.to_list (Sys.readdir dir)
       |> List.filter (fun k -> Sys.is_directory (Filename.concat dir k))
-      |> List.sort compare
+      |> List.sort String.compare
     in
     List.concat_map
       (fun kind ->
         let kdir = Filename.concat dir kind in
         Array.to_list (Sys.readdir kdir)
         |> List.filter (fun f -> Filename.check_suffix f entry_ext)
-        |> List.sort compare
+        |> List.sort String.compare
         |> List.filter_map (fun f ->
                let path = Filename.concat kdir f in
                match Unix.stat path with
@@ -274,6 +274,8 @@ let stale_tmp_files ~dir =
                   else None))
 
 let gc ?max_age_days ?(all = false) ~dir () =
+  (* pnnlint:allow R2 wall clock feeds only the GC age policy; cache keys
+     and cached results never depend on it *)
   let now = Unix.time () in
   let too_old e =
     match max_age_days with

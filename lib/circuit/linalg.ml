@@ -20,6 +20,8 @@ let solve_in_place a b =
     let akk = a.(k).(k) in
     for i = k + 1 to n - 1 do
       let factor = a.(i).(k) /. akk in
+      (* pnnlint:allow R5 exact-zero skip is IEEE on purpose: -0.0 must skip
+         the elimination step too, and Float.equal would not *)
       if factor <> 0.0 then begin
         a.(i).(k) <- 0.0;
         for j = k + 1 to n - 1 do

@@ -87,6 +87,8 @@ let mc_accuracy ?pool ?cache rng network ~epsilon ~n ~x ~y =
   let shapes = Network.theta_shapes network in
   let accuracies =
     with_cache cache (fun () ->
+        (* pnnlint:allow R5 exact-zero sentinel selects the nominal path;
+           IEEE equality also accepts -0.0 *)
         if epsilon = 0.0 then [| nominal_accuracy network ~x ~y |]
         else begin
           let pool = match pool with Some p -> p | None -> Parallel.get_pool () in

@@ -20,6 +20,8 @@ let none ~theta_shapes =
 
 let draw rng ~epsilon ~theta_shapes =
   if epsilon < 0.0 || epsilon >= 1.0 then invalid_arg "Noise.draw: epsilon outside [0,1)";
+  (* pnnlint:allow R5 exact-zero sentinel selects the no-noise draw;
+     IEEE equality also accepts -0.0 *)
   if epsilon = 0.0 then none ~theta_shapes
   else
     let u r c = Tensor.uniform rng r c ~lo:(1.0 -. epsilon) ~hi:(1.0 +. epsilon) in

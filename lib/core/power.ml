@@ -130,6 +130,8 @@ let estimate ?(g_unit = 1e-4) network ~x_sample =
       let n_in = Layer.inputs layer in
       for r = 0 to Tensor.rows printed - 1 do
         for c = 0 to Tensor.cols printed - 1 do
+          (* pnnlint:allow R5 counts exactly-nonzero conductances; IEEE
+             equality keeps -0.0 counted as unprinted *)
           if Tensor.get printed r c <> 0.0 then incr printed_resistors
         done
       done;

@@ -38,6 +38,8 @@ let fit ?pool ?train_sampler ?val_noises ?sampler_rng ?checkpoint rng network
   let config = Network.config network in
   let shapes = Network.theta_shapes network in
   let epsilon = config.Config.epsilon in
+  (* pnnlint:allow R5 exact-zero sentinel selects nominal training;
+     IEEE equality also accepts -0.0 *)
   let nominal = epsilon = 0.0 in
   let draw_train =
     match train_sampler with

@@ -132,6 +132,8 @@ let draw_defects rng ~p_open ~p_short ~ctx =
         Tensor.init r c (fun i j ->
             let u = Rng.float rng in
             let g = Tensor.get theta_p i j in
+            (* pnnlint:allow R5 unprinted conductances are exactly 0.0;
+               IEEE equality also treats -0.0 as unprinted *)
             if g = 0.0 then 1.0
             else if u < p_open then g_min /. Float.abs g
             else if u < p_open +. p_short then g_max /. Float.abs g

@@ -59,13 +59,19 @@ let winner board player =
 
 let tic_tac_toe () =
   (* cells: 0 = blank, 1 = x, 2 = o *)
+  (* [seen] is membership-only (never iterated): the boards live in
+     [collected], whose insertion order is the deterministic DFS order of
+     [play]. *)
   let seen = Hashtbl.create 4096 in
+  let collected = ref [] in
   let board = Array.make 9 0 in
   let key () = Array.fold_left (fun acc c -> (acc * 3) + c) 0 board in
   let record () =
     let k = key () in
-    if not (Hashtbl.mem seen k) then
-      Hashtbl.add seen k (Array.copy board, winner board 1)
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      collected := (k, Array.copy board, winner board 1) :: !collected
+    end
   in
   let rec play player moves =
     if winner board 1 || winner board 2 then record ()
@@ -80,13 +86,11 @@ let tic_tac_toe () =
       done
   in
   play 1 0;
+  (* sort on the unique base-3 board key: the row order depends on nothing
+     but the key, not on collection order *)
   let entries =
-    List.sort
-      (fun (a, _) (b, _) ->
-        compare
-          (Array.fold_left (fun acc c -> (acc * 3) + c) 0 a)
-          (Array.fold_left (fun acc c -> (acc * 3) + c) 0 b))
-      (Hashtbl.fold (fun _ v acc -> v :: acc) seen [])
+    List.sort (fun (ka, _, _) (kb, _, _) -> Int.compare ka kb) !collected
+    |> List.map (fun (_, b, xwins) -> (b, xwins))
   in
   let encode cell =
     match cell with 1 -> 1.0 | 2 -> 0.0 | 0 -> 0.5 | _ -> assert false

@@ -234,7 +234,12 @@ let paper_order (a : Setup.arm * float) (b : Setup.arm * float) =
       (if arm.Setup.variation_aware then 1 else 0),
       eps )
   in
-  compare (rank a) (rank b)
+  let la, va, ea = rank a and lb, vb, eb = rank b in
+  let c = Int.compare la lb in
+  if c <> 0 then c
+  else
+    let c = Int.compare va vb in
+    if c <> 0 then c else Float.compare ea eb
 
 let render t =
   let keys = List.sort paper_order (ordered_keys t) in

@@ -1,0 +1,183 @@
+(* Compilation-unit dependency graph for the reachability half of rule R2.
+
+   The determinism contract ("no wall clock, no global Random") must hold in
+   every module that cache keys or experiment results can observe — i.e. in
+   the transitive dependency closure of the result-producing roots.  We build
+   that closure from the untyped AST: every capitalized path root a file
+   mentions is a candidate unit reference, resolved against (a) the scanned
+   units themselves and (b) wrapped dune libraries, whose wrapper name (e.g.
+   [Pnn], [Experiments]) stands for every unit in the library directory. *)
+
+module SS = Set.Make (String)
+
+type lib = { dir : string; name : string; wrapped : bool }
+
+let find_substring text needle =
+  let m = String.length needle and n = String.length text in
+  let rec at i =
+    if i + m > n then None
+    else if String.sub text i m = needle then Some i
+    else at (i + 1)
+  in
+  at 0
+
+(* Minimal dune-file scan: we only need [(name x)] and whether
+   [(wrapped false)] appears.  A real s-expression parser would be overkill
+   for the two fields this tool reads. *)
+let scan_dune_file path =
+  try
+    let text = Source.read_all path in
+    let name =
+      match find_substring text "(name" with
+      | None -> None
+      | Some i ->
+          let n = String.length text in
+          let j = ref (i + 5) in
+          while !j < n && (text.[!j] = ' ' || text.[!j] = '\n' || text.[!j] = '\t') do
+            incr j
+          done;
+          let k = ref !j in
+          while
+            !k < n
+            && (match text.[!k] with
+               | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+               | _ -> false)
+          do
+            incr k
+          done;
+          if !k > !j then Some (String.sub text !j (!k - !j)) else None
+    in
+    match name with
+    | None -> None
+    | Some name ->
+        let wrapped = find_substring text "(wrapped false)" = None in
+        Some { dir = Filename.dirname path; name; wrapped }
+  with Sys_error _ -> None
+
+let unit_name path =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename path))
+
+(* {2 Reference collection} *)
+
+let lid_root lid =
+  match Longident.flatten lid with root :: _ -> Some root | [] -> None
+
+let refs_of_file (f : Source.file) =
+  let refs = ref SS.empty in
+  let add lid =
+    match lid_root lid with
+    | Some r when String.length r > 0 && r.[0] >= 'A' && r.[0] <= 'Z' ->
+        refs := SS.add r !refs
+    | _ -> ()
+  in
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Parsetree.pexp_desc with
+          | Pexp_ident l | Pexp_new l -> add l.Location.txt
+          | Pexp_construct (l, _) -> add l.Location.txt
+          | Pexp_field (_, l) | Pexp_setfield (_, l, _) -> add l.Location.txt
+          | Pexp_record (fields, _) ->
+              List.iter (fun (l, _) -> add l.Location.txt) fields
+          | _ -> ());
+          default_iterator.expr it e);
+      typ =
+        (fun it t ->
+          (match t.Parsetree.ptyp_desc with
+          | Ptyp_constr (l, _) | Ptyp_class (l, _) -> add l.Location.txt
+          | _ -> ());
+          default_iterator.typ it t);
+      pat =
+        (fun it p ->
+          (match p.Parsetree.ppat_desc with
+          | Ppat_construct (l, _) | Ppat_type l -> add l.Location.txt
+          | Ppat_record (fields, _) ->
+              List.iter (fun (l, _) -> add l.Location.txt) fields
+          | _ -> ());
+          default_iterator.pat it p);
+      module_expr =
+        (fun it m ->
+          (match m.Parsetree.pmod_desc with
+          | Pmod_ident l -> add l.Location.txt
+          | _ -> ());
+          default_iterator.module_expr it m);
+      open_description =
+        (fun it o ->
+          add o.Parsetree.popen_expr.Location.txt;
+          default_iterator.open_description it o);
+      module_type =
+        (fun it m ->
+          (match m.Parsetree.pmty_desc with
+          | Pmty_ident l | Pmty_alias l -> add l.Location.txt
+          | _ -> ());
+          default_iterator.module_type it m);
+    }
+  in
+  it.structure it f.structure;
+  it.signature it f.signature;
+  !refs
+
+(* {2 Closure} *)
+
+type graph = {
+  resolve : string -> string list;  (* unit or wrapper name -> .ml paths *)
+  file_refs : (string * SS.t) list;  (* .ml path -> referenced roots *)
+}
+
+let build_graph ~libs (files : Source.file list) =
+  let ml_files = List.filter (fun f -> f.Source.kind = Source.Ml) files in
+  let unit_map = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let u = unit_name f.Source.path in
+      let prev = try Hashtbl.find unit_map u with Not_found -> [] in
+      Hashtbl.replace unit_map u (f.Source.path :: prev))
+    ml_files;
+  let lib_map = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      if l.wrapped then begin
+        let members =
+          List.filter_map
+            (fun f ->
+              if Filename.dirname f.Source.path = l.dir then
+                Some f.Source.path
+              else None)
+            ml_files
+        in
+        let u = String.capitalize_ascii l.name in
+        let prev = try Hashtbl.find lib_map u with Not_found -> [] in
+        Hashtbl.replace lib_map u (members @ prev)
+      end)
+    libs;
+  let resolve name =
+    let a = try Hashtbl.find unit_map name with Not_found -> [] in
+    let b = try Hashtbl.find lib_map name with Not_found -> [] in
+    a @ b
+  in
+  let file_refs =
+    List.map (fun f -> (f.Source.path, refs_of_file f)) ml_files
+  in
+  { resolve; file_refs }
+
+let closure graph ~roots =
+  let refs_of path =
+    match List.assoc_opt path graph.file_refs with
+    | Some r -> r
+    | None -> SS.empty
+  in
+  let seen = ref SS.empty in
+  let rec visit path =
+    if not (SS.mem path !seen) then begin
+      seen := SS.add path !seen;
+      SS.iter
+        (fun r -> List.iter visit (graph.resolve r))
+        (refs_of path)
+    end
+  in
+  List.iter (fun root -> List.iter visit (graph.resolve root)) roots;
+  !seen

@@ -1,0 +1,33 @@
+(** Compilation-unit dependency graph for pnnlint's reachability analysis.
+
+    Rule R2 (no wall clock / global Random) applies to every module in the
+    transitive dependency closure of the result-producing roots.  The graph is
+    built from the untyped AST: each capitalized path root a file mentions is
+    resolved against the scanned units and against wrapped dune libraries
+    (whose wrapper module, e.g. [Pnn], stands for every unit in the library
+    directory).  Resolution over-approximates — an unresolvable or ambiguous
+    name simply widens the closure, which errs toward checking more code. *)
+
+val find_substring : string -> string -> int option
+(** [find_substring text needle] is the index of the first occurrence. *)
+
+type lib = { dir : string; name : string; wrapped : bool }
+
+val scan_dune_file : string -> lib option
+(** Extract [(name x)] and wrappedness from a dune file, if it declares a
+    library. *)
+
+val unit_name : string -> string
+(** [unit_name "lib/tensor/tensor.ml"] is ["Tensor"]. *)
+
+val refs_of_file : Source.file -> Set.Make(String).t
+(** Capitalized path roots referenced anywhere in the file (expressions,
+    types, patterns, opens, module expressions). *)
+
+type graph
+
+val build_graph : libs:lib list -> Source.file list -> graph
+
+val closure : graph -> roots:string list -> Set.Make(String).t
+(** Paths of every [.ml] file reachable from the given unit / wrapper names,
+    roots included. *)

@@ -1,0 +1,282 @@
+(* pnnlint driver: walk the tree, run the rules, apply suppressions.
+
+   Suppression syntax, checked here rather than in the rules so every rule
+   gets it uniformly:
+
+     (* pnnlint:allow R3 reason why the order cannot escape *)
+
+   A suppression covers findings of the listed rules on any line the comment
+   spans plus the following line (so it can sit above or at the end of the
+   offending line).  Suppressions without a rule id or without a reason are
+   themselves findings (S1): a waiver must say what it waives and why. *)
+
+type config = {
+  scan_dirs : string list;  (* relative to the root *)
+  exclude : string list;  (* path substrings to skip, e.g. fixture dirs *)
+  r2_roots : string list;  (* units whose dep closure R2 applies to *)
+}
+
+let default_config =
+  {
+    scan_dirs = [ "lib"; "bin"; "test"; "bench" ];
+    exclude = [ "lint_fixtures" ];
+    (* cache keys: Cache, Serialize, Checkpoint; results: the experiment and
+       evaluation stack.  Everything those units can reach inherits R2. *)
+    r2_roots =
+      [
+        "Cache";
+        "Serialize";
+        "Checkpoint";
+        "Evaluation";
+        "Training";
+        "Table2";
+        "Table3";
+        "Ablations";
+        "Faults";
+        "Lifetime";
+        "Report";
+      ];
+  }
+
+type suppression = {
+  sup_path : string;
+  sup_line : int;
+  rules : string list;
+  reason : string;
+  first_covered : int;
+  last_covered : int;
+}
+
+type report = {
+  findings : Rules.finding list;  (* unsuppressed: these fail the gate *)
+  suppressed : (Rules.finding * suppression) list;
+  suppressions : suppression list;  (* every valid suppression in the tree *)
+  safety : (string * int * string) list;  (* SAFETY comments: path, line, text *)
+  files_scanned : int;
+}
+
+(* {2 Tree walking} *)
+
+let rec walk dir acc =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.fold_left
+      (fun acc entry ->
+        let p = Filename.concat dir entry in
+        if Sys.is_directory p then
+          if entry = "_build" || String.length entry > 0 && entry.[0] = '.'
+          then acc
+          else walk p acc
+        else p :: acc)
+      acc (Sys.readdir dir)
+  else acc
+
+let excluded config path =
+  List.exists (fun s -> Deps.find_substring path s <> None) config.exclude
+
+let source_files config root =
+  let dirs = List.map (Filename.concat root) config.scan_dirs in
+  let all = List.concat_map (fun d -> walk d []) dirs in
+  all
+  |> List.filter (fun p ->
+         (Filename.check_suffix p ".ml" || Filename.check_suffix p ".mli")
+         && not (excluded config p))
+  |> List.sort String.compare
+
+let dune_files config root =
+  let dirs = List.map (Filename.concat root) config.scan_dirs in
+  let all = List.concat_map (fun d -> walk d []) dirs in
+  all
+  |> List.filter (fun p -> Filename.basename p = "dune")
+  |> List.sort String.compare
+
+(* {2 Suppressions} *)
+
+(* A suppression comment must *start* with the marker (mentions of the
+   syntax in prose, like the header of this very file, don't count). *)
+let parse_suppression path (c : Source.comment) =
+  let text = String.trim c.Source.text in
+  let marker = "pnnlint:allow" in
+  if
+    String.length text < String.length marker
+    || String.sub text 0 (String.length marker) <> marker
+  then None
+  else
+    let rest =
+      String.sub text (String.length marker)
+        (String.length text - String.length marker)
+    in
+      let words =
+        String.split_on_char ' ' (String.trim rest)
+        |> List.concat_map (String.split_on_char ',')
+        |> List.filter (fun w -> w <> "")
+      in
+      let is_rule w =
+        String.length w >= 2
+        && w.[0] = 'R'
+        && String.for_all (fun ch -> ch >= '0' && ch <= '9')
+             (String.sub w 1 (String.length w - 1))
+      in
+      let rec span rules = function
+        | w :: tl when is_rule w -> span (w :: rules) tl
+        | rest -> (List.rev rules, rest)
+      in
+      let rules, reason_words = span [] words in
+      Some
+        {
+          sup_path = path;
+          sup_line = c.Source.start_line;
+          rules;
+          reason = String.concat " " reason_words;
+          first_covered = c.Source.start_line;
+          last_covered = c.Source.end_line + 1;
+        }
+
+let suppresses s (f : Rules.finding) =
+  s.sup_path = f.Rules.path
+  && List.mem f.Rules.rule s.rules
+  && f.Rules.line >= s.first_covered
+  && f.Rules.line <= s.last_covered
+
+(* {2 Run} *)
+
+let normalize path =
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let run ?(config = default_config) ~root () =
+  let files =
+    List.map
+      (fun p -> { (Source.load p) with Source.path = normalize p })
+      (source_files config root)
+  in
+  let libs = List.filter_map Deps.scan_dune_file (dune_files config root) in
+  let libs =
+    List.map (fun (l : Deps.lib) -> { l with Deps.dir = normalize l.Deps.dir }) libs
+  in
+  let graph = Deps.build_graph ~libs files in
+  let r2_closure = Deps.closure graph ~roots:config.r2_roots in
+  let module SS = Set.Make (String) in
+  let in_closure (f : Source.file) =
+    match f.Source.kind with
+    | Source.Ml -> SS.mem f.Source.path r2_closure
+    | Source.Mli ->
+        (* an interface shares its implementation's obligations *)
+        SS.mem (Filename.remove_extension f.Source.path ^ ".ml") r2_closure
+  in
+  let all_findings = ref [] in
+  let all_sups = ref [] in
+  let safety = ref [] in
+  List.iter
+    (fun (f : Source.file) ->
+      (match f.Source.parse_error with
+      | Some (line, msg) ->
+          all_findings :=
+            { Rules.rule = "P0"; path = f.Source.path; line; msg }
+            :: !all_findings
+      | None -> ());
+      let ctx = { Rules.file = f; r2_applies = in_closure f } in
+      all_findings := Rules.run ctx @ !all_findings;
+      List.iter
+        (fun c ->
+          match parse_suppression f.Source.path c with
+          | None -> ()
+          | Some s ->
+              if s.rules = [] || s.reason = "" then
+                all_findings :=
+                  {
+                    Rules.rule = "S1";
+                    path = f.Source.path;
+                    line = s.sup_line;
+                    msg =
+                      "suppression must list rule ids and a non-empty \
+                       reason: pnnlint:allow R<n> <why>";
+                  }
+                  :: !all_findings
+              else all_sups := s :: !all_sups)
+        f.Source.comments;
+      List.iter
+        (fun (c : Source.comment) ->
+          safety :=
+            (f.Source.path, c.Source.start_line, String.trim c.Source.text)
+            :: !safety)
+        (Rules.safety_comments f))
+    files;
+  let sups = List.rev !all_sups in
+  let suppressed, findings =
+    List.partition_map
+      (fun f ->
+        match List.find_opt (fun s -> suppresses s f) sups with
+        | Some s -> Either.Left (f, s)
+        | None -> Either.Right f)
+      (List.rev !all_findings)
+  in
+  let by_site (a : Rules.finding) (b : Rules.finding) =
+    match String.compare a.Rules.path b.Rules.path with
+    | 0 -> (
+        match Int.compare a.Rules.line b.Rules.line with
+        | 0 -> String.compare a.Rules.rule b.Rules.rule
+        | c -> c)
+    | c -> c
+  in
+  {
+    findings = List.sort by_site findings;
+    suppressed;
+    suppressions = sups;
+    safety = List.rev !safety;
+    files_scanned = List.length files;
+  }
+
+(* {2 Rendering} *)
+
+let render_finding (f : Rules.finding) =
+  Printf.sprintf "%s:%d: [%s] %s" f.Rules.path f.Rules.line f.Rules.rule
+    f.Rules.msg
+
+let render_report r =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun f -> Buffer.add_string b (render_finding f ^ "\n"))
+    r.findings;
+  Buffer.add_string b
+    (Printf.sprintf
+       "pnnlint: %d file(s), %d finding(s), %d suppressed, %d suppression \
+        comment(s), %d SAFETY comment(s)\n"
+       r.files_scanned (List.length r.findings) (List.length r.suppressed)
+       (List.length r.suppressions) (List.length r.safety));
+  Buffer.contents b
+
+let render_allow_report r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "== pnnlint suppressions ==\n";
+  List.iter
+    (fun s ->
+      let used =
+        List.length (List.filter (fun (_, s') -> s' == s) r.suppressed)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%s:%d: allow %s (%d finding(s)) — %s\n" s.sup_path
+           s.sup_line
+           (String.concat "," s.rules)
+           used s.reason))
+    r.suppressions;
+  Buffer.add_string b
+    (Printf.sprintf "== SAFETY justifications: %d ==\n"
+       (List.length r.safety));
+  List.iter
+    (fun (path, line, text) ->
+      let text =
+        if String.length text > 72 then String.sub text 0 72 ^ "..." else text
+      in
+      Buffer.add_string b (Printf.sprintf "%s:%d: %s\n" path line text))
+    r.safety;
+  Buffer.contents b
+
+let render_rules () =
+  String.concat "\n"
+    (List.map
+       (fun (r : Rules.rule_info) ->
+         Printf.sprintf "%s  %s\n    %s" r.Rules.id r.Rules.title
+           r.Rules.detail)
+       Rules.all_rules)
+  ^ "\n"

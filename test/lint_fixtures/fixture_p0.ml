@@ -1,0 +1,2 @@
+(* P0 fixture: does not parse. *)
+let = )

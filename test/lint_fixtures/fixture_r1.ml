@@ -1,0 +1,5 @@
+(* R1 fixture: stream aliasing via Rng.copy. *)
+let bad rng = Rng.copy rng
+
+(* pnnlint:allow R1 fixture shows a counted, justified copy *)
+let ok rng = Rng.copy rng

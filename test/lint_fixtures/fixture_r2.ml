@@ -1,0 +1,6 @@
+(* R2 fixture: wall clock + global Random in a result-reachable unit. *)
+let now () = Unix.gettimeofday ()
+let draw () = Random.float 1.0
+
+(* pnnlint:allow R2 fixture: timing for a log line only *)
+let logged () = Sys.time ()

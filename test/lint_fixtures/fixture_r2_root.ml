@@ -1,0 +1,2 @@
+(* Designated R2 root for the fixture closure; pulls in Fixture_r2. *)
+let use () = Fixture_r2.now ()

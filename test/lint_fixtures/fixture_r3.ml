@@ -1,0 +1,6 @@
+(* R3 fixture: hash-order traversal. *)
+let bad tbl = Hashtbl.iter (fun _ v -> print_int v) tbl
+let bad_fold tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
+
+(* pnnlint:allow R3 fixture: commutative fold, order cannot escape *)
+let ok tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0

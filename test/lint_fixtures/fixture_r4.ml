@@ -1,0 +1,9 @@
+(* R4 fixture: unsafe access with and without a SAFETY note. *)
+let bad a = Array.unsafe_get a 0
+
+let ok a =
+  (* SAFETY: fixture — the caller guarantees a has at least two cells *)
+  Array.unsafe_get a 1
+
+(* pnnlint:allow R4 fixture: waiver instead of a SAFETY note *)
+let ok2 a = Bytes.unsafe_get a 2

@@ -1,0 +1,8 @@
+(* R5 fixture: polymorphic comparison at float-carrying types. *)
+let bad a b = compare a b
+let bad_eq x = x = 0.0
+
+(* pnnlint:allow R5 fixture: IEEE exact-zero sentinel *)
+let ok x = x <> 0.0
+
+let ok_typed a b = Float.compare a b

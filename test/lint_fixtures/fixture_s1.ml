@@ -1,0 +1,3 @@
+(* S1 fixture: malformed suppression (no reason) does not suppress. *)
+(* pnnlint:allow R5 *)
+let bad a b = compare a b

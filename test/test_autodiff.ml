@@ -210,6 +210,24 @@ let test_params_collection () =
   Alcotest.(check bool) "ordered by creation" true
     (A.id (List.nth ps 0) < A.id (List.nth ps 1))
 
+let test_params_canonical_order () =
+  (* regression: [params] sorts on node id, so the returned order depends only
+     on creation order — not on how the graph traversal (a Hashtbl-backed
+     visited set) happens to encounter the nodes *)
+  let p1 = A.param (T.zeros 1 1) in
+  let p2 = A.param (T.ones 1 1) in
+  let p3 = A.param (T.scalar 2.0) in
+  (* reference p3 first so a traversal-order listing would reverse them *)
+  let root = A.sum (A.add (A.mul p3 p2) p1) in
+  let ids = List.map A.id (A.params root) in
+  Alcotest.(check (list int))
+    "creation order regardless of traversal order"
+    [ A.id p1; A.id p2; A.id p3 ]
+    ids;
+  Alcotest.(check (list int))
+    "repeat call identical" ids
+    (List.map A.id (A.params root))
+
 let test_grad_accumulation_reset () =
   let p = A.param (T.ones 1 1) in
   let build () = A.sum (A.mul p p) in
@@ -252,6 +270,8 @@ let () =
           Alcotest.test_case "softmax value" `Quick test_softmax_ce_value;
           Alcotest.test_case "backward scalar only" `Quick test_backward_requires_scalar;
           Alcotest.test_case "params collection" `Quick test_params_collection;
+          Alcotest.test_case "params canonical order" `Quick
+            test_params_canonical_order;
           Alcotest.test_case "grad reset" `Quick test_grad_accumulation_reset;
           Alcotest.test_case "shape errors" `Quick test_shape_errors;
           QCheck_alcotest.to_alcotest qcheck_chain_rule;

@@ -110,6 +110,28 @@ let test_netlist_validate_errors () =
       | Ok () -> Alcotest.failf "%s: expected validation error" name)
     cases
 
+let test_netlist_duplicate_error_deterministic () =
+  (* regression: validate's duplicate-name check keeps its seen-table
+     membership-only and walks elements in insertion order, so the reported
+     duplicate is the first one in element order, stably across calls *)
+  let nl = N.create () in
+  let a = N.fresh_node nl in
+  N.add nl (N.Vsource { name = "vb"; plus = a; minus = N.ground; volts = 1.0 });
+  N.add nl (N.Vsource { name = "va"; plus = a; minus = N.ground; volts = 1.0 });
+  N.add nl (N.Vsource { name = "vb"; plus = a; minus = N.ground; volts = 2.0 });
+  N.add nl (N.Vsource { name = "va"; plus = a; minus = N.ground; volts = 2.0 });
+  let run () =
+    match N.validate nl with
+    | Error msg -> msg
+    | Ok () -> Alcotest.fail "expected a duplicate-source error"
+  in
+  let first = run () in
+  Alcotest.(check string)
+    "first duplicate in element order wins" "duplicate source name vb" first;
+  for _ = 1 to 5 do
+    Alcotest.(check string) "stable across repeated validation" first (run ())
+  done
+
 let test_linspace () =
   let a = Circuit.Dc_sweep.linspace 0.0 1.0 5 in
   Alcotest.(check (array (float 1e-12))) "linspace" [| 0.0; 0.25; 0.5; 0.75; 1.0 |] a;
@@ -231,6 +253,8 @@ let () =
         [
           Alcotest.test_case "set_source" `Quick test_netlist_set_source;
           Alcotest.test_case "validate errors" `Quick test_netlist_validate_errors;
+          Alcotest.test_case "duplicate error deterministic" `Quick
+            test_netlist_duplicate_error_deterministic;
           Alcotest.test_case "linspace" `Quick test_linspace;
         ] );
       ( "spice export",

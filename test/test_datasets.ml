@@ -217,12 +217,40 @@ let () =
               in
               Array.iteri
                 (fun i cls ->
-                  let x_at j = Tensor.get d.Sy.x i j = 1.0 in
+                  let x_at j = Float.equal (Tensor.get d.Sy.x i j) 1.0 in
                   let xwins =
                     List.exists (fun (a, b, c) -> x_at a && x_at b && x_at c) lines
                   in
                   if (cls = 1) <> xwins then Alcotest.failf "board %d mislabelled" i)
                 d.Sy.y);
+          Alcotest.test_case "tic-tac-toe canonical row order" `Quick (fun () ->
+              (* regression: rows are sorted on the unique base-3 board key,
+                 not emitted in the DFS collection order, so the row order is
+                 a property of the boards alone and repeat calls agree *)
+              let d = Datasets.Exact.tic_tac_toe () in
+              let decode v =
+                if Float.equal v 1.0 then 1
+                else if Float.equal v 0.0 then 2
+                else 0
+              in
+              let key i =
+                let k = ref 0 in
+                for j = 0 to 8 do
+                  k := (!k * 3) + decode (Tensor.get d.Sy.x i j)
+                done;
+                !k
+              in
+              let prev = ref (-1) in
+              for i = 0 to Array.length d.Sy.y - 1 do
+                let k = key i in
+                if k <= !prev then Alcotest.failf "row %d out of key order" i;
+                prev := k
+              done;
+              let d2 = Datasets.Exact.tic_tac_toe () in
+              Alcotest.(check bool) "repeat call bit-identical features" true
+                (Tensor.equal ~eps:0.0 d.Sy.x d2.Sy.x);
+              Alcotest.(check (array int)) "repeat call identical labels"
+                d.Sy.y d2.Sy.y);
           Alcotest.test_case "bench13 routes exact datasets" `Quick (fun () ->
               let d = B13.load "balance-scale" in
               Alcotest.(check (float 0.0)) "exact marker: zero spread" 0.0

@@ -33,7 +33,8 @@ let test_write_csv () =
 let test_setup_arms () =
   Alcotest.(check int) "four arms" 4 (List.length E.Setup.arms);
   let names = List.map E.Setup.arm_name E.Setup.arms in
-  Alcotest.(check bool) "distinct" true (List.length (List.sort_uniq compare names) = 4)
+  Alcotest.(check bool) "distinct" true
+    (List.length (List.sort_uniq String.compare names) = 4)
 
 let test_setup_scales () =
   List.iter

@@ -151,6 +151,8 @@ let test_equal_nan_regression () =
 
 let test_adam_in_place_bitwise () =
   let rng = Rng.create 15 in
+  (* pnnlint:allow R1 intentional: both params must draw the identical
+     stream so the in-place and allocating updates start from equal values *)
   let make () = A.param (T.uniform (Rng.copy rng) 3 4 ~lo:(-1.0) ~hi:1.0) in
   let p1 = make () and p2 = make () in
   let o1 = Nn.Optimizer.adam ~lr:0.05 () and o2 = Nn.Optimizer.adam ~lr:0.05 () in

@@ -135,6 +135,28 @@ let test_adam_state_distinct_per_param () =
   Alcotest.(check bool) "p1 toward +1" true (T.get (A.value p1) 0 0 > 0.5);
   Alcotest.(check bool) "p2 toward -1" true (T.get (A.value p2) 0 0 < -0.5)
 
+let test_adam_state_lines_order_independent () =
+  (* regression: [state_lines] addresses the moment tables positionally by the
+     params list, so the Hashtbl insertion order (i.e. which param happened to
+     be stepped into the table first) must not leak into the serialization *)
+  let mk () = A.param (T.zeros 1 1) in
+  let p1 = mk () and p2 = mk () and q1 = mk () and q2 = mk () in
+  let opt_a = Nn.Optimizer.adam ~lr:0.1 () in
+  let opt_b = Nn.Optimizer.adam ~lr:0.1 () in
+  for _ = 1 to 5 do
+    A.backward
+      (A.sum (A.add (A.mse p1 (T.scalar 1.0)) (A.mse p2 (T.scalar 1.0))));
+    Nn.Optimizer.step opt_a [ p1; p2 ];
+    A.backward
+      (A.sum (A.add (A.mse q1 (T.scalar 1.0)) (A.mse q2 (T.scalar 1.0))));
+    (* same gradient histories, opposite first-step (insertion) order *)
+    Nn.Optimizer.step opt_b [ q2; q1 ]
+  done;
+  Alcotest.(check (list string))
+    "serialized state independent of table insertion order"
+    (Nn.Optimizer.state_lines opt_a [ p1; p2 ])
+    (Nn.Optimizer.state_lines opt_b [ q1; q2 ])
+
 (* End-to-end: XOR with a small MLP. *)
 let test_train_xor () =
   let x = T.of_arrays [| [| 0.; 0. |]; [| 0.; 1. |]; [| 1.; 0. |]; [| 1.; 1. |] |] in
@@ -260,6 +282,8 @@ let () =
           Alcotest.test_case "rejects const" `Quick test_optimizer_rejects_const;
           Alcotest.test_case "lr mutation" `Quick test_optimizer_lr_mutation;
           Alcotest.test_case "adam distinct state" `Quick test_adam_state_distinct_per_param;
+          Alcotest.test_case "adam state order independent" `Quick
+            test_adam_state_lines_order_independent;
         ] );
       ( "training",
         [

@@ -148,7 +148,7 @@ let test_printed_theta_in_printable_set () =
   Array.iter
     (fun g ->
       let mag = Float.abs g in
-      if not (mag = 0.0 || (mag >= config.C.g_min -. 1e-12 && mag <= config.C.g_max +. 1e-12))
+      if not (Float.equal mag 0.0 || (mag >= config.C.g_min -. 1e-12 && mag <= config.C.g_max +. 1e-12))
       then Alcotest.failf "unprintable conductance %f" g)
     (T.to_array printed);
   Alcotest.(check (float 0.0)) "overflow clipped" 1.0 (T.get printed 0 0);

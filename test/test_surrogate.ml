@@ -118,7 +118,7 @@ let test_parity_rows_tagged () =
   let d = Lazy.force dataset in
   let split = P.split_dataset (Rng.create 2) d in
   let rows = P.parity_rows model d split in
-  let tags = List.sort_uniq compare (List.map (fun (t, _, _) -> t) rows) in
+  let tags = List.sort_uniq String.compare (List.map (fun (t, _, _) -> t) rows) in
   Alcotest.(check (list string)) "three splits" [ "test"; "train"; "val" ] tags;
   Alcotest.(check int) "4 eta components per sample" (Array.length d.P.omegas * 4)
     (List.length rows)

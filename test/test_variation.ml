@@ -124,7 +124,7 @@ let test_defects_zero_rate_is_ones () =
 let check_all_stuck ~p_open ~p_short ~rail () =
   let net = make_net ~inputs:4 ~outputs:3 () in
   let noise = V.draw (Rng.create 9) (V.Defects { p_open; p_short }) (V.ctx_of_network net) in
-  let r_rail = if p_open = 1.0 then Surrogate.Design_space.omega_hi
+  let r_rail = if Float.equal p_open 1.0 then Surrogate.Design_space.omega_hi
                else Surrogate.Design_space.omega_lo in
   List.iter2
     (fun layer ln ->
@@ -133,6 +133,8 @@ let check_all_stuck ~p_open ~p_short ~rail () =
       for r = 0 to T.rows printed - 1 do
         for c = 0 to T.cols printed - 1 do
           let g = T.get printed r c and m = T.get mult r c in
+          (* pnnlint:allow R5 mirrors Variation.draw's IEEE exact-zero
+             unprinted test, -0.0 included *)
           if g = 0.0 then
             Alcotest.(check (float 0.0)) "unprinted cannot fail" 1.0 m
           else begin
@@ -263,9 +265,11 @@ let test_names () =
 let test_copy_aliases_split_does_not () =
   (* [copy] aliases — this is exactly why it was a bug *)
   let rng = Rng.create 7 in
-  let aliased = Rng.copy rng in
+  (* pnnlint:allow R1 this test demonstrates the aliasing hazard that the
+     split-only convention (and the R1 lint rule) exists to prevent *)
+  let aliased = Rng.copy rng and replay = Rng.copy rng in
   Alcotest.(check int64) "copy replays the parent stream" (Rng.uint64 aliased)
-    (Rng.uint64 (Rng.copy rng));
+    (Rng.uint64 replay);
   (* [split] derives an independent stream *)
   let rng = Rng.create 7 in
   let derived = Rng.split rng in
