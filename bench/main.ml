@@ -34,6 +34,8 @@
      REPRO_SKIP_BENCH3=1                 (skip the cold/warm pair)
      REPRO_SANITIZER_DATASETS=iris       (the slice the sanitizer re-runs)
      REPRO_SKIP_SANITIZER=1              (skip the checked-mode cross-check)
+     REPRO_BENCH4_JSON=path              (default BENCH_4.json)
+     REPRO_SKIP_BACKENDS=1               (skip the backend-vs-backend pairs)
 *)
 
 open Bechamel
@@ -558,6 +560,179 @@ let sanitizer_benchmarks () =
   Printf.printf "  overhead %.2fx\n\n%!"
     (checked_s /. Float.max unchecked_s 1e-3)
 
+(* {1 Backend benchmarks (BENCH_4)}
+
+   Part 6 — reference-vs-bigarray pairs over identical workloads: the raw
+   matmul and elementwise kernels, the tape-refreshed surrogate batch, the
+   variation-aware epoch at the paper's iris size and at a wide pNN size
+   (64 inputs -> 48 hidden -> 16 outputs, batch 256) where the matmuls
+   dominate dispatch overhead, and one quick single-dataset Table II slice
+   end-to-end.
+
+   Every fixture — dataset tensors, network, noises, even the surrogate — is
+   built *after* selecting the backend, so each measured computation stays on
+   one backend's storage rather than exercising the mixed-operand fallback. *)
+
+let time_us ~runs f =
+  (* two warm-up calls, like measure_alloc: build caches and scratch *)
+  f ();
+  f ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to runs do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int runs *. 1e6
+
+let backend_rows be =
+  let prev = Tensor.backend () in
+  Tensor.set_backend be;
+  Fun.protect ~finally:(fun () -> Tensor.set_backend prev) @@ fun () ->
+  (* raw kernels *)
+  let rng = Rng.create 5 in
+  let a = Tensor.uniform rng 128 64 ~lo:(-1.0) ~hi:1.0 in
+  let b = Tensor.uniform rng 128 64 ~lo:(-1.0) ~hi:1.0 in
+  let m = Tensor.uniform rng 64 32 ~lo:(-1.0) ~hi:1.0 in
+  let dst_add = Tensor.zeros 128 64 in
+  let dst_mm = Tensor.zeros 128 32 in
+  let t_mm = time_us ~runs:500 (fun () -> Tensor.matmul_into a m ~dst:dst_mm) in
+  let t_add = time_us ~runs:2000 (fun () -> Tensor.add_into a b ~dst:dst_add) in
+  (* surrogate batch inference on a tape owned by this backend *)
+  let sur = Experiments.Setup.surrogate_of_scale scale in
+  let lo = Surrogate.Design_space.omega_lo
+  and hi = Surrogate.Design_space.omega_hi in
+  let orng = Rng.create 11 in
+  let omegas = Tensor.init 64 7 (fun _ c -> Rng.uniform orng ~lo:lo.(c) ~hi:hi.(c)) in
+  let leaf = Autodiff.const (Tensor.copy omegas) in
+  let out = Surrogate.Model.eval_ad sur leaf in
+  let tape = Autodiff.compile out in
+  let t_sur =
+    time_us ~runs:100 (fun () ->
+        Autodiff.set_value leaf omegas;
+        Autodiff.refresh tape;
+        ignore (Autodiff.value out))
+  in
+  (* variation-aware epoch, iris size (4 -> hidden -> 3, batch 90) *)
+  let data = Datasets.Bench13.load "iris" in
+  let split = Datasets.Synth.split (Rng.create 1) data in
+  let tdata = Pnn.Training.of_split ~n_classes:3 split in
+  let config =
+    { scale.Experiments.Setup.config with Pnn.Config.epsilon = 0.05 }
+  in
+  let net = Pnn.Network.create (Rng.create 2) config sur ~inputs:4 ~outputs:3 in
+  let shapes = Pnn.Network.theta_shapes net in
+  let noises =
+    Pnn.Noise.draw_many (Rng.create 3) ~epsilon:0.05 ~theta_shapes:shapes
+      ~n:config.Pnn.Config.n_mc_train
+  in
+  let pool = Lazy.force pool_seq in
+  let t_iris =
+    time_us ~runs:50 (fun () ->
+        let loss =
+          Pnn.Network.mc_loss_pooled pool net ~noises
+            ~x:tdata.Pnn.Training.x_train ~labels:tdata.Pnn.Training.y_train
+        in
+        Autodiff.backward loss)
+  in
+  (* variation-aware epoch, wide pNN (64 -> 48 -> 16, batch 256) *)
+  let inputs = 64 and outputs = 16 and batch = 256 in
+  let wconfig = { config with Pnn.Config.hidden = 48 } in
+  let wrng = Rng.create 13 in
+  let x = Tensor.uniform wrng batch inputs ~lo:0.0 ~hi:1.0 in
+  let labels =
+    Tensor.init batch outputs (fun r c -> if r mod outputs = c then 1.0 else 0.0)
+  in
+  let wnet = Pnn.Network.create (Rng.create 2) wconfig sur ~inputs ~outputs in
+  let wshapes = Pnn.Network.theta_shapes wnet in
+  let wnoises =
+    Pnn.Noise.draw_many (Rng.create 3) ~epsilon:0.05 ~theta_shapes:wshapes
+      ~n:wconfig.Pnn.Config.n_mc_train
+  in
+  let t_wide =
+    time_us ~runs:20 (fun () ->
+        let loss =
+          Pnn.Network.mc_loss_pooled pool wnet ~noises:wnoises ~x ~labels
+        in
+        Autodiff.backward loss)
+  in
+  (* one quick Table II slice end-to-end (train + MC evaluate, iris only) *)
+  let t0 = Unix.gettimeofday () in
+  ignore (Experiments.Table2.run ~datasets:[ data ] scale sur);
+  let t_t2 = (Unix.gettimeofday () -. t0) *. 1e6 in
+  [
+    ("tensor_matmul_128x64x32", t_mm);
+    ("tensor_add_128x64", t_add);
+    ("surrogate_batch64", t_sur);
+    ("va_epoch_iris", t_iris);
+    ("va_epoch_wide", t_wide);
+    ("table2_quick_iris", t_t2);
+  ]
+
+let backend_benchmarks alloc_rows =
+  let startup = Tensor.backend () in
+  let ref_rows = backend_rows Tensor.Reference in
+  let ba_rows = backend_rows Tensor.Bigarray64 in
+  let rows =
+    List.map2
+      (fun (name, ref_us) (_, ba_us) ->
+        (name, ref_us, ba_us, ref_us /. Float.max ba_us 1e-3))
+      ref_rows ba_rows
+  in
+  Printf.printf "== backend benchmarks (reference vs bigarray, scale=%s) ==\n"
+    scale_name;
+  List.iter
+    (fun (name, ref_us, ba_us, speedup) ->
+      Printf.printf "  %-28s %10.2f us  %10.2f us  %5.2fx\n" name ref_us ba_us
+        speedup)
+    rows;
+  print_newline ();
+  (* The reference rows remeasure workloads BENCH_2 just timed in this very
+     process (only meaningful when BENCH_2 itself ran on the reference
+     backend): a large disagreement means the harness, not the kernel,
+     changed. *)
+  (match startup with
+  | Tensor.Reference -> (
+      let bench2_matmul =
+        List.find_map
+          (fun (name, ns, _, _) ->
+            if String.equal name "tensor_matmul_128x64x32_into" then ns
+            else None)
+          alloc_rows
+      in
+      match (bench2_matmul, List.assoc_opt "tensor_matmul_128x64x32" ref_rows) with
+      | Some b2_ns, Some ref_us ->
+          let ratio = ref_us *. 1e3 /. b2_ns in
+          if ratio > 3.0 || ratio < 1.0 /. 3.0 then
+            failwith
+              (Printf.sprintf
+                 "BENCH_4: reference matmul (%.0f us) disagrees with BENCH_2 \
+                  (%.0f us) beyond noise"
+                 ref_us (b2_ns /. 1e3))
+      | _ -> ())
+  | Tensor.Bigarray64 -> ());
+  rows
+
+let write_bench4_json rows =
+  let path =
+    match Sys.getenv_opt "REPRO_BENCH4_JSON" with
+    | Some p -> p
+    | None -> "BENCH_4.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"BENCH_4\",\n  \"scale\": %S,\n" scale_name;
+  output_string oc "  \"results\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ref_us, ba_us, speedup) ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"ref_ns\": %.1f, \"ba_ns\": %.1f, \"speedup\": \
+         %.2f }%s\n"
+        name (ref_us *. 1e3) (ba_us *. 1e3) speedup
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d entries)\n%!" path n
+
 (* {1 Table/figure harnesses} *)
 
 let section title = Printf.printf "\n===== %s =====\n%!" title
@@ -590,7 +765,11 @@ let () =
   let micro = micro_benchmarks () in
   let par = parallel_benchmarks () in
   write_bench_json (micro @ par);
-  write_bench2_json (alloc_benchmarks ());
+  let alloc = alloc_benchmarks () in
+  write_bench2_json alloc;
+  (match Sys.getenv_opt "REPRO_SKIP_BACKENDS" with
+  | Some "1" -> ()
+  | Some _ | None -> write_bench4_json (backend_benchmarks alloc));
   (match Sys.getenv_opt "REPRO_SKIP_BENCH3" with
   | Some "1" -> ()
   | Some _ | None -> write_bench3_json (cache_benchmarks ()));

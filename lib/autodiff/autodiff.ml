@@ -44,7 +44,7 @@ let grad_buffer n =
   match n.grad with
   | Some g -> g
   | None ->
-      let g = T.zeros (T.rows n.value) (T.cols n.value) in
+      let g = T.zeros_as n.value (T.rows n.value) (T.cols n.value) in
       n.grad <- Some g;
       g
 
@@ -79,16 +79,18 @@ let accum p g =
 
 (* Per-node scratch buffers for backward temporaries: allocated on first
    backward, reused on every subsequent pass over the same graph.  Cells are
-   captured per closure, so distinct replicas never share scratch. *)
-let scratch cell rows cols =
+   captured per closure, so distinct replicas never share scratch.  [like]
+   pins the scratch to an existing tensor's backend so a graph built on one
+   backend never mixes storage mid-pass. *)
+let scratch cell like rows cols =
   match !cell with
   | Some s -> s
   | None ->
-      let s = T.zeros rows cols in
+      let s = T.zeros_as like rows cols in
       cell := Some s;
       s
 
-let scratch_like cell t = scratch cell (T.rows t) (T.cols t)
+let scratch_like cell t = scratch cell t (T.rows t) (T.cols t)
 
 (* {1 Arithmetic} *)
 
@@ -206,133 +208,34 @@ let pow_const a p =
 
 (* {1 Nonlinearities}
 
-   Each op is specialized as direct float-array loops rather than a generic
-   [unary f df] helper: applying a [float -> float] closure per element boxes
-   its argument and result on the minor heap, which dominated the training
-   hot path's allocation profile.  Backward fuses [g *. df x y] in one
-   expression — bitwise identical to the former
+   Each op runs the backend's dedicated [unop] kernels rather than a generic
+   [map f] helper: applying a [float -> float] closure per element boxes its
+   argument and result on the minor heap, which dominated the training hot
+   path's allocation profile.  The backend's backward kernel fuses
+   [g *. df x y] in one expression — bitwise identical to the former
    [map2_into df; mul_into g] pair (same operations, same order). *)
 
-let unary_spec ~fwd ~bwd a =
-  (* [fwd src dst] refreshes the forward value; [bwd x y g s] writes the
-     input gradient [g .* df] into [s].  All four are raw data arrays. *)
+let unary_spec ~op a =
   let sc = ref None in
-  let v = T.zeros (T.rows a.value) (T.cols a.value) in
-  fwd a.value.T.data v.T.data;
+  let v = T.zeros_as a.value (T.rows a.value) (T.cols a.value) in
+  T.unop_into op a.value ~dst:v;
   node v [ a ]
-    ~recompute:(fun self -> fwd a.value.T.data self.value.T.data)
+    ~recompute:(fun self -> T.unop_into op a.value ~dst:self.value)
     (fun self ->
       if a.needs_grad then begin
         let g = grad_buffer self in
         let s = scratch_like sc g in
-        bwd a.value.T.data self.value.T.data g.T.data s.T.data;
+        T.unop_bwd_into op ~x:a.value ~y:self.value ~g ~dst:s;
         accum a s
       end)
 
-(* Every fwd/bwd closure below receives arrays of a.value's length —
-   [unary_spec] allocates value, gradient, and scratch with a's shape — so
-   an index below [Array.length dst] (resp. [s]) is in bounds for all of
-   them.  The per-loop SAFETY notes refer back to this invariant. *)
-
-let tanh a =
-  unary_spec a
-    ~fwd:(fun src dst ->
-      for i = 0 to Array.length dst - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        Array.unsafe_set dst i (Stdlib.tanh (Array.unsafe_get src i))
-      done)
-    ~bwd:(fun _x y g s ->
-      for i = 0 to Array.length s - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        let yi = Array.unsafe_get y i in
-        Array.unsafe_set s i (Array.unsafe_get g i *. (1.0 -. (yi *. yi)))
-      done)
-
-let sigmoid a =
-  unary_spec a
-    ~fwd:(fun src dst ->
-      for i = 0 to Array.length dst - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        Array.unsafe_set dst i
-          (1.0 /. (1.0 +. Stdlib.exp (-.Array.unsafe_get src i)))
-      done)
-    ~bwd:(fun _x y g s ->
-      for i = 0 to Array.length s - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        let yi = Array.unsafe_get y i in
-        Array.unsafe_set s i (Array.unsafe_get g i *. (yi *. (1.0 -. yi)))
-      done)
-
-let exp a =
-  unary_spec a
-    ~fwd:(fun src dst ->
-      for i = 0 to Array.length dst - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        Array.unsafe_set dst i (Stdlib.exp (Array.unsafe_get src i))
-      done)
-    ~bwd:(fun _x y g s ->
-      for i = 0 to Array.length s - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        Array.unsafe_set s i (Array.unsafe_get g i *. Array.unsafe_get y i)
-      done)
-
-let log a =
-  unary_spec a
-    ~fwd:(fun src dst ->
-      for i = 0 to Array.length dst - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        Array.unsafe_set dst i (Stdlib.log (Array.unsafe_get src i))
-      done)
-    ~bwd:(fun x _y g s ->
-      for i = 0 to Array.length s - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        Array.unsafe_set s i (Array.unsafe_get g i *. (1.0 /. Array.unsafe_get x i))
-      done)
-
-let sqrt a =
-  unary_spec a
-    ~fwd:(fun src dst ->
-      for i = 0 to Array.length dst - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        Array.unsafe_set dst i (Stdlib.sqrt (Array.unsafe_get src i))
-      done)
-    ~bwd:(fun _x y g s ->
-      for i = 0 to Array.length s - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        Array.unsafe_set s i (Array.unsafe_get g i *. (0.5 /. Array.unsafe_get y i))
-      done)
-
-let relu a =
-  unary_spec a
-    ~fwd:(fun src dst ->
-      for i = 0 to Array.length dst - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        let x = Array.unsafe_get src i in
-        Array.unsafe_set dst i (if x > 0.0 then x else 0.0)
-      done)
-    ~bwd:(fun x _y g s ->
-      for i = 0 to Array.length s - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        Array.unsafe_set s i
-          (Array.unsafe_get g i
-          *. (if Array.unsafe_get x i > 0.0 then 1.0 else 0.0))
-      done)
-
-let abs a =
-  unary_spec a
-    ~fwd:(fun src dst ->
-      for i = 0 to Array.length dst - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        Array.unsafe_set dst i (Stdlib.abs_float (Array.unsafe_get src i))
-      done)
-    ~bwd:(fun x _y g s ->
-      for i = 0 to Array.length s - 1 do
-        (* SAFETY: unary_spec arrays share a's length; i is below it *)
-        let xi = Array.unsafe_get x i in
-        Array.unsafe_set s i
-          (Array.unsafe_get g i
-          *. (if xi > 0.0 then 1.0 else if xi < 0.0 then -1.0 else 0.0))
-      done)
+let tanh a = unary_spec ~op:T.Tanh a
+let sigmoid a = unary_spec ~op:T.Sigmoid a
+let exp a = unary_spec ~op:T.Exp a
+let log a = unary_spec ~op:T.Log a
+let sqrt a = unary_spec ~op:T.Sqrt a
+let relu a = unary_spec ~op:T.Relu a
+let abs a = unary_spec ~op:T.Abs a
 
 (* {1 Linear algebra} *)
 
@@ -349,7 +252,7 @@ let matmul a b =
           accum a s
         end;
         if b.needs_grad then begin
-          let at = scratch st (T.cols a.value) (T.rows a.value) in
+          let at = scratch st a.value (T.cols a.value) (T.rows a.value) in
           T.transpose_into a.value ~dst:at;
           let s = scratch_like sb b.value in
           T.matmul_into at g ~dst:s;
@@ -453,7 +356,7 @@ let badd s m =
         let g = grad_buffer self in
         accum m g;
         if s.needs_grad then begin
-          let t = scratch s11 1 1 in
+          let t = scratch s11 g 1 1 in
           T.set t 0 0 (T.sum g);
           accum s t
         end
@@ -481,7 +384,7 @@ let bmul s m =
         if s.needs_grad then begin
           let t = scratch_like sc g in
           T.mul_into g m.value ~dst:t;
-          let t1 = scratch s11 1 1 in
+          let t1 = scratch s11 g 1 1 in
           T.set t1 0 0 (T.sum t);
           accum s t1
         end
@@ -611,50 +514,15 @@ let clamp_ste ~lo ~hi a =
 
 (* {1 Losses} *)
 
-let softmax_rows_into m ~dst =
-  (* stable row-wise softmax on a plain tensor; raw-array loops for the same
-     unboxed-float reason as the nonlinearities above *)
-  let rows = T.rows m and cols = T.cols m in
-  let src = m.T.data and out = dst.T.data in
-  for r = 0 to rows - 1 do
-    let base = r * cols in
-    let mx = ref neg_infinity in
-    (* SAFETY: base + c < rows * cols, the length of src and of out (the
-       caller checks dst has m's shape) — holds for all three loops *)
-    for c = 0 to cols - 1 do
-      let x = Array.unsafe_get src (base + c) in
-      if x > !mx then mx := x
-    done;
-    let z = ref 0.0 in
-    (* SAFETY: base + c < rows * cols = length of src and out *)
-    for c = 0 to cols - 1 do
-      let e = Stdlib.exp (Array.unsafe_get src (base + c) -. !mx) in
-      Array.unsafe_set out (base + c) e;
-      z := !z +. e
-    done;
-    (* SAFETY: base + c < rows * cols = length of out *)
-    for c = 0 to cols - 1 do
-      Array.unsafe_set out (base + c) (Array.unsafe_get out (base + c) /. !z)
-    done
-  done
+let softmax_rows_into m ~dst = T.softmax_rows_into m ~dst
 
 let softmax_rows m =
-  let out = T.zeros (T.rows m) (T.cols m) in
+  let out = T.zeros_as m (T.rows m) (T.cols m) in
   softmax_rows_into m ~dst:out;
   out
 
 let ce_loss probs labels =
-  let batch = float_of_int (T.rows probs) in
-  let p = probs.T.data and y = labels.T.data in
-  let loss = ref 0.0 in
-  for i = 0 to Array.length p - 1 do
-    (* SAFETY: callers pass probs/labels of identical shape, so i is below
-       the length of both p and y *)
-    let yi = Array.unsafe_get y i in
-    if yi > 0.0 then
-      loss := !loss -. (yi *. Stdlib.log (Stdlib.max (Array.unsafe_get p i) 1e-30))
-  done;
-  !loss /. batch
+  T.ce_loss_sum probs labels /. float_of_int (T.rows probs)
 
 let softmax_cross_entropy ~logits ~labels =
   if T.shape logits.value <> T.shape labels then

@@ -2,6 +2,13 @@ let magic = "pnn-save"
 let format_version = 2
 let schema_tag = Printf.sprintf "%s-%d" magic format_version
 
+(* The active kernel backend is part of the effective numeric schema: the
+   bigarray backend may differ from the reference in the last ulp of matmul
+   accumulations, so cached experiment results must never cross backends.
+   Read at call time (not bound at init) so [Tensor.set_backend] in tests is
+   honored. *)
+let cache_schema () = schema_tag ^ "+" ^ Tensor.backend_tag ()
+
 let float_line a =
   String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") a))
 

@@ -15,6 +15,14 @@ val schema_tag : string
 (** Canonical name of the current on-disk format (["pnn-save-2"]).  Cache
     keys fold this in so any format bump re-keys the store. *)
 
+val cache_schema : unit -> string
+(** {!schema_tag} plus the active kernel backend's tag (e.g.
+    ["pnn-save-2+ref"], ["pnn-save-2+ba64"]) — the schema string experiment
+    cache keys must use, so results computed on one backend are never served
+    to a run on another (backends may differ in the last ulp of matmul
+    accumulation).  Evaluated at call time: it follows
+    [Tensor.set_backend]. *)
+
 val float_line : float array -> string
 (** Space-joined [%h] hex floats — bit-exact round-trips including ±inf,
     −0.0 and signed NaN. *)

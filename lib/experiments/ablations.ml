@@ -101,7 +101,7 @@ let train_once ?cache ~init ~config ~seed data =
   let cache = match cache with Some c -> c | None -> Cache.get_default () in
   let spec = data.Datasets.Synth.spec in
   let key =
-    Cache.key ~schema:Pnn.Serialize.schema_tag ~kind:"ablcell"
+    Cache.key ~schema:(Pnn.Serialize.cache_schema ()) ~kind:"ablcell"
       [
         Lazy.force surrogate_small_digest;
         Pnn.Serialize.config_line config;

@@ -82,7 +82,7 @@ let run ?pool ?cache ?(checkpoints = false) ?(progress = fun _ -> ())
     (* [train_rng]'s tag covers (arm_idx, seed); the key carries both plus
        the model descriptor, so arms sharing a config never collide. *)
     let key =
-      Cache.key ~schema:Pnn.Serialize.schema_tag ~kind:"faultcell"
+      Cache.key ~schema:(Pnn.Serialize.cache_schema ()) ~kind:"faultcell"
         [
           digest;
           Pnn.Serialize.config_line scale.Setup.config;
@@ -150,7 +150,7 @@ let run ?pool ?cache ?(checkpoints = false) ?(progress = fun _ -> ())
       else
         Some
           ( cache,
-            Cache.key ~schema:Pnn.Serialize.schema_tag ~kind:"mceval"
+            Cache.key ~schema:(Pnn.Serialize.cache_schema ()) ~kind:"mceval"
               [
                 Pnn.Serialize.digest network;
                 model_tag (Some model);

@@ -33,7 +33,7 @@ let init_tag = function `Centered -> "centered" | `Random_sign -> "random_sign"
    and ε), the dataset identity and both seed layers.  [run_seed]'s stream
    tag is derived from the same inputs, so the key covers it. *)
 let cell_key ~kind ~surrogate_digest ~config ~dataset ~dataset_seed ~seed ~init =
-  Cache.key ~schema:Pnn.Serialize.schema_tag ~kind
+  Cache.key ~schema:(Pnn.Serialize.cache_schema ()) ~kind
     [
       surrogate_digest;
       Pnn.Serialize.config_line config;
@@ -115,7 +115,7 @@ let evaluate ?pool ?(cache = Cache.disabled ()) scale ~dataset_seed network
     else
       Some
         ( cache,
-          Cache.key ~schema:Pnn.Serialize.schema_tag ~kind:"mceval"
+          Cache.key ~schema:(Pnn.Serialize.cache_schema ()) ~kind:"mceval"
             [
               Pnn.Serialize.digest network;
               Printf.sprintf "%h" epsilon;

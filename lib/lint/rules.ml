@@ -46,10 +46,12 @@ let all_rules =
       id = "R4";
       title = "unsafe accesses carry a SAFETY justification";
       detail =
-        "Array.unsafe_get/unsafe_set and Bytes/String.unsafe_* skip bounds \
-         checks; each site must have a (* SAFETY: ... *) comment within 3 \
-         lines stating why every index is in range.  PNN_CHECKED=1 \
-         additionally swaps lib/tensor kernels to bounds-checked loops.";
+        "Array.unsafe_get/unsafe_set, Bytes/String.unsafe_* and \
+         Bigarray.Array1.unsafe_get/unsafe_set (including the monomorphic \
+         Array1 shadow in the bigarray kernel backend) skip bounds checks; \
+         each site must have a (* SAFETY: ... *) comment within 3 lines \
+         stating why every index is in range.  PNN_CHECKED=1 additionally \
+         swaps lib/tensor kernels to bounds-checked loops.";
     };
     {
       id = "R5";
@@ -63,6 +65,18 @@ let all_rules =
          operand; use Int.compare, Float.compare, String.compare or \
          Tensor.equal, or suppress where IEEE +/-0.0 equality is the \
          point.";
+    };
+    {
+      id = "R6";
+      title = "no backend-internal storage access outside lib/tensor";
+      detail =
+        "Kernels_ref, Kernels_ba and Tensor_backend are the tensor \
+         library's internal kernel layer (the tensor library is unwrapped, \
+         so they are globally visible); touching them from outside \
+         lib/tensor bypasses the dispatch layer, breaking backend \
+         selection, mixed-storage fallback and checked-mode swapping.  Go \
+         through the Tensor API; tooling that genuinely needs raw buffers \
+         suppresses with a reason.";
     };
   ]
 
@@ -109,13 +123,19 @@ let check_ident ctx lid line =
       f "R5"
         "polymorphic compare; use Int.compare / Float.compare / \
          String.compare or a typed comparator"
+  | ("Kernels_ref" | "Kernels_ba" | "Tensor_backend") :: _
+    when Deps.find_substring ctx.file.Source.path "lib/tensor" = None ->
+      f "R6"
+        (String.concat "." p
+        ^ " is backend-internal storage; go through the Tensor dispatch API")
   | _ -> (
       (* R4 candidates: any qualified unsafe_* access *)
       match (p, last p) with
       | _ :: _ :: _, Some l
         when String.length l > 7 && String.sub l 0 7 = "unsafe_" -> (
           match p with
-          | ("Array" | "Bytes" | "String" | "Char") :: _ ->
+          | ("Array" | "Bytes" | "String" | "Char" | "Bigarray" | "Array1")
+            :: _ ->
               f "R4" (String.concat "." p ^ " without a SAFETY justification")
           | _ -> None)
       | _ -> None)

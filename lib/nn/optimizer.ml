@@ -47,7 +47,7 @@ let moment_of_line label line =
       Array.of_list (List.map float_of_string words)
   | _ -> failwith (Printf.sprintf "Optimizer: bad %s line" label)
 
-let param_size node = Array.length (Autodiff.value node).Tensor.data
+let param_size node = Tensor.numel (Autodiff.value node)
 
 let state_lines t params =
   match t.algo with
@@ -104,10 +104,7 @@ let step t nodes =
       List.iter
         (fun node ->
           let value = Autodiff.value node and grad = Autodiff.grad node in
-          let vd = value.Tensor.data and gd = grad.Tensor.data in
-          for i = 0 to Array.length vd - 1 do
-            vd.(i) <- vd.(i) -. (t.lr *. gd.(i))
-          done)
+          Tensor.sgd_step ~lr:t.lr ~grad value)
         nodes
   | Adam a ->
       a.t <- a.t + 1;
@@ -116,8 +113,7 @@ let step t nodes =
       List.iter
         (fun node ->
           let value = Autodiff.value node and grad = Autodiff.grad node in
-          let vd = value.Tensor.data and gd = grad.Tensor.data in
-          let n = Array.length vd in
+          let n = param_size node in
           let state =
             let k = key_of node in
             match Hashtbl.find_opt a.table k with
@@ -127,12 +123,6 @@ let step t nodes =
                 Hashtbl.add a.table k s;
                 s
           in
-          for i = 0 to n - 1 do
-            let g = gd.(i) in
-            state.m.(i) <- (a.beta1 *. state.m.(i)) +. ((1.0 -. a.beta1) *. g);
-            state.v.(i) <- (a.beta2 *. state.v.(i)) +. ((1.0 -. a.beta2) *. g *. g);
-            let mhat = state.m.(i) /. bc1 in
-            let vhat = state.v.(i) /. bc2 in
-            vd.(i) <- vd.(i) -. (t.lr *. mhat /. (sqrt vhat +. a.eps))
-          done)
+          Tensor.adam_step ~lr:t.lr ~beta1:a.beta1 ~beta2:a.beta2 ~eps:a.eps
+            ~bc1 ~bc2 ~m:state.m ~v:state.v ~grad value)
         nodes

@@ -1,0 +1,848 @@
+(* Bigarray.Float64 backend: the fast path.
+
+   Flat 1-D [Bigarray.Array1] storage (c_layout), with the hot loops
+   restructured for throughput on the scalar CPU path: the matmul pair is
+   4x-unrolled over the shared dimension with register accumulators and no
+   per-entry zero-skip branch, and the elementwise kernels are stride-free
+   single loops over unsafe bigarray accessors.
+
+   Numeric contract (see Tensor_backend.KERNELS): every per-element kernel
+   (elementwise, broadcasts, unary/backward, softmax, cross-entropy, dot,
+   sum, sum_rows/cols, optimizer steps) performs the same floating-point
+   operations in the same order as the reference backend, so those results
+   are bitwise identical across backends.  Only [matmul]/[matmul_nt]
+   re-associate the accumulation (and drop the reference backend's
+   exact-zero skip), so they may differ from the reference in the last ulp —
+   deterministically so within this backend.  The NaN/-0.0 edge kernels
+   ([clamp], [min_value]/[max_value], [argmax_rows]) spell out the same IEEE
+   selects as the reference fold/loops and stay bit-identical.
+
+   Checked (sanitizer) mode: as in the reference backend, every kernel with
+   unsafe indexing carries a bounds-checked twin performing identical
+   floating-point operations in identical order ([Array1.get/set] raise on
+   out-of-range), selected once per call from [Tensor_backend.checked]. *)
+
+open Bigarray
+module TB = Tensor_backend
+
+type buf = (float, float64_elt, c_layout) Array1.t
+
+(* Monomorphic accessors: the polymorphic [Bigarray.Array1.get] family only
+   compiles to the inline load/store when the element kind and layout are
+   statically known AT THE USE SITE.  The kernels below are inferred
+   polymorphic before the signature constraint lands, which would silently
+   send every access through the generic C path (~12x slower end-to-end).
+   Shadowing with [buf]-typed externals pins the types where it matters. *)
+module Array1 = struct
+  include Bigarray.Array1
+
+  external get : buf -> int -> float = "%caml_ba_ref_1"
+  external set : buf -> int -> float -> unit = "%caml_ba_set_1"
+  external unsafe_get : buf -> int -> float = "%caml_ba_unsafe_ref_1"
+  external unsafe_set : buf -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+end
+
+let impl = TB.Bigarray64
+let checked = TB.checked
+
+let create n =
+  let b = Array1.create float64 c_layout n in
+  Array1.fill b 0.0;
+  b
+
+let length = Array1.dim
+let get = Array1.get
+let set = Array1.set
+
+(* Explicit loops: [Array1.sub] allocates a view struct per call, which is
+   real garbage on the zero-fill/blit hot paths (gradient zeroing, scratch
+   reuse).  Plain safe stores — [fill]/[blit] are exact regardless of mode. *)
+let fill b ~pos ~len v =
+  for i = pos to pos + len - 1 do
+    Array1.set b i v
+  done
+
+let blit src src_pos dst dst_pos len =
+  for i = 0 to len - 1 do
+    Array1.set dst (dst_pos + i) (Array1.get src (src_pos + i))
+  done
+
+let of_float_array a = Array1.of_array float64 c_layout a
+
+let to_float_array b =
+  let n = Array1.dim b in
+  let a = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    a.(i) <- Array1.get b i
+  done;
+  a
+
+let load b a =
+  for i = 0 to Array.length a - 1 do
+    Array1.set b i a.(i)
+  done
+
+(* {1 Elementwise} *)
+
+let add a b dst n =
+  if !checked then
+    for i = 0 to n - 1 do
+      Array1.set dst i (Array1.get a i +. Array1.get b i)
+    done
+  else
+    (* SAFETY: i < n and the dispatch layer checks shapes, so n <= each
+       buffer's dimension *)
+    for i = 0 to n - 1 do
+      Array1.unsafe_set dst i (Array1.unsafe_get a i +. Array1.unsafe_get b i)
+    done
+
+let sub a b dst n =
+  if !checked then
+    for i = 0 to n - 1 do
+      Array1.set dst i (Array1.get a i -. Array1.get b i)
+    done
+  else
+    (* SAFETY: i < n and the dispatch layer checks shapes, so n <= each
+       buffer's dimension *)
+    for i = 0 to n - 1 do
+      Array1.unsafe_set dst i (Array1.unsafe_get a i -. Array1.unsafe_get b i)
+    done
+
+let mul a b dst n =
+  if !checked then
+    for i = 0 to n - 1 do
+      Array1.set dst i (Array1.get a i *. Array1.get b i)
+    done
+  else
+    (* SAFETY: i < n and the dispatch layer checks shapes, so n <= each
+       buffer's dimension *)
+    for i = 0 to n - 1 do
+      Array1.unsafe_set dst i (Array1.unsafe_get a i *. Array1.unsafe_get b i)
+    done
+
+let div a b dst n =
+  if !checked then
+    for i = 0 to n - 1 do
+      Array1.set dst i (Array1.get a i /. Array1.get b i)
+    done
+  else
+    (* SAFETY: i < n and the dispatch layer checks shapes, so n <= each
+       buffer's dimension *)
+    for i = 0 to n - 1 do
+      Array1.unsafe_set dst i (Array1.unsafe_get a i /. Array1.unsafe_get b i)
+    done
+
+let neg a dst n =
+  if !checked then
+    for i = 0 to n - 1 do
+      Array1.set dst i (-.Array1.get a i)
+    done
+  else
+    (* SAFETY: i < n and the dispatch layer checks shapes, so n <= each
+       buffer's dimension *)
+    for i = 0 to n - 1 do
+      Array1.unsafe_set dst i (-.Array1.unsafe_get a i)
+    done
+
+let scale k a dst n =
+  if !checked then
+    for i = 0 to n - 1 do
+      Array1.set dst i (k *. Array1.get a i)
+    done
+  else
+    (* SAFETY: i < n and the dispatch layer checks shapes, so n <= each
+       buffer's dimension *)
+    for i = 0 to n - 1 do
+      Array1.unsafe_set dst i (k *. Array1.unsafe_get a i)
+    done
+
+let add_scalar k a dst n =
+  if !checked then
+    for i = 0 to n - 1 do
+      Array1.set dst i (k +. Array1.get a i)
+    done
+  else
+    (* SAFETY: i < n and the dispatch layer checks shapes, so n <= each
+       buffer's dimension *)
+    for i = 0 to n - 1 do
+      Array1.unsafe_set dst i (k +. Array1.unsafe_get a i)
+    done
+
+(* Same comparison chain as the reference: NaN fails both compares and
+   passes through unchanged (the documented clamp contract). *)
+let clamp ~lo ~hi a dst n =
+  if !checked then
+    for i = 0 to n - 1 do
+      let x = Array1.get a i in
+      Array1.set dst i (if x < lo then lo else if x > hi then hi else x)
+    done
+  else
+    (* SAFETY: i < n and the dispatch layer checks shapes, so n <= each
+       buffer's dimension *)
+    for i = 0 to n - 1 do
+      let x = Array1.unsafe_get a i in
+      Array1.unsafe_set dst i (if x < lo then lo else if x > hi then hi else x)
+    done
+
+(* The closure-taking kernels stay safe-access: the closure call dominates
+   the loop, so unsafe indexing buys nothing. *)
+let map f a dst n =
+  for i = 0 to n - 1 do
+    Array1.set dst i (f (Array1.get a i))
+  done
+
+let map2 f a b dst n =
+  for i = 0 to n - 1 do
+    Array1.set dst i (f (Array1.get a i) (Array1.get b i))
+  done
+
+(* {1 Broadcasts} *)
+
+let add_rowvec md vd dst rows cols =
+  if !checked then
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      for c = 0 to cols - 1 do
+        Array1.set dst (base + c) (Array1.get md (base + c) +. Array1.get vd c)
+      done
+    done
+  else
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      (* SAFETY: base + c < rows * cols = dim of md and dst; c < cols = dim
+         vd — the dispatch layer checks all three shapes *)
+      for c = 0 to cols - 1 do
+        Array1.unsafe_set dst (base + c)
+          (Array1.unsafe_get md (base + c) +. Array1.unsafe_get vd c)
+      done
+    done
+
+let mul_rowvec md vd dst rows cols =
+  if !checked then
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      for c = 0 to cols - 1 do
+        Array1.set dst (base + c) (Array1.get md (base + c) *. Array1.get vd c)
+      done
+    done
+  else
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      (* SAFETY: base + c < rows * cols = dim of md and dst; c < cols = dim
+         vd — the dispatch layer checks all three shapes *)
+      for c = 0 to cols - 1 do
+        Array1.unsafe_set dst (base + c)
+          (Array1.unsafe_get md (base + c) *. Array1.unsafe_get vd c)
+      done
+    done
+
+(* Colvec kernels are off the training hot path: safe accessors, same
+   per-element order as the reference. *)
+let add_colvec md vd dst rows cols =
+  for r = 0 to rows - 1 do
+    let base = r * cols in
+    let x = Array1.get vd r in
+    for c = 0 to cols - 1 do
+      Array1.set dst (base + c) (Array1.get md (base + c) +. x)
+    done
+  done
+
+let mul_colvec md vd dst rows cols =
+  for r = 0 to rows - 1 do
+    let base = r * cols in
+    let x = Array1.get vd r in
+    for c = 0 to cols - 1 do
+      Array1.set dst (base + c) (Array1.get md (base + c) *. x)
+    done
+  done
+
+let div_colvec md vd dst rows cols =
+  for r = 0 to rows - 1 do
+    let base = r * cols in
+    let x = Array1.get vd r in
+    for c = 0 to cols - 1 do
+      Array1.set dst (base + c) (Array1.get md (base + c) /. x)
+    done
+  done
+
+(* {1 Linear algebra} *)
+
+(* Register-blocked ikj: the shared dimension is 4x-unrolled, so each pass
+   over a C row loads four A entries into locals and does one C load/store
+   per four multiply-adds.  The combined update
+   [((((c + a0*b0) + a1*b1) + a2*b2) + a3*b3)] fixes the accumulation
+   order — deterministic, but re-associated relative to the reference
+   backend (last-ulp differences allowed, see header).  [cd] must be
+   pre-zeroed by the caller. *)
+(* Register-blocked matmul: an 8-wide column tile of the output row is
+   accumulated in eight float refs (unboxed to registers by ocamlopt's
+   ref-elimination) across the WHOLE shared dimension, so the output sees one
+   store per element instead of k read-modify-write round-trips, and the
+   eight independent add chains keep the FP units saturated where a single
+   accumulator would stall on add latency.  Each element is still summed in
+   pure k order — the same association as the reference — but without the
+   reference's exact-zero skip, so results can differ from the reference in
+   the last ulp (deterministically within this backend). *)
+let matmul ad bd cd m k n =
+  let n8 = n - (n land 7) in
+  if !checked then
+    for i = 0 to m - 1 do
+      let a_base = i * k and c_base = i * n in
+      let jt = ref 0 in
+      while !jt < n8 do
+        let j0 = !jt in
+        let c0 = ref 0.0 and c1 = ref 0.0 and c2 = ref 0.0 and c3 = ref 0.0 in
+        let c4 = ref 0.0 and c5 = ref 0.0 and c6 = ref 0.0 and c7 = ref 0.0 in
+        for p = 0 to k - 1 do
+          let a = Array1.get ad (a_base + p) in
+          let b = (p * n) + j0 in
+          c0 := !c0 +. (a *. Array1.get bd b);
+          c1 := !c1 +. (a *. Array1.get bd (b + 1));
+          c2 := !c2 +. (a *. Array1.get bd (b + 2));
+          c3 := !c3 +. (a *. Array1.get bd (b + 3));
+          c4 := !c4 +. (a *. Array1.get bd (b + 4));
+          c5 := !c5 +. (a *. Array1.get bd (b + 5));
+          c6 := !c6 +. (a *. Array1.get bd (b + 6));
+          c7 := !c7 +. (a *. Array1.get bd (b + 7))
+        done;
+        Array1.set cd (c_base + j0) !c0;
+        Array1.set cd (c_base + j0 + 1) !c1;
+        Array1.set cd (c_base + j0 + 2) !c2;
+        Array1.set cd (c_base + j0 + 3) !c3;
+        Array1.set cd (c_base + j0 + 4) !c4;
+        Array1.set cd (c_base + j0 + 5) !c5;
+        Array1.set cd (c_base + j0 + 6) !c6;
+        Array1.set cd (c_base + j0 + 7) !c7;
+        jt := j0 + 8
+      done;
+      for j = n8 to n - 1 do
+        let acc = ref 0.0 in
+        for p = 0 to k - 1 do
+          acc := !acc +. (Array1.get ad (a_base + p) *. Array1.get bd ((p * n) + j))
+        done;
+        Array1.set cd (c_base + j) !acc
+      done
+    done
+  else
+    for i = 0 to m - 1 do
+      let a_base = i * k and c_base = i * n in
+      let jt = ref 0 in
+      while !jt < n8 do
+        let j0 = !jt in
+        let c0 = ref 0.0 and c1 = ref 0.0 and c2 = ref 0.0 and c3 = ref 0.0 in
+        let c4 = ref 0.0 and c5 = ref 0.0 and c6 = ref 0.0 and c7 = ref 0.0 in
+        for p = 0 to k - 1 do
+          (* SAFETY: p < k so a_base + p < m * k = dim ad; and
+             b + 7 = p * n + j0 + 7 < p * n + n <= k * n = dim bd because
+             j0 + 7 < n8 + 8 <= n + 7 ... j0 <= n8 - 8 so j0 + 7 < n —
+             the dispatch layer checks all three shapes *)
+          let a = Array1.unsafe_get ad (a_base + p) in
+          let b = (p * n) + j0 in
+          c0 := !c0 +. (a *. Array1.unsafe_get bd b);
+          (* SAFETY: b + 7 < k * n = dim bd, as established above *)
+          c1 := !c1 +. (a *. Array1.unsafe_get bd (b + 1));
+          (* SAFETY: b + 7 < k * n = dim bd, as established above *)
+          c2 := !c2 +. (a *. Array1.unsafe_get bd (b + 2));
+          c3 := !c3 +. (a *. Array1.unsafe_get bd (b + 3));
+          c4 := !c4 +. (a *. Array1.unsafe_get bd (b + 4));
+          (* SAFETY: b + 7 < k * n = dim bd, as established above *)
+          c5 := !c5 +. (a *. Array1.unsafe_get bd (b + 5));
+          c6 := !c6 +. (a *. Array1.unsafe_get bd (b + 6));
+          c7 := !c7 +. (a *. Array1.unsafe_get bd (b + 7))
+        done;
+        (* SAFETY: j0 + 7 < n so c_base + j0 + 7 < m * n = dim cd *)
+        Array1.unsafe_set cd (c_base + j0) !c0;
+        Array1.unsafe_set cd (c_base + j0 + 1) !c1;
+        (* SAFETY: j0 + 7 < n so c_base + j0 + 7 < m * n = dim cd *)
+        Array1.unsafe_set cd (c_base + j0 + 2) !c2;
+        Array1.unsafe_set cd (c_base + j0 + 3) !c3;
+        Array1.unsafe_set cd (c_base + j0 + 4) !c4;
+        (* SAFETY: j0 + 7 < n so c_base + j0 + 7 < m * n = dim cd *)
+        Array1.unsafe_set cd (c_base + j0 + 5) !c5;
+        Array1.unsafe_set cd (c_base + j0 + 6) !c6;
+        Array1.unsafe_set cd (c_base + j0 + 7) !c7;
+        jt := j0 + 8
+      done;
+      for j = n8 to n - 1 do
+        let acc = ref 0.0 in
+        for p = 0 to k - 1 do
+          (* SAFETY: a_base + p < m * k = dim ad and p * n + j < k * n =
+             dim bd by the loop bounds; dispatch checks shapes *)
+          acc := !acc +. (Array1.unsafe_get ad (a_base + p)
+                          *. Array1.unsafe_get bd ((p * n) + j))
+        done;
+        (* SAFETY: c_base + j < m * n = dim cd *)
+        Array1.unsafe_set cd (c_base + j) !acc
+      done
+    done
+
+(* A · Bᵀ with four independent accumulators over the shared dimension,
+   combined as [((s0 + s1) + (s2 + s3))] with the tail folded in after —
+   again deterministic but re-associated relative to the reference. *)
+let matmul_nt ad bd cd m k n =
+  let k4 = k - (k land 3) in
+  if !checked then
+    for i = 0 to m - 1 do
+      let a_base = i * k and c_base = i * n in
+      for j = 0 to n - 1 do
+        let b_base = j * k in
+        let s0 = ref 0.0 and s1 = ref 0.0 and s2 = ref 0.0 and s3 = ref 0.0 in
+        for q = 0 to (k4 / 4) - 1 do
+          let p0 = 4 * q in
+          s0 := !s0 +. (Array1.get ad (a_base + p0) *. Array1.get bd (b_base + p0));
+          s1 := !s1 +. (Array1.get ad (a_base + p0 + 1) *. Array1.get bd (b_base + p0 + 1));
+          s2 := !s2 +. (Array1.get ad (a_base + p0 + 2) *. Array1.get bd (b_base + p0 + 2));
+          s3 := !s3 +. (Array1.get ad (a_base + p0 + 3) *. Array1.get bd (b_base + p0 + 3))
+        done;
+        let acc = ref ((!s0 +. !s1) +. (!s2 +. !s3)) in
+        for p0 = k4 to k - 1 do
+          acc := !acc +. (Array1.get ad (a_base + p0) *. Array1.get bd (b_base + p0))
+        done;
+        Array1.set cd (c_base + j) !acc
+      done
+    done
+  else
+    for i = 0 to m - 1 do
+      let a_base = i * k and c_base = i * n in
+      for j = 0 to n - 1 do
+        let b_base = j * k in
+        let s0 = ref 0.0 and s1 = ref 0.0 and s2 = ref 0.0 and s3 = ref 0.0 in
+        for q = 0 to (k4 / 4) - 1 do
+          let p0 = 4 * q in
+          (* SAFETY: p0 + 3 < k, so a_base + p0 + 3 < m * k = dim ad and
+             b_base + p0 + 3 < n * k = dim bd — dispatch checks shapes *)
+          s0 := !s0 +. (Array1.unsafe_get ad (a_base + p0) *. Array1.unsafe_get bd (b_base + p0));
+          s1 := !s1 +. (Array1.unsafe_get ad (a_base + p0 + 1) *. Array1.unsafe_get bd (b_base + p0 + 1));
+          (* SAFETY: as above — p0 + 2/3 < k keeps every index in range *)
+          s2 := !s2 +. (Array1.unsafe_get ad (a_base + p0 + 2) *. Array1.unsafe_get bd (b_base + p0 + 2));
+          s3 := !s3 +. (Array1.unsafe_get ad (a_base + p0 + 3) *. Array1.unsafe_get bd (b_base + p0 + 3))
+        done;
+        let acc = ref ((!s0 +. !s1) +. (!s2 +. !s3)) in
+        for p0 = k4 to k - 1 do
+          (* SAFETY: p0 < k, so a_base + p0 < m * k = dim ad and
+             b_base + p0 < n * k = dim bd *)
+          acc := !acc +. (Array1.unsafe_get ad (a_base + p0) *. Array1.unsafe_get bd (b_base + p0))
+        done;
+        (* SAFETY: c_base + j < m * n = dim cd *)
+        Array1.unsafe_set cd (c_base + j) !acc
+      done
+    done
+
+(* Same 32x32 tiling as the reference (copies are exact either way). *)
+let transpose src dst rows cols =
+  let bs = 32 in
+  if !checked then begin
+    let r0 = ref 0 in
+    while !r0 < rows do
+      let rmax = Stdlib.min rows (!r0 + bs) in
+      let c0 = ref 0 in
+      while !c0 < cols do
+        let cmax = Stdlib.min cols (!c0 + bs) in
+        for r = !r0 to rmax - 1 do
+          let base = r * cols in
+          for c = !c0 to cmax - 1 do
+            Array1.set dst ((c * rows) + r) (Array1.get src (base + c))
+          done
+        done;
+        c0 := !c0 + bs
+      done;
+      r0 := !r0 + bs
+    done
+  end
+  else begin
+    let r0 = ref 0 in
+    while !r0 < rows do
+      let rmax = Stdlib.min rows (!r0 + bs) in
+      let c0 = ref 0 in
+      while !c0 < cols do
+        let cmax = Stdlib.min cols (!c0 + bs) in
+        for r = !r0 to rmax - 1 do
+          let base = r * cols in
+          (* SAFETY: r < rows and c < cols keep base + c < rows * cols =
+             dim src and c * rows + r < cols * rows = dim dst *)
+          for c = !c0 to cmax - 1 do
+            Array1.unsafe_set dst ((c * rows) + r) (Array1.unsafe_get src (base + c))
+          done
+        done;
+        c0 := !c0 + bs
+      done;
+      r0 := !r0 + bs
+    done
+  end
+
+(* {1 Reductions}
+
+   [dot]/[sum]/[sum_rows]/[sum_cols] keep the reference backend's
+   left-to-right single-accumulator order, so they are bitwise identical
+   across backends. *)
+
+let dot a b n =
+  let acc = ref 0.0 in
+  if !checked then
+    for i = 0 to n - 1 do
+      acc := !acc +. (Array1.get a i *. Array1.get b i)
+    done
+  else
+    (* SAFETY: i < n = dim of both (shapes checked by the dispatch layer) *)
+    for i = 0 to n - 1 do
+      acc := !acc +. (Array1.unsafe_get a i *. Array1.unsafe_get b i)
+    done;
+  !acc
+
+let sum a n =
+  let acc = ref 0.0 in
+  if !checked then
+    for i = 0 to n - 1 do
+      acc := !acc +. Array1.get a i
+    done
+  else
+    (* SAFETY: i < n = dim a *)
+    for i = 0 to n - 1 do
+      acc := !acc +. Array1.unsafe_get a i
+    done;
+  !acc
+
+(* Monomorphic spellings of the reference backend's
+   [Array.fold_left Stdlib.min/max data.(0) data]: polymorphic min/max on
+   floats are the IEEE selects [if acc <= x then acc else x] (resp. [>=]),
+   where an unordered compare keeps [x] — so a NaN accumulator is displaced
+   by the next element and a NaN element never displaces the accumulator.
+   The i = 0 start replays the fold's seed element, matching the fold
+   bit-for-bit (including all-NaN and -0.0/0.0 inputs). *)
+let min_value b n =
+  let acc = ref (Array1.get b 0) in
+  for i = 0 to n - 1 do
+    let x = Array1.get b i in
+    acc := (if !acc <= x then !acc else x)
+  done;
+  !acc
+
+let max_value b n =
+  let acc = ref (Array1.get b 0) in
+  for i = 0 to n - 1 do
+    let x = Array1.get b i in
+    acc := (if !acc >= x then !acc else x)
+  done;
+  !acc
+
+(* [dst] must be pre-zeroed by the caller (column accumulators). *)
+let sum_rows src dst rows cols =
+  if !checked then
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      for c = 0 to cols - 1 do
+        Array1.set dst c (Array1.get dst c +. Array1.get src (base + c))
+      done
+    done
+  else
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      (* SAFETY: base + c < rows * cols = dim src and c < cols = dim dst *)
+      for c = 0 to cols - 1 do
+        Array1.unsafe_set dst c
+          (Array1.unsafe_get dst c +. Array1.unsafe_get src (base + c))
+      done
+    done
+
+let sum_cols src dst rows cols =
+  if !checked then
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      let acc = ref 0.0 in
+      for c = 0 to cols - 1 do
+        acc := !acc +. Array1.get src (base + c)
+      done;
+      Array1.set dst r !acc
+    done
+  else
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      let acc = ref 0.0 in
+      (* SAFETY: base + c < rows * cols = dim src *)
+      for c = 0 to cols - 1 do
+        acc := !acc +. Array1.unsafe_get src (base + c)
+      done;
+      (* SAFETY: r < rows = dim dst *)
+      Array1.unsafe_set dst r !acc
+    done
+
+(* Strict [>] as in the reference: first maximum wins; NaN never displaces
+   the incumbent (and a NaN in column 0 is never displaced). *)
+let argmax_rows b rows cols =
+  Array.init rows (fun r ->
+      let base = r * cols in
+      let best = ref 0 in
+      for c = 1 to cols - 1 do
+        if Array1.get b (base + c) > Array1.get b (base + !best) then best := c
+      done;
+      !best)
+
+(* {1 Nonlinearities}
+
+   Identical per-element formulas (and order) to the reference backend, so
+   results are bitwise equal across backends. *)
+
+let unary op src dst n =
+  match (op : TB.unop) with
+  | TB.Tanh ->
+      if !checked then
+        for i = 0 to n - 1 do
+          Array1.set dst i (Stdlib.tanh (Array1.get src i))
+        done
+      else
+        (* SAFETY: i < n <= dim of src and dst (dispatch layer) *)
+        for i = 0 to n - 1 do
+          Array1.unsafe_set dst i (Stdlib.tanh (Array1.unsafe_get src i))
+        done
+  | TB.Sigmoid ->
+      if !checked then
+        for i = 0 to n - 1 do
+          Array1.set dst i (1.0 /. (1.0 +. Stdlib.exp (-.Array1.get src i)))
+        done
+      else
+        (* SAFETY: i < n <= dim of src and dst (dispatch layer) *)
+        for i = 0 to n - 1 do
+          Array1.unsafe_set dst i
+            (1.0 /. (1.0 +. Stdlib.exp (-.Array1.unsafe_get src i)))
+        done
+  | TB.Exp ->
+      if !checked then
+        for i = 0 to n - 1 do
+          Array1.set dst i (Stdlib.exp (Array1.get src i))
+        done
+      else
+        (* SAFETY: i < n <= dim of src and dst (dispatch layer) *)
+        for i = 0 to n - 1 do
+          Array1.unsafe_set dst i (Stdlib.exp (Array1.unsafe_get src i))
+        done
+  | TB.Log ->
+      if !checked then
+        for i = 0 to n - 1 do
+          Array1.set dst i (Stdlib.log (Array1.get src i))
+        done
+      else
+        (* SAFETY: i < n <= dim of src and dst (dispatch layer) *)
+        for i = 0 to n - 1 do
+          Array1.unsafe_set dst i (Stdlib.log (Array1.unsafe_get src i))
+        done
+  | TB.Sqrt ->
+      if !checked then
+        for i = 0 to n - 1 do
+          Array1.set dst i (Stdlib.sqrt (Array1.get src i))
+        done
+      else
+        (* SAFETY: i < n <= dim of src and dst (dispatch layer) *)
+        for i = 0 to n - 1 do
+          Array1.unsafe_set dst i (Stdlib.sqrt (Array1.unsafe_get src i))
+        done
+  | TB.Relu ->
+      if !checked then
+        for i = 0 to n - 1 do
+          let x = Array1.get src i in
+          Array1.set dst i (if x > 0.0 then x else 0.0)
+        done
+      else
+        (* SAFETY: i < n <= dim of src and dst (dispatch layer) *)
+        for i = 0 to n - 1 do
+          let x = Array1.unsafe_get src i in
+          Array1.unsafe_set dst i (if x > 0.0 then x else 0.0)
+        done
+  | TB.Abs ->
+      if !checked then
+        for i = 0 to n - 1 do
+          Array1.set dst i (Stdlib.abs_float (Array1.get src i))
+        done
+      else
+        (* SAFETY: i < n <= dim of src and dst (dispatch layer) *)
+        for i = 0 to n - 1 do
+          Array1.unsafe_set dst i (Stdlib.abs_float (Array1.unsafe_get src i))
+        done
+
+let unary_bwd op ~x ~y ~g ~s n =
+  match (op : TB.unop) with
+  | TB.Tanh ->
+      if !checked then
+        for i = 0 to n - 1 do
+          let yi = Array1.get y i in
+          Array1.set s i (Array1.get g i *. (1.0 -. (yi *. yi)))
+        done
+      else
+        (* SAFETY: i < n <= dim of y, g and s (dispatch layer) *)
+        for i = 0 to n - 1 do
+          let yi = Array1.unsafe_get y i in
+          Array1.unsafe_set s i (Array1.unsafe_get g i *. (1.0 -. (yi *. yi)))
+        done
+  | TB.Sigmoid ->
+      if !checked then
+        for i = 0 to n - 1 do
+          let yi = Array1.get y i in
+          Array1.set s i (Array1.get g i *. (yi *. (1.0 -. yi)))
+        done
+      else
+        (* SAFETY: i < n <= dim of y, g and s (dispatch layer) *)
+        for i = 0 to n - 1 do
+          let yi = Array1.unsafe_get y i in
+          Array1.unsafe_set s i (Array1.unsafe_get g i *. (yi *. (1.0 -. yi)))
+        done
+  | TB.Exp ->
+      if !checked then
+        for i = 0 to n - 1 do
+          Array1.set s i (Array1.get g i *. Array1.get y i)
+        done
+      else
+        (* SAFETY: i < n <= dim of y, g and s (dispatch layer) *)
+        for i = 0 to n - 1 do
+          Array1.unsafe_set s i (Array1.unsafe_get g i *. Array1.unsafe_get y i)
+        done
+  | TB.Log ->
+      if !checked then
+        for i = 0 to n - 1 do
+          Array1.set s i (Array1.get g i *. (1.0 /. Array1.get x i))
+        done
+      else
+        (* SAFETY: i < n <= dim of x, g and s (dispatch layer) *)
+        for i = 0 to n - 1 do
+          Array1.unsafe_set s i
+            (Array1.unsafe_get g i *. (1.0 /. Array1.unsafe_get x i))
+        done
+  | TB.Sqrt ->
+      if !checked then
+        for i = 0 to n - 1 do
+          Array1.set s i (Array1.get g i *. (0.5 /. Array1.get y i))
+        done
+      else
+        (* SAFETY: i < n <= dim of y, g and s (dispatch layer) *)
+        for i = 0 to n - 1 do
+          Array1.unsafe_set s i
+            (Array1.unsafe_get g i *. (0.5 /. Array1.unsafe_get y i))
+        done
+  | TB.Relu ->
+      if !checked then
+        for i = 0 to n - 1 do
+          Array1.set s i
+            (Array1.get g i *. (if Array1.get x i > 0.0 then 1.0 else 0.0))
+        done
+      else
+        for i = 0 to n - 1 do
+          (* SAFETY: i < n <= dim of x, g and s (dispatch layer) *)
+          Array1.unsafe_set s i
+            (Array1.unsafe_get g i
+            *. (if Array1.unsafe_get x i > 0.0 then 1.0 else 0.0))
+        done
+  | TB.Abs ->
+      if !checked then
+        for i = 0 to n - 1 do
+          let xi = Array1.get x i in
+          Array1.set s i
+            (Array1.get g i
+            *. (if xi > 0.0 then 1.0 else if xi < 0.0 then -1.0 else 0.0))
+        done
+      else
+        for i = 0 to n - 1 do
+          (* SAFETY: i < n <= dim of x, g and s (dispatch layer) *)
+          let xi = Array1.unsafe_get x i in
+          Array1.unsafe_set s i
+            (Array1.unsafe_get g i
+            *. (if xi > 0.0 then 1.0 else if xi < 0.0 then -1.0 else 0.0))
+        done
+
+(* {1 Training-path fused kernels} *)
+
+let softmax_rows src out rows cols =
+  if !checked then
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      let mx = ref neg_infinity in
+      for c = 0 to cols - 1 do
+        let x = Array1.get src (base + c) in
+        if x > !mx then mx := x
+      done;
+      let z = ref 0.0 in
+      for c = 0 to cols - 1 do
+        let e = Stdlib.exp (Array1.get src (base + c) -. !mx) in
+        Array1.set out (base + c) e;
+        z := !z +. e
+      done;
+      for c = 0 to cols - 1 do
+        Array1.set out (base + c) (Array1.get out (base + c) /. !z)
+      done
+    done
+  else
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      let mx = ref neg_infinity in
+      (* SAFETY: base + c < rows * cols, the dim of src and of out (the
+         dispatch layer checks both shapes) — holds for all three loops *)
+      for c = 0 to cols - 1 do
+        let x = Array1.unsafe_get src (base + c) in
+        if x > !mx then mx := x
+      done;
+      let z = ref 0.0 in
+      (* SAFETY: base + c < rows * cols = dim of src and out *)
+      for c = 0 to cols - 1 do
+        let e = Stdlib.exp (Array1.unsafe_get src (base + c) -. !mx) in
+        Array1.unsafe_set out (base + c) e;
+        z := !z +. e
+      done;
+      (* SAFETY: base + c < rows * cols = dim of out *)
+      for c = 0 to cols - 1 do
+        Array1.unsafe_set out (base + c) (Array1.unsafe_get out (base + c) /. !z)
+      done
+    done
+
+let ce_loss_sum p y n =
+  let loss = ref 0.0 in
+  if !checked then
+    for i = 0 to n - 1 do
+      let yi = Array1.get y i in
+      if yi > 0.0 then
+        loss := !loss -. (yi *. Stdlib.log (Stdlib.max (Array1.get p i) 1e-30))
+    done
+  else
+    for i = 0 to n - 1 do
+      (* SAFETY: the dispatch layer checks p and y share a shape, so i is
+         below the dim of both *)
+      let yi = Array1.unsafe_get y i in
+      if yi > 0.0 then
+        loss := !loss -. (yi *. Stdlib.log (Stdlib.max (Array1.unsafe_get p i) 1e-30))
+    done;
+  !loss
+
+let sgd_step ~lr ~grad ~value n =
+  if !checked then
+    for i = 0 to n - 1 do
+      Array1.set value i (Array1.get value i -. (lr *. Array1.get grad i))
+    done
+  else
+    (* SAFETY: i < n = dim of grad and value (dispatch layer) *)
+    for i = 0 to n - 1 do
+      Array1.unsafe_set value i
+        (Array1.unsafe_get value i -. (lr *. Array1.unsafe_get grad i))
+    done
+
+let adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad ~value n =
+  (* moments stay plain float arrays (optimizer-owned, see KERNELS) *)
+  if !checked then
+    for i = 0 to n - 1 do
+      let g = Array1.get grad i in
+      m.(i) <- (beta1 *. m.(i)) +. ((1.0 -. beta1) *. g);
+      v.(i) <- (beta2 *. v.(i)) +. ((1.0 -. beta2) *. g *. g);
+      let mhat = m.(i) /. bc1 in
+      let vhat = v.(i) /. bc2 in
+      Array1.set value i
+        (Array1.get value i -. (lr *. mhat /. (Stdlib.sqrt vhat +. eps)))
+    done
+  else
+    for i = 0 to n - 1 do
+      (* SAFETY: i < n = dim of grad and value and length of m and v (the
+         optimizer allocates moments at the parameter's size) *)
+      let g = Array1.unsafe_get grad i in
+      Array.unsafe_set m i ((beta1 *. Array.unsafe_get m i) +. ((1.0 -. beta1) *. g));
+      Array.unsafe_set v i ((beta2 *. Array.unsafe_get v i) +. ((1.0 -. beta2) *. g *. g));
+      (* SAFETY: i < n bounds m, v and value exactly as above *)
+      let mhat = Array.unsafe_get m i /. bc1 in
+      let vhat = Array.unsafe_get v i /. bc2 in
+      (* SAFETY: i < n = dim of value, as above *)
+      Array1.unsafe_set value i
+        (Array1.unsafe_get value i -. (lr *. mhat /. (Stdlib.sqrt vhat +. eps)))
+    done

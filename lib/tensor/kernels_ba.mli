@@ -1,0 +1,10 @@
+(** Bigarray.Float64 kernel backend — the fast path.
+
+    Flat c_layout [Bigarray.Array1] storage with unrolled/blocked hot loops.
+    Per-element kernels match the reference backend bit-for-bit; only
+    [matmul]/[matmul_nt] re-associate accumulation and may differ in the
+    last ulp (deterministically within this backend).  [buf] is abstract:
+    only the dispatch layer in {!Tensor} constructs or consumes backend
+    storage (pnnlint R6 enforces the boundary outside [lib/tensor]). *)
+
+include Tensor_backend.KERNELS

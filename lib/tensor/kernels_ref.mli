@@ -1,0 +1,9 @@
+(** Reference kernel backend on [float array] — the bit-identity oracle.
+
+    Every core performs the exact floating-point operations, in the exact
+    order, of the pre-backend tensor/autodiff/optimizer loops; golden
+    trajectories and the determinism suite are pinned against it.  Only the
+    dispatch layer in {!Tensor} may call these directly (pnnlint R6 enforces
+    the boundary outside [lib/tensor]). *)
+
+include Tensor_backend.KERNELS with type buf = float array

@@ -1,6 +1,86 @@
-type t = { rows : int; cols : int; data : float array }
-(* A note on representation: row-major, index (r, c) at [r * cols + c]. *)
+(* Dense 2-D tensors over pluggable kernel backends.
 
+   Representation: row-major, index (r, c) at [r * cols + c], stored in one
+   flat buffer owned by a backend (Tensor_backend.KERNELS implementation).
+   This module is the dispatch layer: it validates shapes, decides which
+   backend's kernels to run, and owns every storage constructor — backend
+   buffer types never escape (pnnlint R6 enforces that outside lib/tensor).
+
+   Dispatch is storage-driven: an operation whose operands all live on one
+   backend runs that backend's kernels directly (a single pattern match, no
+   closure indirection — this matters without flambda).  Mixed-storage
+   operands (possible when tensors created before a [set_backend] call meet
+   tensors created after) fall back to snapshotting the inputs into plain
+   float arrays, running the REFERENCE kernels, and loading the result into
+   the destination — always correct, bit-equal to the reference backend, and
+   only as slow as the copies.  The active-backend flag only decides where
+   fresh allocations land. *)
+
+module TB = Tensor_backend
+module Kr = Kernels_ref
+module Kb = Kernels_ba
+
+type storage = F of Kr.buf | B1 of Kb.buf
+type t = { rows : int; cols : int; store : storage }
+
+(* {1 Backends} *)
+
+type backend = TB.id = Reference | Bigarray64
+
+let backend () = !TB.current
+let set_backend b = TB.current := b
+let backend_of_string = TB.of_string
+let backend_name = TB.name
+let backend_tag () = TB.tag !TB.current
+let storage_backend = function F _ -> Reference | B1 _ -> Bigarray64
+let backend_of t = storage_backend t.store
+
+let set_checked b = TB.checked := b
+let checked () = !TB.checked
+
+(* {1 Storage helpers} *)
+
+let alloc_for b n =
+  match b with Reference -> F (Kr.create n) | Bigarray64 -> B1 (Kb.create n)
+
+let alloc_active n = alloc_for !TB.current n
+let alloc_like t n = alloc_for (storage_backend t.store) n
+let sget s i = match s with F a -> Kr.get a i | B1 b -> Kb.get b i
+let sset s i v = match s with F a -> Kr.set a i v | B1 b -> Kb.set b i v
+
+let sfill s pos len v =
+  match s with F a -> Kr.fill a ~pos ~len v | B1 b -> Kb.fill b ~pos ~len v
+
+(* exact element copy between any two storages *)
+let sblit src src_pos dst dst_pos len =
+  match (src, dst) with
+  | F s, F d -> Kr.blit s src_pos d dst_pos len
+  | B1 s, B1 d -> Kb.blit s src_pos d dst_pos len
+  | F s, B1 d ->
+      for i = 0 to len - 1 do
+        Kb.set d (dst_pos + i) (Kr.get s (src_pos + i))
+      done
+  | B1 s, F d ->
+      for i = 0 to len - 1 do
+        Kr.set d (dst_pos + i) (Kb.get s (src_pos + i))
+      done
+
+(* Read-only view for the mixed-storage fallback: the F case returns the
+   LIVE array (no copy) — callers must not write through it. *)
+let snapshot = function F a -> a | B1 b -> Kb.to_float_array b
+
+let load_into s arr =
+  match s with F d -> Kr.load d arr | B1 b -> Kb.load b arr
+
+let dup_store = function
+  | F a -> F (Kr.of_float_array a)
+  | B1 b ->
+      let n = Kb.length b in
+      let d = Kb.create n in
+      Kb.blit b 0 d 0 n;
+      B1 d
+
+(* {1 Shape plumbing} *)
 
 let shape_string rows cols = Printf.sprintf "%dx%d" rows cols
 
@@ -10,27 +90,19 @@ let shape_fail name a b =
        (shape_string a.rows a.cols)
        (shape_string b.rows b.cols))
 
-(* {1 Checked (sanitizer) mode}
+let binop_check name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then shape_fail name a b
 
-   When [checked_mode] is on (PNN_CHECKED=1 in the environment, or
-   [set_checked true]), every kernel below runs its bounds-checked loop body
-   instead of the [Array.unsafe_*] one.  Both bodies perform the exact same
-   floating-point operations in the exact same order, so results are
-   bit-identical across modes — the CI determinism suite runs once under
-   PNN_CHECKED=1 to prove the unsafe indexing never strays out of bounds.
+let rows t = t.rows
+let cols t = t.cols
+let numel t = t.rows * t.cols
+let shape t = (t.rows, t.cols)
 
-   The flag is tested once per kernel call, not per element: a per-element
-   flag dereference measured ~2.3x slower on the elementwise hot path, while
-   the one-branch-per-call dual-loop shape is within noise of the raw loop. *)
+(* {1 Construction}
 
-let checked_mode =
-  ref
-    (match Sys.getenv_opt "PNN_CHECKED" with
-    | Some ("1" | "true" | "yes") -> true
-    | _ -> false)
-
-let set_checked b = checked_mode := b
-let checked () = !checked_mode
+   Constructors allocate on the ACTIVE backend; operations allocate on
+   their first operand's backend (so computations stay on one backend no
+   matter when the flag changes). *)
 
 let create rows cols data =
   if rows < 0 || cols < 0 then invalid_arg "Tensor.create: negative dimension";
@@ -38,13 +110,27 @@ let create rows cols data =
     invalid_arg
       (Printf.sprintf "Tensor.create: data length %d <> %d*%d"
          (Array.length data) rows cols);
-  { rows; cols; data }
+  let store =
+    match !TB.current with
+    | Reference -> F data (* wraps without copy, as before the backend split *)
+    | Bigarray64 -> B1 (Kb.of_float_array data)
+  in
+  { rows; cols; store }
 
-let zeros rows cols = create rows cols (Array.make (rows * cols) 0.0)
-let ones rows cols = create rows cols (Array.make (rows * cols) 1.0)
-let full rows cols v = create rows cols (Array.make (rows * cols) v)
+let zeros rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Tensor.create: negative dimension";
+  { rows; cols; store = alloc_active (rows * cols) }
+
+let full rows cols v =
+  let t = zeros rows cols in
+  sfill t.store 0 (rows * cols) v;
+  t
+
+let ones rows cols = full rows cols 1.0
 
 let init rows cols f =
+  (* fill a plain array first so [f] is called in row-major order exactly as
+     before (RNG-backed constructors depend on the draw order) *)
   let data = Array.make (rows * cols) 0.0 in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
@@ -72,7 +158,7 @@ let of_arrays rows_arr =
   end
 
 let row_of_list l = of_array (Array.of_list l)
-let copy t = { t with data = Array.copy t.data }
+let copy t = { t with store = dup_store t.store }
 
 let uniform rng rows cols ~lo ~hi =
   init rows cols (fun _ _ -> Rng.uniform rng ~lo ~hi)
@@ -80,527 +166,225 @@ let uniform rng rows cols ~lo ~hi =
 let gaussian rng rows cols ~mu ~sigma =
   init rows cols (fun _ _ -> Rng.gaussian rng ~mu ~sigma)
 
-let rows t = t.rows
-let cols t = t.cols
-let numel t = t.rows * t.cols
-let shape t = (t.rows, t.cols)
+let zeros_as exemplar rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Tensor.create: negative dimension";
+  { rows; cols; store = alloc_like exemplar (rows * cols) }
+
+(* {1 Access} *)
 
 let get t r c =
   if r < 0 || r >= t.rows || c < 0 || c >= t.cols then
     invalid_arg
       (Printf.sprintf "Tensor.get: (%d,%d) out of %s" r c
          (shape_string t.rows t.cols));
-  t.data.((r * t.cols) + c)
+  sget t.store ((r * t.cols) + c)
 
 let set t r c v =
   if r < 0 || r >= t.rows || c < 0 || c >= t.cols then
     invalid_arg
       (Printf.sprintf "Tensor.set: (%d,%d) out of %s" r c
          (shape_string t.rows t.cols));
-  t.data.((r * t.cols) + c) <- v
+  sset t.store ((r * t.cols) + c) v
 
 let row t r =
   if r < 0 || r >= t.rows then invalid_arg "Tensor.row: index out of range";
-  create 1 t.cols (Array.sub t.data (r * t.cols) t.cols)
+  let dst = { rows = 1; cols = t.cols; store = alloc_like t t.cols } in
+  sblit t.store (r * t.cols) dst.store 0 t.cols;
+  dst
 
-let to_array t = Array.copy t.data
-let to_arrays t = Array.init t.rows (fun r -> Array.sub t.data (r * t.cols) t.cols)
+let to_array t =
+  match t.store with F a -> Array.copy a | B1 b -> Kb.to_float_array b
 
-let map f t = { t with data = Array.map f t.data }
+let to_arrays t =
+  let a = to_array t in
+  Array.init t.rows (fun r -> Array.sub a (r * t.cols) t.cols)
+
+(* {1 Dispatch cores}
+
+   Each helper matches the operand storages once per call.  Homogeneous
+   operands run their backend's kernel; mixed operands take the reference
+   fallback described in the header. *)
+
+let ew1 kr kb a dst n =
+  match (a.store, dst.store) with
+  | F x, F d -> kr x d n
+  | B1 x, B1 d -> kb x d n
+  | ax, ds ->
+      let d = Array.make n 0.0 in
+      kr (snapshot ax) d n;
+      load_into ds d
+
+let ew2 kr kb a b dst n =
+  match (a.store, b.store, dst.store) with
+  | F x, F y, F d -> kr x y d n
+  | B1 x, B1 y, B1 d -> kb x y d n
+  | ax, by, ds ->
+      let d = Array.make n 0.0 in
+      kr (snapshot ax) (snapshot by) d n;
+      load_into ds d
+
+let bc2 kr kb m v dst rows cols =
+  match (m.store, v.store, dst.store) with
+  | F x, F y, F d -> kr x y d rows cols
+  | B1 x, B1 y, B1 d -> kb x y d rows cols
+  | mx, vy, ds ->
+      let d = Array.make (rows * cols) 0.0 in
+      kr (snapshot mx) (snapshot vy) d rows cols;
+      load_into ds d
+
+(* matmul-shaped: three ints after the buffers *)
+let mm3 kr kb a b dst m k n =
+  match (a.store, b.store, dst.store) with
+  | F x, F y, F d -> kr x y d m k n
+  | B1 x, B1 y, B1 d -> kb x y d m k n
+  | ax, by, ds ->
+      let d = Array.make (m * n) 0.0 in
+      kr (snapshot ax) (snapshot by) d m k n;
+      load_into ds d
+
+let t2 kr kb src dst rows cols =
+  match (src.store, dst.store) with
+  | F x, F d -> kr x d rows cols
+  | B1 x, B1 d -> kb x d rows cols
+  | sx, ds ->
+      let d = Array.make (rows * cols) 0.0 in
+      kr (snapshot sx) d rows cols;
+      load_into ds d
+
+(* {1 Elementwise} *)
+
+let map_disp f a dst n = ew1 (Kr.map f) (Kb.map f) a dst n
+let map2_disp f a b dst n = ew2 (Kr.map2 f) (Kb.map2 f) a b dst n
+
+let map f t =
+  let dst = zeros_as t t.rows t.cols in
+  map_disp f t dst (numel t);
+  dst
 
 let map2 f a b =
   if a.rows <> b.rows || a.cols <> b.cols then shape_fail "map2" a b;
-  { a with data = Array.map2 f a.data b.data }
-
-(* {1 Kernel cores}
-
-   The arithmetic kernels are written as monomorphic direct loops instead of
-   going through a [binop f]-style higher-order helper: calling a
-   [float -> float -> float] closure per element boxes its arguments and
-   result on the minor heap, which dominated minor-words profiles of the
-   training hot path.  A direct [a +. b] on float-array reads stays fully
-   unboxed.
-
-   Each core below operates on raw arrays and is shared by the allocating
-   kernel and its [*_into] twin, so both stay bit-identical by construction.
-   Callers validate shapes, which is what makes the unsafe branch's index
-   arithmetic in-bounds. *)
-
-let binop_check name a b =
-  if a.rows <> b.rows || a.cols <> b.cols then shape_fail name a b
-
-let add_core a b dst n =
-  if !checked_mode then
-    for i = 0 to n - 1 do
-      dst.(i) <- a.(i) +. b.(i)
-    done
-  else
-    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
-    for i = 0 to n - 1 do
-      Array.unsafe_set dst i (Array.unsafe_get a i +. Array.unsafe_get b i)
-    done
-
-let sub_core a b dst n =
-  if !checked_mode then
-    for i = 0 to n - 1 do
-      dst.(i) <- a.(i) -. b.(i)
-    done
-  else
-    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
-    for i = 0 to n - 1 do
-      Array.unsafe_set dst i (Array.unsafe_get a i -. Array.unsafe_get b i)
-    done
-
-let mul_core a b dst n =
-  if !checked_mode then
-    for i = 0 to n - 1 do
-      dst.(i) <- a.(i) *. b.(i)
-    done
-  else
-    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
-    for i = 0 to n - 1 do
-      Array.unsafe_set dst i (Array.unsafe_get a i *. Array.unsafe_get b i)
-    done
-
-let div_core a b dst n =
-  if !checked_mode then
-    for i = 0 to n - 1 do
-      dst.(i) <- a.(i) /. b.(i)
-    done
-  else
-    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
-    for i = 0 to n - 1 do
-      Array.unsafe_set dst i (Array.unsafe_get a i /. Array.unsafe_get b i)
-    done
-
-let neg_core a dst n =
-  if !checked_mode then
-    for i = 0 to n - 1 do
-      dst.(i) <- -.a.(i)
-    done
-  else
-    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
-    for i = 0 to n - 1 do
-      Array.unsafe_set dst i (-.Array.unsafe_get a i)
-    done
-
-let scale_core k a dst n =
-  if !checked_mode then
-    for i = 0 to n - 1 do
-      dst.(i) <- k *. a.(i)
-    done
-  else
-    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
-    for i = 0 to n - 1 do
-      Array.unsafe_set dst i (k *. Array.unsafe_get a i)
-    done
-
-let add_scalar_core k a dst n =
-  if !checked_mode then
-    for i = 0 to n - 1 do
-      dst.(i) <- k +. a.(i)
-    done
-  else
-    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
-    for i = 0 to n - 1 do
-      Array.unsafe_set dst i (k +. Array.unsafe_get a i)
-    done
-
-let clamp_core ~lo ~hi a dst n =
-  if !checked_mode then
-    for i = 0 to n - 1 do
-      let x = a.(i) in
-      dst.(i) <- (if x < lo then lo else if x > hi then hi else x)
-    done
-  else
-    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
-    for i = 0 to n - 1 do
-      let x = Array.unsafe_get a i in
-      Array.unsafe_set dst i (if x < lo then lo else if x > hi then hi else x)
-    done
-
-let map_core f a dst n =
-  if !checked_mode then
-    for i = 0 to n - 1 do
-      dst.(i) <- f a.(i)
-    done
-  else
-    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
-    for i = 0 to n - 1 do
-      Array.unsafe_set dst i (f (Array.unsafe_get a i))
-    done
-
-let map2_core f a b dst n =
-  if !checked_mode then
-    for i = 0 to n - 1 do
-      dst.(i) <- f a.(i) b.(i)
-    done
-  else
-    (* SAFETY: i < n and callers check shapes, so n <= each array length *)
-    for i = 0 to n - 1 do
-      Array.unsafe_set dst i (f (Array.unsafe_get a i) (Array.unsafe_get b i))
-    done
-
-let add_rowvec_core md vd dst rows cols =
-  if !checked_mode then
-    for r = 0 to rows - 1 do
-      let base = r * cols in
-      for c = 0 to cols - 1 do
-        dst.(base + c) <- md.(base + c) +. vd.(c)
-      done
-    done
-  else
-    for r = 0 to rows - 1 do
-      let base = r * cols in
-      (* SAFETY: base + c < rows * cols = length of md and dst;
-         c < cols = length vd — callers check all three shapes *)
-      for c = 0 to cols - 1 do
-        Array.unsafe_set dst (base + c)
-          (Array.unsafe_get md (base + c) +. Array.unsafe_get vd c)
-      done
-    done
-
-let mul_rowvec_core md vd dst rows cols =
-  if !checked_mode then
-    for r = 0 to rows - 1 do
-      let base = r * cols in
-      for c = 0 to cols - 1 do
-        dst.(base + c) <- md.(base + c) *. vd.(c)
-      done
-    done
-  else
-    for r = 0 to rows - 1 do
-      let base = r * cols in
-      (* SAFETY: base + c < rows * cols = length of md and dst;
-         c < cols = length vd — callers check all three shapes *)
-      for c = 0 to cols - 1 do
-        Array.unsafe_set dst (base + c)
-          (Array.unsafe_get md (base + c) *. Array.unsafe_get vd c)
-      done
-    done
-
-(* ikj loop order: streams through b rows, cache friendly for row-major.
-   [cd] must be pre-zeroed by the caller. *)
-let matmul_core ad bd cd m k n =
-  if !checked_mode then
-    for i = 0 to m - 1 do
-      let a_base = i * k and c_base = i * n in
-      for p = 0 to k - 1 do
-        let aip = ad.(a_base + p) in
-        (* pnnlint:allow R5 exact-zero skip is IEEE on purpose: -0.0 skips,
-           NaN never skips; Float.equal would treat both differently *)
-        if aip <> 0.0 then begin
-          let b_base = p * n in
-          for j = 0 to n - 1 do
-            cd.(c_base + j) <- cd.(c_base + j) +. (aip *. bd.(b_base + j))
-          done
-        end
-      done
-    done
-  else
-    for i = 0 to m - 1 do
-      let a_base = i * k and c_base = i * n in
-      for p = 0 to k - 1 do
-        (* SAFETY: a_base + p < m * k = length ad *)
-        let aip = Array.unsafe_get ad (a_base + p) in
-        (* pnnlint:allow R5 exact-zero skip is IEEE on purpose: -0.0 skips,
-           NaN never skips; Float.equal would treat both differently *)
-        if aip <> 0.0 then begin
-          let b_base = p * n in
-          (* SAFETY: c_base + j < m * n = length cd and
-             b_base + j < k * n = length bd, by the loop bounds *)
-          for j = 0 to n - 1 do
-            Array.unsafe_set cd (c_base + j)
-              (Array.unsafe_get cd (c_base + j) +. (aip *. Array.unsafe_get bd (b_base + j)))
-          done
-        end
-      done
-    done
-
-(* A · Bᵀ without materializing the transpose: rows of both operands are
-   contiguous, so the p-loop streams both.  The accumulation order (and the
-   skip of exact-zero A entries) mirrors [matmul a (transpose b)], keeping
-   results bit-identical to that formulation. *)
-let matmul_nt_core ad bd cd m k n =
-  if !checked_mode then
-    for i = 0 to m - 1 do
-      let a_base = i * k and c_base = i * n in
-      for j = 0 to n - 1 do
-        let b_base = j * k in
-        let acc = ref 0.0 in
-        for p = 0 to k - 1 do
-          let aip = ad.(a_base + p) in
-          (* pnnlint:allow R5 exact-zero skip is IEEE on purpose: -0.0 skips,
-             NaN never skips; Float.equal would treat both differently *)
-          if aip <> 0.0 then acc := !acc +. (aip *. bd.(b_base + p))
-        done;
-        cd.(c_base + j) <- !acc
-      done
-    done
-  else
-    for i = 0 to m - 1 do
-      let a_base = i * k and c_base = i * n in
-      for j = 0 to n - 1 do
-        let b_base = j * k in
-        let acc = ref 0.0 in
-        for p = 0 to k - 1 do
-          (* SAFETY: a_base + p < m * k = length ad *)
-          let aip = Array.unsafe_get ad (a_base + p) in
-          (* pnnlint:allow R5 exact-zero skip is IEEE on purpose: -0.0 skips,
-             NaN never skips; Float.equal would treat both differently *)
-          if aip <> 0.0 then
-            (* SAFETY: b_base + p < n * k = length bd *)
-            acc := !acc +. (aip *. Array.unsafe_get bd (b_base + p))
-        done;
-        (* SAFETY: c_base + j < m * n = length cd *)
-        Array.unsafe_set cd (c_base + j) !acc
-      done
-    done
-
-(* Blocked copy instead of a closure-per-element [init]: both the read and
-   the write stay within a 32x32 tile, so one of the two strided streams is
-   always cache-resident. *)
-let transpose_core src dst rows cols =
-  let bs = 32 in
-  if !checked_mode then begin
-    let r0 = ref 0 in
-    while !r0 < rows do
-      let rmax = Stdlib.min rows (!r0 + bs) in
-      let c0 = ref 0 in
-      while !c0 < cols do
-        let cmax = Stdlib.min cols (!c0 + bs) in
-        for r = !r0 to rmax - 1 do
-          let base = r * cols in
-          for c = !c0 to cmax - 1 do
-            dst.((c * rows) + r) <- src.(base + c)
-          done
-        done;
-        c0 := !c0 + bs
-      done;
-      r0 := !r0 + bs
-    done
-  end
-  else begin
-    let r0 = ref 0 in
-    while !r0 < rows do
-      let rmax = Stdlib.min rows (!r0 + bs) in
-      let c0 = ref 0 in
-      while !c0 < cols do
-        let cmax = Stdlib.min cols (!c0 + bs) in
-        for r = !r0 to rmax - 1 do
-          let base = r * cols in
-          (* SAFETY: r < rows and c < cols keep base + c < rows * cols =
-             length src and c * rows + r < cols * rows = length dst *)
-          for c = !c0 to cmax - 1 do
-            Array.unsafe_set dst ((c * rows) + r) (Array.unsafe_get src (base + c))
-          done
-        done;
-        c0 := !c0 + bs
-      done;
-      r0 := !r0 + bs
-    done
-  end
-
-(* [dst] must be pre-zeroed by the caller (column accumulators). *)
-let sum_rows_core src dst rows cols =
-  if !checked_mode then
-    for r = 0 to rows - 1 do
-      let base = r * cols in
-      for c = 0 to cols - 1 do
-        dst.(c) <- dst.(c) +. src.(base + c)
-      done
-    done
-  else
-    for r = 0 to rows - 1 do
-      let base = r * cols in
-      (* SAFETY: base + c < rows * cols = length src and
-         c < cols = length dst *)
-      for c = 0 to cols - 1 do
-        Array.unsafe_set dst c
-          (Array.unsafe_get dst c +. Array.unsafe_get src (base + c))
-      done
-    done
-
-let sum_cols_core src dst rows cols =
-  if !checked_mode then
-    for r = 0 to rows - 1 do
-      let base = r * cols in
-      let acc = ref 0.0 in
-      for c = 0 to cols - 1 do
-        acc := !acc +. src.(base + c)
-      done;
-      dst.(r) <- !acc
-    done
-  else
-    for r = 0 to rows - 1 do
-      let base = r * cols in
-      let acc = ref 0.0 in
-      (* SAFETY: base + c < rows * cols = length src *)
-      for c = 0 to cols - 1 do
-        acc := !acc +. Array.unsafe_get src (base + c)
-      done;
-      (* SAFETY: r < rows = length dst *)
-      Array.unsafe_set dst r !acc
-    done
-
-(* {1 Allocating kernels} *)
+  let dst = zeros_as a a.rows a.cols in
+  map2_disp f a b dst (numel a);
+  dst
 
 let add a b =
   binop_check "add" a b;
-  let n = Array.length a.data in
-  let data = Array.make n 0.0 in
-  add_core a.data b.data data n;
-  { a with data }
+  let dst = zeros_as a a.rows a.cols in
+  ew2 Kr.add Kb.add a b dst (numel a);
+  dst
 
 let sub a b =
   binop_check "sub" a b;
-  let n = Array.length a.data in
-  let data = Array.make n 0.0 in
-  sub_core a.data b.data data n;
-  { a with data }
+  let dst = zeros_as a a.rows a.cols in
+  ew2 Kr.sub Kb.sub a b dst (numel a);
+  dst
 
 let mul a b =
   binop_check "mul" a b;
-  let n = Array.length a.data in
-  let data = Array.make n 0.0 in
-  mul_core a.data b.data data n;
-  { a with data }
+  let dst = zeros_as a a.rows a.cols in
+  ew2 Kr.mul Kb.mul a b dst (numel a);
+  dst
 
 let div a b =
   binop_check "div" a b;
-  let n = Array.length a.data in
-  let data = Array.make n 0.0 in
-  div_core a.data b.data data n;
-  { a with data }
+  let dst = zeros_as a a.rows a.cols in
+  ew2 Kr.div Kb.div a b dst (numel a);
+  dst
 
 let neg t =
-  let n = Array.length t.data in
-  let data = Array.make n 0.0 in
-  neg_core t.data data n;
-  { t with data }
+  let dst = zeros_as t t.rows t.cols in
+  ew1 Kr.neg Kb.neg t dst (numel t);
+  dst
 
 let scale k t =
-  let n = Array.length t.data in
-  let data = Array.make n 0.0 in
-  scale_core k t.data data n;
-  { t with data }
+  let dst = zeros_as t t.rows t.cols in
+  ew1 (Kr.scale k) (Kb.scale k) t dst (numel t);
+  dst
 
 let add_scalar k t =
-  let n = Array.length t.data in
-  let data = Array.make n 0.0 in
-  add_scalar_core k t.data data n;
-  { t with data }
+  let dst = zeros_as t t.rows t.cols in
+  ew1 (Kr.add_scalar k) (Kb.add_scalar k) t dst (numel t);
+  dst
 
 let clamp ~lo ~hi t =
   if hi < lo then invalid_arg "Tensor.clamp: hi < lo";
-  let n = Array.length t.data in
-  let data = Array.make n 0.0 in
-  clamp_core ~lo ~hi t.data data n;
-  { t with data }
+  let dst = zeros_as t t.rows t.cols in
+  ew1 (Kr.clamp ~lo ~hi) (Kb.clamp ~lo ~hi) t dst (numel t);
+  dst
+
+(* {1 Broadcast helpers} *)
 
 let rowvec_check name m v =
   if v.rows <> 1 || v.cols <> m.cols then shape_fail name m v
 
 let add_rowvec m v =
   rowvec_check "add_rowvec" m v;
-  let data = Array.make (m.rows * m.cols) 0.0 in
-  add_rowvec_core m.data v.data data m.rows m.cols;
-  { m with data }
+  let dst = zeros_as m m.rows m.cols in
+  bc2 Kr.add_rowvec Kb.add_rowvec m v dst m.rows m.cols;
+  dst
 
 let mul_rowvec m v =
   rowvec_check "mul_rowvec" m v;
-  let data = Array.make (m.rows * m.cols) 0.0 in
-  mul_rowvec_core m.data v.data data m.rows m.cols;
-  { m with data }
+  let dst = zeros_as m m.rows m.cols in
+  bc2 Kr.mul_rowvec Kb.mul_rowvec m v dst m.rows m.cols;
+  dst
 
 let colvec_check name m v =
   if v.cols <> 1 || v.rows <> m.rows then shape_fail name m v
 
 let add_colvec m v =
   colvec_check "add_colvec" m v;
-  let data = Array.make (m.rows * m.cols) 0.0 in
-  for r = 0 to m.rows - 1 do
-    let base = r * m.cols in
-    let x = v.data.(r) in
-    for c = 0 to m.cols - 1 do
-      data.(base + c) <- m.data.(base + c) +. x
-    done
-  done;
-  { m with data }
+  let dst = zeros_as m m.rows m.cols in
+  bc2 Kr.add_colvec Kb.add_colvec m v dst m.rows m.cols;
+  dst
 
 let mul_colvec m v =
   colvec_check "mul_colvec" m v;
-  let data = Array.make (m.rows * m.cols) 0.0 in
-  for r = 0 to m.rows - 1 do
-    let base = r * m.cols in
-    let x = v.data.(r) in
-    for c = 0 to m.cols - 1 do
-      data.(base + c) <- m.data.(base + c) *. x
-    done
-  done;
-  { m with data }
+  let dst = zeros_as m m.rows m.cols in
+  bc2 Kr.mul_colvec Kb.mul_colvec m v dst m.rows m.cols;
+  dst
 
 let div_colvec m v =
   colvec_check "div_colvec" m v;
-  let data = Array.make (m.rows * m.cols) 0.0 in
-  for r = 0 to m.rows - 1 do
-    let base = r * m.cols in
-    let x = v.data.(r) in
-    for c = 0 to m.cols - 1 do
-      data.(base + c) <- m.data.(base + c) /. x
-    done
-  done;
-  { m with data }
+  let dst = zeros_as m m.rows m.cols in
+  bc2 Kr.div_colvec Kb.div_colvec m v dst m.rows m.cols;
+  dst
+
+(* {1 Linear algebra} *)
 
 let matmul a b =
   if a.cols <> b.rows then shape_fail "matmul" a b;
   let m = a.rows and k = a.cols and n = b.cols in
-  let data = Array.make (m * n) 0.0 in
-  matmul_core a.data b.data data m k n;
-  { rows = m; cols = n; data }
-
-let transpose t =
-  let rows = t.rows and cols = t.cols in
-  let data = Array.make (rows * cols) 0.0 in
-  transpose_core t.data data rows cols;
-  { rows = cols; cols = rows; data }
+  let dst = zeros_as a m n in
+  (* freshly allocated dst is already zeroed, as the kernels require *)
+  mm3 Kr.matmul Kb.matmul a b dst m k n;
+  dst
 
 let matmul_nt a b =
   if a.cols <> b.cols then shape_fail "matmul_nt" a b;
   let m = a.rows and k = a.cols and n = b.rows in
-  let data = Array.make (m * n) 0.0 in
-  matmul_nt_core a.data b.data data m k n;
-  { rows = m; cols = n; data }
+  let dst = zeros_as a m n in
+  mm3 Kr.matmul_nt Kb.matmul_nt a b dst m k n;
+  dst
+
+let transpose t =
+  let dst = zeros_as t t.cols t.rows in
+  t2 Kr.transpose Kb.transpose t dst t.rows t.cols;
+  dst
 
 let dot a b =
   if a.rows <> b.rows || a.cols <> b.cols then shape_fail "dot" a b;
-  let n = Array.length a.data in
-  let acc = ref 0.0 in
-  if !checked_mode then
-    for i = 0 to n - 1 do
-      acc := !acc +. (a.data.(i) *. b.data.(i))
-    done
-  else
-    (* SAFETY: i < n = length of both (shapes checked above) *)
-    for i = 0 to n - 1 do
-      acc := !acc +. (Array.unsafe_get a.data i *. Array.unsafe_get b.data i)
-    done;
-  !acc
+  match (a.store, b.store) with
+  | F x, F y -> Kr.dot x y (numel a)
+  | B1 x, B1 y -> Kb.dot x y (numel a)
+  | ax, by -> Kr.dot (snapshot ax) (snapshot by) (numel a)
+
+(* {1 Reductions} *)
 
 let sum t =
-  (* left-to-right accumulation, same order as [Array.fold_left ( +. ) 0.0] *)
-  let n = Array.length t.data in
-  let acc = ref 0.0 in
-  if !checked_mode then
-    for i = 0 to n - 1 do
-      acc := !acc +. t.data.(i)
-    done
-  else
-    (* SAFETY: i < n = length t.data *)
-    for i = 0 to n - 1 do
-      acc := !acc +. Array.unsafe_get t.data i
-    done;
-  !acc
+  match t.store with
+  | F a -> Kr.sum a (numel t)
+  | B1 b -> Kb.sum b (numel t)
 
 let mean t =
   if numel t = 0 then invalid_arg "Tensor.mean: empty tensor";
@@ -608,72 +392,81 @@ let mean t =
 
 let min_value t =
   if numel t = 0 then invalid_arg "Tensor.min_value: empty tensor";
-  Array.fold_left Stdlib.min t.data.(0) t.data
+  match t.store with
+  | F a -> Kr.min_value a (numel t)
+  | B1 b -> Kb.min_value b (numel t)
 
 let max_value t =
   if numel t = 0 then invalid_arg "Tensor.max_value: empty tensor";
-  Array.fold_left Stdlib.max t.data.(0) t.data
+  match t.store with
+  | F a -> Kr.max_value a (numel t)
+  | B1 b -> Kb.max_value b (numel t)
 
 let sum_rows t =
-  let data = Array.make t.cols 0.0 in
-  sum_rows_core t.data data t.rows t.cols;
-  create 1 t.cols data
+  let dst = zeros_as t 1 t.cols in
+  t2 Kr.sum_rows Kb.sum_rows t dst t.rows t.cols;
+  dst
 
 let sum_cols t =
-  let data = Array.make t.rows 0.0 in
-  sum_cols_core t.data data t.rows t.cols;
-  create t.rows 1 data
+  let dst = zeros_as t t.rows 1 in
+  t2 Kr.sum_cols Kb.sum_cols t dst t.rows t.cols;
+  dst
 
 let argmax_rows t =
   if t.cols = 0 then invalid_arg "Tensor.argmax_rows: zero columns";
-  Array.init t.rows (fun r ->
-      let base = r * t.cols in
-      let best = ref 0 in
-      for c = 1 to t.cols - 1 do
-        if t.data.(base + c) > t.data.(base + !best) then best := c
-      done;
-      !best)
+  match t.store with
+  | F a -> Kr.argmax_rows a t.rows t.cols
+  | B1 b -> Kb.argmax_rows b t.rows t.cols
+
+(* {1 Assembly} *)
 
 let concat_cols a b =
   if a.rows <> b.rows then shape_fail "concat_cols" a b;
-  init a.rows (a.cols + b.cols) (fun r c ->
-      if c < a.cols then a.data.((r * a.cols) + c)
-      else b.data.((r * b.cols) + c - a.cols))
+  let dst = zeros_as a a.rows (a.cols + b.cols) in
+  for r = 0 to a.rows - 1 do
+    sblit a.store (r * a.cols) dst.store (r * dst.cols) a.cols;
+    sblit b.store (r * b.cols) dst.store ((r * dst.cols) + a.cols) b.cols
+  done;
+  dst
 
 let concat_rows a b =
   if a.cols <> b.cols then shape_fail "concat_rows" a b;
-  create (a.rows + b.rows) a.cols (Array.append a.data b.data)
+  let dst = zeros_as a (a.rows + b.rows) a.cols in
+  sblit a.store 0 dst.store 0 (numel a);
+  sblit b.store 0 dst.store (numel a) (numel b);
+  dst
 
 let slice_rows t start len =
   if start < 0 || len < 0 || start + len > t.rows then
     invalid_arg
       (Printf.sprintf "Tensor.slice_rows: [%d,%d) out of %d rows" start
          (start + len) t.rows);
-  create len t.cols (Array.sub t.data (start * t.cols) (len * t.cols))
+  let dst = zeros_as t len t.cols in
+  sblit t.store (start * t.cols) dst.store 0 (len * t.cols);
+  dst
 
 let slice_cols t start len =
   if start < 0 || len < 0 || start + len > t.cols then
     invalid_arg
       (Printf.sprintf "Tensor.slice_cols: [%d,%d) out of %d cols" start
          (start + len) t.cols);
-  init t.rows len (fun r c -> t.data.((r * t.cols) + start + c))
+  let dst = zeros_as t t.rows len in
+  for r = 0 to t.rows - 1 do
+    sblit t.store ((r * t.cols) + start) dst.store (r * len) len
+  done;
+  dst
 
 let take_rows t idx =
-  init (Array.length idx) t.cols (fun r c ->
-      let src = idx.(r) in
+  let dst = zeros_as t (Array.length idx) t.cols in
+  Array.iteri
+    (fun r src ->
       if src < 0 || src >= t.rows then
         invalid_arg "Tensor.take_rows: index out of range";
-      t.data.((src * t.cols) + c))
+      sblit t.store (src * t.cols) dst.store (r * t.cols) t.cols)
+    idx;
+  dst
 
-(* {1 In-place (destination-passing) kernels}
-
-   Every [*_into] kernel runs the same core as its allocating counterpart,
-   so results are bit-identical — the training hot path relies on this to
-   stay deterministic while reusing buffers.  Elementwise kernels read and
-   write index [i] only, so [dst] may alias an input; kernels with
-   non-trivial access patterns (matmul, transpose, slices, reductions,
-   broadcasts) require [dst] to be distinct from every input (not
-   enforced). *)
+(* {1 In-place (destination-passing) kernels} *)
 
 let shape_check_dst name dst rows cols =
   if dst.rows <> rows || dst.cols <> cols then
@@ -682,96 +475,101 @@ let shape_check_dst name dst rows cols =
          (shape_string dst.rows dst.cols)
          (shape_string rows cols))
 
-let fill t v = Array.fill t.data 0 (Array.length t.data) v
+let fill t v = sfill t.store 0 (numel t) v
 
 let blit ~src ~dst =
   if src.rows <> dst.rows || src.cols <> dst.cols then shape_fail "blit" src dst;
-  Array.blit src.data 0 dst.data 0 (Array.length src.data)
+  sblit src.store 0 dst.store 0 (numel src)
 
 let map_into f a ~dst =
   shape_check_dst "map_into" dst a.rows a.cols;
-  map_core f a.data dst.data (Array.length a.data)
+  map_disp f a dst (numel a)
 
 let map2_into f a b ~dst =
   if a.rows <> b.rows || a.cols <> b.cols then shape_fail "map2_into" a b;
   shape_check_dst "map2_into" dst a.rows a.cols;
-  map2_core f a.data b.data dst.data (Array.length a.data)
+  map2_disp f a b dst (numel a)
 
 let add_into a b ~dst =
   binop_check "add_into" a b;
   shape_check_dst "add_into" dst a.rows a.cols;
-  add_core a.data b.data dst.data (Array.length a.data)
+  ew2 Kr.add Kb.add a b dst (numel a)
 
 let sub_into a b ~dst =
   binop_check "sub_into" a b;
   shape_check_dst "sub_into" dst a.rows a.cols;
-  sub_core a.data b.data dst.data (Array.length a.data)
+  ew2 Kr.sub Kb.sub a b dst (numel a)
 
 let mul_into a b ~dst =
   binop_check "mul_into" a b;
   shape_check_dst "mul_into" dst a.rows a.cols;
-  mul_core a.data b.data dst.data (Array.length a.data)
+  ew2 Kr.mul Kb.mul a b dst (numel a)
 
 let div_into a b ~dst =
   binop_check "div_into" a b;
   shape_check_dst "div_into" dst a.rows a.cols;
-  div_core a.data b.data dst.data (Array.length a.data)
+  ew2 Kr.div Kb.div a b dst (numel a)
 
 let neg_into a ~dst =
   shape_check_dst "neg_into" dst a.rows a.cols;
-  neg_core a.data dst.data (Array.length a.data)
+  ew1 Kr.neg Kb.neg a dst (numel a)
 
 let scale_into k a ~dst =
   shape_check_dst "scale_into" dst a.rows a.cols;
-  scale_core k a.data dst.data (Array.length a.data)
+  ew1 (Kr.scale k) (Kb.scale k) a dst (numel a)
 
 let add_scalar_into k a ~dst =
   shape_check_dst "add_scalar_into" dst a.rows a.cols;
-  add_scalar_core k a.data dst.data (Array.length a.data)
+  ew1 (Kr.add_scalar k) (Kb.add_scalar k) a dst (numel a)
+
+let clamp_into ~lo ~hi a ~dst =
+  if hi < lo then invalid_arg "Tensor.clamp_into: hi < lo";
+  shape_check_dst "clamp_into" dst a.rows a.cols;
+  ew1 (Kr.clamp ~lo ~hi) (Kb.clamp ~lo ~hi) a dst (numel a)
 
 let add_rowvec_into m v ~dst =
   rowvec_check "add_rowvec_into" m v;
   shape_check_dst "add_rowvec_into" dst m.rows m.cols;
-  add_rowvec_core m.data v.data dst.data m.rows m.cols
+  bc2 Kr.add_rowvec Kb.add_rowvec m v dst m.rows m.cols
 
 let mul_rowvec_into m v ~dst =
   rowvec_check "mul_rowvec_into" m v;
   shape_check_dst "mul_rowvec_into" dst m.rows m.cols;
-  mul_rowvec_core m.data v.data dst.data m.rows m.cols
+  bc2 Kr.mul_rowvec Kb.mul_rowvec m v dst m.rows m.cols
 
 let broadcast_rowvec_into v ~dst =
   (* each dst row := v; bit-identical to [mul_rowvec (ones …) v]
      (1.0 *. x = x for every float, including signed zeros) *)
   if v.rows <> 1 || v.cols <> dst.cols then shape_fail "broadcast_rowvec_into" dst v;
   for r = 0 to dst.rows - 1 do
-    Array.blit v.data 0 dst.data (r * dst.cols) dst.cols
+    sblit v.store 0 dst.store (r * dst.cols) dst.cols
   done
 
 let matmul_into a b ~dst =
   if a.cols <> b.rows then shape_fail "matmul_into" a b;
   let m = a.rows and k = a.cols and n = b.cols in
   shape_check_dst "matmul_into" dst m n;
-  Array.fill dst.data 0 (m * n) 0.0;
-  matmul_core a.data b.data dst.data m k n
+  sfill dst.store 0 (m * n) 0.0;
+  mm3 Kr.matmul Kb.matmul a b dst m k n
 
 let matmul_nt_into a b ~dst =
   if a.cols <> b.cols then shape_fail "matmul_nt_into" a b;
   let m = a.rows and k = a.cols and n = b.rows in
   shape_check_dst "matmul_nt_into" dst m n;
-  matmul_nt_core a.data b.data dst.data m k n
+  mm3 Kr.matmul_nt Kb.matmul_nt a b dst m k n
 
 let transpose_into t ~dst =
   shape_check_dst "transpose_into" dst t.cols t.rows;
-  transpose_core t.data dst.data t.rows t.cols
+  t2 Kr.transpose Kb.transpose t dst t.rows t.cols
 
 let sum_rows_into t ~dst =
   shape_check_dst "sum_rows_into" dst 1 t.cols;
-  Array.fill dst.data 0 t.cols 0.0;
-  sum_rows_core t.data dst.data t.rows t.cols
+  sfill dst.store 0 t.cols 0.0;
+  t2 Kr.sum_rows Kb.sum_rows t dst t.rows t.cols
 
 let sum_cols_into t ~dst =
   shape_check_dst "sum_cols_into" dst t.rows 1;
-  sum_cols_core t.data dst.data t.rows t.cols
+  t2 Kr.sum_cols Kb.sum_cols t dst t.rows t.cols
 
 let slice_cols_into t start len ~dst =
   if start < 0 || len < 0 || start + len > t.cols then
@@ -780,7 +578,7 @@ let slice_cols_into t start len ~dst =
          (start + len) t.cols);
   shape_check_dst "slice_cols_into" dst t.rows len;
   for r = 0 to t.rows - 1 do
-    Array.blit t.data ((r * t.cols) + start) dst.data (r * len) len
+    sblit t.store ((r * t.cols) + start) dst.store (r * len) len
   done
 
 let slice_rows_into t start len ~dst =
@@ -789,7 +587,7 @@ let slice_rows_into t start len ~dst =
       (Printf.sprintf "Tensor.slice_rows_into: [%d,%d) out of %d rows" start
          (start + len) t.rows);
   shape_check_dst "slice_rows_into" dst len t.cols;
-  Array.blit t.data (start * t.cols) dst.data 0 (len * t.cols)
+  sblit t.store (start * t.cols) dst.store 0 (len * t.cols)
 
 let embed_cols_into src start ~dst =
   (* dst := 0 everywhere except columns [start, start + cols src), which
@@ -798,28 +596,95 @@ let embed_cols_into src start ~dst =
     shape_fail "embed_cols_into" src dst;
   fill dst 0.0;
   for r = 0 to src.rows - 1 do
-    Array.blit src.data (r * src.cols) dst.data ((r * dst.cols) + start) src.cols
+    sblit src.store (r * src.cols) dst.store ((r * dst.cols) + start) src.cols
   done
 
 let embed_rows_into src start ~dst =
   if src.cols <> dst.cols || start < 0 || start + src.rows > dst.rows then
     shape_fail "embed_rows_into" src dst;
   fill dst 0.0;
-  Array.blit src.data 0 dst.data (start * dst.cols) (src.rows * dst.cols)
+  sblit src.store 0 dst.store (start * dst.cols) (src.rows * dst.cols)
 
 let concat_cols_into a b ~dst =
   if a.rows <> b.rows then shape_fail "concat_cols_into" a b;
   shape_check_dst "concat_cols_into" dst a.rows (a.cols + b.cols);
   for r = 0 to a.rows - 1 do
-    Array.blit a.data (r * a.cols) dst.data (r * dst.cols) a.cols;
-    Array.blit b.data (r * b.cols) dst.data ((r * dst.cols) + a.cols) b.cols
+    sblit a.store (r * a.cols) dst.store (r * dst.cols) a.cols;
+    sblit b.store (r * b.cols) dst.store ((r * dst.cols) + a.cols) b.cols
   done
 
 let concat_rows_into a b ~dst =
   if a.cols <> b.cols then shape_fail "concat_rows_into" a b;
   shape_check_dst "concat_rows_into" dst (a.rows + b.rows) a.cols;
-  Array.blit a.data 0 dst.data 0 (Array.length a.data);
-  Array.blit b.data 0 dst.data (Array.length a.data) (Array.length b.data)
+  sblit a.store 0 dst.store 0 (numel a);
+  sblit b.store 0 dst.store (numel a) (numel b)
+
+(* {1 Nonlinearity and training-path kernels}
+
+   These belong to the backend because the autodiff tape and the optimizer
+   run them on backend-owned storage; routing them through here keeps raw
+   buffers from leaking out of lib/tensor. *)
+
+type unop = TB.unop = Tanh | Sigmoid | Exp | Log | Sqrt | Relu | Abs
+
+let unop_into op a ~dst =
+  shape_check_dst "unop_into" dst a.rows a.cols;
+  ew1 (Kr.unary op) (Kb.unary op) a dst (numel a)
+
+let unop_bwd_into op ~x ~y ~g ~dst =
+  binop_check "unop_bwd_into" x y;
+  binop_check "unop_bwd_into" x g;
+  shape_check_dst "unop_bwd_into" dst x.rows x.cols;
+  let n = numel x in
+  match (x.store, y.store, g.store, dst.store) with
+  | F xb, F yb, F gb, F db -> Kr.unary_bwd op ~x:xb ~y:yb ~g:gb ~s:db n
+  | B1 xb, B1 yb, B1 gb, B1 db -> Kb.unary_bwd op ~x:xb ~y:yb ~g:gb ~s:db n
+  | xs, ys, gs, ds ->
+      let d = Array.make n 0.0 in
+      Kr.unary_bwd op ~x:(snapshot xs) ~y:(snapshot ys) ~g:(snapshot gs) ~s:d n;
+      load_into ds d
+
+let softmax_rows_into m ~dst =
+  shape_check_dst "softmax_rows_into" dst m.rows m.cols;
+  t2 Kr.softmax_rows Kb.softmax_rows m dst m.rows m.cols
+
+let ce_loss_sum probs labels =
+  binop_check "ce_loss_sum" probs labels;
+  match (probs.store, labels.store) with
+  | F p, F y -> Kr.ce_loss_sum p y (numel probs)
+  | B1 p, B1 y -> Kb.ce_loss_sum p y (numel probs)
+  | ps, ys -> Kr.ce_loss_sum (snapshot ps) (snapshot ys) (numel probs)
+
+let sgd_step ~lr ~grad value =
+  binop_check "sgd_step" value grad;
+  let n = numel value in
+  match (value.store, grad.store) with
+  | F v, F g -> Kr.sgd_step ~lr ~grad:g ~value:v n
+  | B1 v, B1 g -> Kb.sgd_step ~lr ~grad:g ~value:v n
+  | vs, gs ->
+      (* snapshot of an F store is the live array, so Kr updates it in
+         place; a B1 store needs the result loaded back *)
+      let v = snapshot vs in
+      Kr.sgd_step ~lr ~grad:(snapshot gs) ~value:v n;
+      (match vs with F _ -> () | B1 b -> Kb.load b v)
+
+let adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad value =
+  binop_check "adam_step" value grad;
+  let n = numel value in
+  if Array.length m <> n || Array.length v <> n then
+    invalid_arg "Tensor.adam_step: moment length mismatch";
+  match (value.store, grad.store) with
+  | F vb, F gb ->
+      Kr.adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad:gb ~value:vb n
+  | B1 vb, B1 gb ->
+      Kb.adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad:gb ~value:vb n
+  | vs, gs ->
+      let vb = snapshot vs in
+      Kr.adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad:(snapshot gs)
+        ~value:vb n;
+      (match vs with F _ -> () | B1 b -> Kb.load b vb)
+
+(* {1 Comparison and printing} *)
 
 let equal ?(eps = 0.0) a b =
   a.rows = b.rows && a.cols = b.cols
@@ -828,9 +693,11 @@ let equal ?(eps = 0.0) a b =
           fails both comparisons, so any NaN entry makes the tensors unequal
           (IEEE semantics) instead of silently comparing as equal. *)
        let ok = ref true in
-       Array.iteri
-         (fun i x -> if not (Float.abs (x -. b.data.(i)) <= eps) then ok := false)
-         a.data;
+       let n = numel a in
+       for i = 0 to n - 1 do
+         if not (Float.abs (sget a.store i -. sget b.store i) <= eps) then
+           ok := false
+       done;
        !ok
      end
 

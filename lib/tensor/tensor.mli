@@ -4,9 +4,61 @@
     represented as [1 × n] row matrices.  All binary operations check shapes
     and raise [Invalid_argument] with the offending shapes on mismatch — the
     autodiff layer and the pNN rely on these checks to catch wiring mistakes
-    early. *)
+    early.
 
-type t = private { rows : int; cols : int; data : float array }
+    Storage lives behind a pluggable kernel backend (see {!section:backends});
+    the element type is always [float] (IEEE binary64) regardless of
+    backend. *)
+
+type t
+
+(** {1:backends Kernel backends}
+
+    Each tensor's flat buffer is owned by one of two kernel backends:
+
+    - {!Reference} — plain [float array] loops, operation-for-operation
+      identical to the pre-backend implementation.  The bit-identity oracle:
+      golden trajectories, the determinism suite, and cached experiment
+      results are pinned against it.  The default.
+    - {!Bigarray64} — flat c_layout [Bigarray.Array1] [float64] storage with
+      unrolled/blocked hot loops (register-blocked matmul, stride-free
+      elementwise).  Per-element kernels (elementwise, broadcasts,
+      nonlinearities, reductions, optimizer steps) perform the exact same
+      floating-point operations in the exact same order as the reference
+      backend and agree with it bit-for-bit.  Only [matmul]/[matmul_nt]
+      re-associate their accumulations and may differ in the last few ulps —
+      deterministically: the same program produces bitwise-identical results
+      run-to-run within this backend.
+
+    Selection: [PNN_BACKEND=reference|bigarray] in the environment (read at
+    module initialization) or {!set_backend}.  The active backend decides
+    where {e constructors} ({!zeros}, {!create}, {!uniform}, …) allocate;
+    operations allocate their result on their {e first operand's} backend, so
+    a computation stays on one backend even if the flag changes mid-run.
+    Mixed-backend operands are supported (results are computed with the
+    reference kernels), but the intended use is to pick one backend per
+    process.  Cached experiment results are keyed by {!backend_tag} so runs
+    never observe another backend's numerics. *)
+
+type backend = Tensor_backend.id = Reference | Bigarray64
+
+val backend : unit -> backend
+(** The active backend used by constructors. *)
+
+val set_backend : backend -> unit
+
+val backend_of_string : string -> backend option
+(** Accepts ["reference"]/["ref"] and ["bigarray"]/["bigarray64"]/["ba64"]. *)
+
+val backend_name : backend -> string
+(** ["reference"] or ["bigarray"] — inverse of {!backend_of_string}. *)
+
+val backend_tag : unit -> string
+(** Short stable tag of the active backend (["ref"] / ["ba64"]) folded into
+    cache keys so cached results never cross backends. *)
+
+val backend_of : t -> backend
+(** The backend owning this tensor's storage. *)
 
 (** {1 Sanitizer (checked) mode}
 
@@ -15,8 +67,9 @@ type t = private { rows : int; cols : int; data : float array }
     bounds-checked one.  Setting [PNN_CHECKED=1] in the environment (read at
     module initialization) or calling [set_checked true] selects the checked
     bodies; results are bit-identical across modes, only out-of-bounds
-    behavior differs (checked mode raises [Invalid_argument]).  CI runs the
-    determinism suite once under [PNN_CHECKED=1]. *)
+    behavior differs (checked mode raises [Invalid_argument]).  Checked mode
+    composes with either backend.  CI runs the determinism suite once under
+    [PNN_CHECKED=1]. *)
 
 val set_checked : bool -> unit
 val checked : unit -> bool
@@ -24,14 +77,17 @@ val checked : unit -> bool
 (** {1 Construction} *)
 
 val create : int -> int -> float array -> t
-(** [create rows cols data] wraps [data] (length must equal [rows * cols]). *)
+(** [create rows cols data] builds a tensor from [data] (length must equal
+    [rows * cols]).  On the [Reference] backend the array is wrapped without
+    copying; other backends copy.  Callers must not retain [data]. *)
 
 val zeros : int -> int -> t
 val ones : int -> int -> t
 val full : int -> int -> float -> t
 
 val init : int -> int -> (int -> int -> float) -> t
-(** [init rows cols f] with [f row col] supplying each element. *)
+(** [init rows cols f] with [f row col] supplying each element; [f] is called
+    in row-major order (RNG-backed constructors rely on the draw order). *)
 
 val scalar : float -> t
 (** A [1 × 1] tensor. *)
@@ -45,9 +101,15 @@ val of_arrays : float array array -> t
 val row_of_list : float list -> t
 
 val copy : t -> t
+(** Deep copy on the same backend as the argument. *)
 
 val uniform : Rng.t -> int -> int -> lo:float -> hi:float -> t
 val gaussian : Rng.t -> int -> int -> mu:float -> sigma:float -> t
+
+val zeros_as : t -> int -> int -> t
+(** [zeros_as exemplar rows cols] is {!zeros} allocated on [exemplar]'s
+    backend rather than the active one — the way autodiff scratch and
+    gradient buffers follow their value tensors. *)
 
 (** {1 Access} *)
 
@@ -61,7 +123,8 @@ val row : t -> int -> t
 (** Extract one row as a [1 × cols] tensor (copy). *)
 
 val to_array : t -> float array
-(** Fresh copy of the underlying data, row-major. *)
+(** Fresh copy of the underlying data, row-major (never a live view,
+    regardless of backend). *)
 
 val to_arrays : t -> float array array
 
@@ -78,7 +141,14 @@ val div : t -> t -> t
 val neg : t -> t
 val scale : float -> t -> t
 val add_scalar : float -> t -> t
+
 val clamp : lo:float -> hi:float -> t -> t
+(** Entrywise [max lo (min hi x)] via the comparison chain
+    [if x < lo then lo else if x > hi then hi else x].  NaN entries pass
+    through {e unchanged}: both comparisons are false for NaN, so the result
+    keeps the NaN rather than snapping it to a bound.  Downstream fault
+    detection relies on clamp not masking NaNs — both backends implement this
+    contract bit-identically. *)
 
 (** {1 Broadcast helpers} *)
 
@@ -98,9 +168,9 @@ val matmul : t -> t -> t
 
 val matmul_nt : t -> t -> t
 (** [matmul_nt a b] is [matmul a (transpose b)] (requires
-    [cols a = cols b]) without materializing the transpose; results are
-    bit-identical to that formulation.  Used on the autodiff matmul backward
-    path. *)
+    [cols a = cols b]) without materializing the transpose; on each backend,
+    results are bit-identical to that backend's [matmul] formulation.  Used
+    on the autodiff matmul backward path. *)
 
 val transpose : t -> t
 val dot : t -> t -> float
@@ -110,8 +180,20 @@ val dot : t -> t -> float
 
 val sum : t -> float
 val mean : t -> float
+
 val min_value : t -> float
+(** Minimum entry, folded left with the IEEE select
+    [if acc <= x then acc else x] starting from the first element.  With any
+    NaN present the result depends on position — a NaN {e accumulator}
+    propagates (every comparison is false, so [x] is chosen only… never;
+    once the accumulator is NaN it stays NaN), while a NaN {e element} is
+    skipped; [-0.0] and [0.0] compare equal, so whichever is encountered
+    first wins.  Both backends agree bitwise.  Raises on empty tensors. *)
+
 val max_value : t -> float
+(** Dual of {!min_value} ([if acc >= x then acc else x]); same NaN and
+    signed-zero behavior, bitwise identical across backends. *)
+
 val sum_rows : t -> t
 (** Column-wise sum: result is [1 × cols]. *)
 
@@ -119,7 +201,12 @@ val sum_cols : t -> t
 (** Row-wise sum: result is [rows × 1]. *)
 
 val argmax_rows : t -> int array
-(** Index of the maximum entry of each row. *)
+(** Index of the maximum entry of each row, first maximum winning (strict
+    [>] against the incumbent).  A NaN never displaces the incumbent (strict
+    comparison is false), but a leading NaN at column 0 becomes an incumbent
+    that nothing displaces — so [argmax] of a row starting with NaN is [0].
+    [-0.0] does not displace [0.0] (they compare equal).  Both backends agree
+    exactly. *)
 
 (** {1 Assembly} *)
 
@@ -143,11 +230,12 @@ val take_rows : t -> int array -> t
     the variation-aware training hot path rely on this for determinism.
 
     Aliasing convention: elementwise kernels ([add_into] … [map2_into],
-    [neg_into], [scale_into], [add_scalar_into], and the [*_rowvec_into]
-    broadcasts) read and write only index [i] (resp. [(r, c)]) at a time, so
-    [dst] may alias an input.  All other kernels (matmul, transpose, slices,
-    embeds, concats, reductions, [broadcast_rowvec_into]) require [dst] to be
-    distinct from every input; aliasing them is undefined (and not checked).
+    [neg_into], [scale_into], [add_scalar_into], [clamp_into], and the
+    [*_rowvec_into] broadcasts) read and write only index [i] (resp.
+    [(r, c)]) at a time, so [dst] may alias an input.  All other kernels
+    (matmul, transpose, slices, embeds, concats, reductions,
+    [broadcast_rowvec_into]) require [dst] to be distinct from every input;
+    aliasing them is undefined (and not checked).
 
     All kernels raise [Invalid_argument] if [dst] has the wrong shape. *)
 
@@ -155,7 +243,7 @@ val fill : t -> float -> unit
 (** Set every entry. *)
 
 val blit : src:t -> dst:t -> unit
-(** Copy [src] into [dst] (same shape). *)
+(** Copy [src] into [dst] (same shape; backends may differ). *)
 
 val map_into : (float -> float) -> t -> dst:t -> unit
 val map2_into : (float -> float -> float) -> t -> t -> dst:t -> unit
@@ -166,6 +254,10 @@ val div_into : t -> t -> dst:t -> unit
 val neg_into : t -> dst:t -> unit
 val scale_into : float -> t -> dst:t -> unit
 val add_scalar_into : float -> t -> dst:t -> unit
+
+val clamp_into : lo:float -> hi:float -> t -> dst:t -> unit
+(** In-place {!clamp}; same NaN pass-through contract. *)
+
 val add_rowvec_into : t -> t -> dst:t -> unit
 val mul_rowvec_into : t -> t -> dst:t -> unit
 
@@ -195,6 +287,57 @@ val embed_cols_into : t -> int -> dst:t -> unit
 val embed_rows_into : t -> int -> dst:t -> unit
 val concat_cols_into : t -> t -> dst:t -> unit
 val concat_rows_into : t -> t -> dst:t -> unit
+
+(** {1 Nonlinearity and training-path kernels}
+
+    Backend-owned loops for the autodiff tape and the optimizer.  Routing
+    them through this module keeps raw backend buffers from escaping
+    [lib/tensor] (pnnlint R6). *)
+
+type unop = Tensor_backend.unop =
+  | Tanh
+  | Sigmoid
+  | Exp
+  | Log
+  | Sqrt
+  | Relu
+  | Abs
+
+val unop_into : unop -> t -> dst:t -> unit
+(** Forward nonlinearity, elementwise ([dst] may alias the input). *)
+
+val unop_bwd_into : unop -> x:t -> y:t -> g:t -> dst:t -> unit
+(** Backward pass of [unop]: [dst.(i) := g.(i) * d/dx op] evaluated from the
+    forward input [x] and output [y] (each formula reads whichever is
+    cheaper, e.g. tanh uses [y], log uses [x]).  [dst] may alias [g]. *)
+
+val softmax_rows_into : t -> dst:t -> unit
+(** Numerically-stable row-wise softmax (max-shifted); [dst] must not alias
+    the input. *)
+
+val ce_loss_sum : t -> t -> float
+(** [ce_loss_sum probs labels] is the {e summed} cross-entropy
+    [-Σ y·log (max p 1e-30)] over all entries; callers divide by the batch
+    size for the mean. *)
+
+val sgd_step : lr:float -> grad:t -> t -> unit
+(** [sgd_step ~lr ~grad value]: [value := value - lr * grad], in place. *)
+
+val adam_step :
+  lr:float ->
+  beta1:float ->
+  beta2:float ->
+  eps:float ->
+  bc1:float ->
+  bc2:float ->
+  m:float array ->
+  v:float array ->
+  grad:t ->
+  t ->
+  unit
+(** One Adam update in place on the value tensor; [m]/[v] are the caller-owned
+    first/second-moment buffers ([bc1]/[bc2] the bias corrections
+    [1 - betaᵢ^t]). *)
 
 (** {1 Comparison and printing} *)
 

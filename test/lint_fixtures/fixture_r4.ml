@@ -7,3 +7,9 @@ let ok a =
 
 (* pnnlint:allow R4 fixture: waiver instead of a SAFETY note *)
 let ok2 a = Bytes.unsafe_get a 2
+
+let bad_ba b = Bigarray.Array1.unsafe_get b 0
+
+let ok_ba b =
+  (* SAFETY: fixture — the caller guarantees b has at least two cells *)
+  Array1.unsafe_set b 1 0.0

@@ -1,0 +1,442 @@
+(* Cross-backend kernel agreement suite.
+
+   The reference backend is the bit-identity oracle; the bigarray backend
+   must agree with it bit-for-bit on every per-element kernel and within
+   1e-12 relative error on the re-associated matmul family.  Each check
+   builds its inputs *inside* the backend under test so the whole
+   computation stays homogeneous; mixed-storage behavior gets its own
+   test. *)
+
+module T = Tensor
+
+let with_backend b f =
+  let prev = T.backend () in
+  T.set_backend b;
+  Fun.protect ~finally:(fun () -> T.set_backend prev) f
+
+(* Deterministic "interesting" data: mixed signs and magnitudes, exact
+   zeros, values spanning several binades. *)
+let mk rows cols seed =
+  T.init rows cols (fun r c ->
+      let i = (r * cols) + c + (seed * 7919) in
+      let h = (i * 2654435761) land 0xffff in
+      (float_of_int h /. 655.36) -. 50.0)
+
+(* Strictly positive variant for log / sqrt / div denominators. *)
+let mk_pos rows cols seed =
+  T.init rows cols (fun r c ->
+      let i = (r * cols) + c + (seed * 104729) in
+      let h = (i * 2654435761) land 0xffff in
+      (float_of_int h /. 6553.6) +. 0.125)
+
+let bits = Int64.bits_of_float
+
+let check_bits ~what a b =
+  if Array.length a <> Array.length b then
+    Alcotest.failf "%s: length %d vs %d" what (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      let y = b.(i) in
+      if not (Int64.equal (bits x) (bits y)) then
+        Alcotest.failf "%s: index %d: %h vs %h (bitwise)" what i x y)
+    a
+
+let check_close ~what a b =
+  if Array.length a <> Array.length b then
+    Alcotest.failf "%s: length %d vs %d" what (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      let y = b.(i) in
+      let same_bits = Int64.equal (bits x) (bits y) in
+      let denom = Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)) in
+      if (not same_bits) && not (Float.abs (x -. y) /. denom <= 1e-12) then
+        Alcotest.failf "%s: index %d: %h vs %h (rel err > 1e-12)" what i x y)
+    a
+
+(* Run [f : unit -> float array] on both backends and compare. *)
+let agree ?(exact = true) what f =
+  let r = with_backend T.Reference f in
+  let b = with_backend T.Bigarray64 f in
+  (if exact then check_bits else check_close) ~what r b
+
+let shapes = [ (0, 0); (0, 3); (1, 1); (1, 7); (5, 1); (3, 4); (7, 5); (8, 8); (33, 17) ]
+
+let test_elementwise () =
+  List.iter
+    (fun (r, c) ->
+      let tag op = Printf.sprintf "%s %dx%d" op r c in
+      agree (tag "add") (fun () ->
+          T.to_array (T.add (mk r c 1) (mk r c 2)));
+      agree (tag "sub") (fun () ->
+          T.to_array (T.sub (mk r c 1) (mk r c 2)));
+      agree (tag "mul") (fun () ->
+          T.to_array (T.mul (mk r c 1) (mk r c 2)));
+      agree (tag "div") (fun () ->
+          T.to_array (T.div (mk r c 1) (mk_pos r c 2)));
+      agree (tag "neg") (fun () -> T.to_array (T.neg (mk r c 1)));
+      agree (tag "scale") (fun () -> T.to_array (T.scale 1.7 (mk r c 1)));
+      agree (tag "add_scalar") (fun () ->
+          T.to_array (T.add_scalar (-3.25) (mk r c 1)));
+      agree (tag "clamp") (fun () ->
+          T.to_array (T.clamp ~lo:(-20.0) ~hi:20.0 (mk r c 1)));
+      agree (tag "map") (fun () ->
+          T.to_array (T.map (fun x -> (x *. x) -. 1.0) (mk r c 1)));
+      agree (tag "map2") (fun () ->
+          T.to_array
+            (T.map2 (fun x y -> Float.min x y) (mk r c 1) (mk r c 2)));
+      agree (tag "transpose") (fun () -> T.to_array (T.transpose (mk r c 1)));
+      agree (tag "fill+blit") (fun () ->
+          let d = T.zeros r c in
+          T.fill d 2.5;
+          let e = T.zeros r c in
+          T.blit ~src:d ~dst:e;
+          T.to_array e);
+      if r > 0 && c > 0 then begin
+        agree (tag "add_rowvec") (fun () ->
+            T.to_array (T.add_rowvec (mk r c 1) (mk 1 c 2)));
+        agree (tag "mul_rowvec") (fun () ->
+            T.to_array (T.mul_rowvec (mk r c 1) (mk 1 c 2)));
+        agree (tag "add_colvec") (fun () ->
+            T.to_array (T.add_colvec (mk r c 1) (mk r 1 2)));
+        agree (tag "mul_colvec") (fun () ->
+            T.to_array (T.mul_colvec (mk r c 1) (mk r 1 2)));
+        agree (tag "div_colvec") (fun () ->
+            T.to_array (T.div_colvec (mk r c 1) (mk_pos r 1 2)));
+        agree (tag "broadcast_rowvec_into") (fun () ->
+            let d = T.zeros r c in
+            T.broadcast_rowvec_into (mk 1 c 3) ~dst:d;
+            T.to_array d)
+      end)
+    shapes
+
+let test_reductions () =
+  List.iter
+    (fun (r, c) ->
+      if r > 0 && c > 0 then begin
+        let tag op = Printf.sprintf "%s %dx%d" op r c in
+        agree (tag "sum") (fun () -> [| T.sum (mk r c 1) |]);
+        agree (tag "mean") (fun () -> [| T.mean (mk r c 1) |]);
+        agree (tag "min_value") (fun () -> [| T.min_value (mk r c 1) |]);
+        agree (tag "max_value") (fun () -> [| T.max_value (mk r c 1) |]);
+        agree (tag "sum_rows") (fun () -> T.to_array (T.sum_rows (mk r c 1)));
+        agree (tag "sum_cols") (fun () -> T.to_array (T.sum_cols (mk r c 1)));
+        agree (tag "dot") (fun () -> [| T.dot (mk r c 1) (mk r c 2) |]);
+        agree (tag "argmax_rows") (fun () ->
+            Array.map float_of_int (T.argmax_rows (mk r c 1)))
+      end)
+    shapes
+
+(* n < 8 exercises the scalar remainder column loop; n = 8/16 the pure
+   8-wide register tile; n = 9/17 tile + remainder.  Zero-sized operands
+   must come out as (correctly-shaped) empties. *)
+let matmul_triples =
+  [
+    (1, 1, 1); (2, 3, 4); (4, 4, 8); (3, 5, 9); (5, 7, 16); (6, 2, 17);
+    (33, 17, 7); (8, 8, 8); (0, 3, 4); (3, 0, 4); (3, 4, 0);
+  ]
+
+let test_matmul_family () =
+  List.iter
+    (fun (m, k, n) ->
+      let tag op = Printf.sprintf "%s %dx%dx%d" op m k n in
+      agree ~exact:false (tag "matmul") (fun () ->
+          T.to_array (T.matmul (mk m k 1) (mk k n 2)));
+      agree ~exact:false (tag "matmul_nt") (fun () ->
+          T.to_array (T.matmul_nt (mk m k 1) (mk n k 2)));
+      agree ~exact:false (tag "matmul_into") (fun () ->
+          let d = T.ones m n in
+          T.matmul_into (mk m k 1) (mk k n 2) ~dst:d;
+          T.to_array d))
+    matmul_triples
+
+let test_assembly () =
+  agree "concat_cols" (fun () ->
+      T.to_array (T.concat_cols (mk 5 3 1) (mk 5 4 2)));
+  agree "concat_rows" (fun () ->
+      T.to_array (T.concat_rows (mk 2 6 1) (mk 3 6 2)));
+  agree "slice_rows" (fun () -> T.to_array (T.slice_rows (mk 9 4 1) 2 5));
+  agree "slice_cols" (fun () -> T.to_array (T.slice_cols (mk 4 9 1) 3 4));
+  agree "take_rows" (fun () ->
+      T.to_array (T.take_rows (mk 8 3 1) [| 7; 0; 3; 3 |]));
+  agree "row" (fun () -> T.to_array (T.row (mk 6 5 1) 4));
+  agree "embed_cols_into" (fun () ->
+      let d = T.ones 4 9 in
+      T.embed_cols_into (mk 4 3 1) 2 ~dst:d;
+      T.to_array d);
+  agree "embed_rows_into" (fun () ->
+      let d = T.ones 9 4 in
+      T.embed_rows_into (mk 3 4 1) 5 ~dst:d;
+      T.to_array d);
+  agree "concat_cols_into" (fun () ->
+      let d = T.zeros 5 7 in
+      T.concat_cols_into (mk 5 3 1) (mk 5 4 2) ~dst:d;
+      T.to_array d);
+  agree "concat_rows_into" (fun () ->
+      let d = T.zeros 5 6 in
+      T.concat_rows_into (mk 2 6 1) (mk 3 6 2) ~dst:d;
+      T.to_array d)
+
+let all_unops = [ T.Tanh; T.Sigmoid; T.Exp; T.Log; T.Sqrt; T.Relu; T.Abs ]
+
+let unop_name = function
+  | T.Tanh -> "tanh"
+  | T.Sigmoid -> "sigmoid"
+  | T.Exp -> "exp"
+  | T.Log -> "log"
+  | T.Sqrt -> "sqrt"
+  | T.Relu -> "relu"
+  | T.Abs -> "abs"
+
+let test_training_kernels () =
+  List.iter
+    (fun op ->
+      let input r c s =
+        match op with
+        | T.Log | T.Sqrt -> mk_pos r c s
+        | T.Exp -> T.scale 0.05 (mk r c s)  (* keep exp in range *)
+        | _ -> mk r c s
+      in
+      agree ("unop " ^ unop_name op) (fun () ->
+          let x = input 6 9 1 in
+          let y = T.zeros_as x 6 9 in
+          T.unop_into op x ~dst:y;
+          T.to_array y);
+      agree ("unop_bwd " ^ unop_name op) (fun () ->
+          let x = input 6 9 1 in
+          let y = T.zeros_as x 6 9 in
+          T.unop_into op x ~dst:y;
+          let g = mk 6 9 2 in
+          let d = T.zeros_as x 6 9 in
+          T.unop_bwd_into op ~x ~y ~g ~dst:d;
+          T.to_array d))
+    all_unops;
+  agree "softmax_rows_into" (fun () ->
+      let x = T.scale 0.1 (mk 7 5 1) in
+      let d = T.zeros_as x 7 5 in
+      T.softmax_rows_into x ~dst:d;
+      T.to_array d);
+  agree "ce_loss_sum" (fun () ->
+      let logits = T.scale 0.1 (mk 7 5 1) in
+      let probs = T.zeros_as logits 7 5 in
+      T.softmax_rows_into logits ~dst:probs;
+      let labels = T.init 7 5 (fun r c -> if c = r mod 5 then 1.0 else 0.0) in
+      [| T.ce_loss_sum probs labels |]);
+  agree "sgd_step" (fun () ->
+      let v = mk 4 6 1 in
+      T.sgd_step ~lr:0.03 ~grad:(mk 4 6 2) v;
+      T.to_array v);
+  agree "adam_step" (fun () ->
+      let v = mk 4 6 1 in
+      let m = Array.make 24 0.01 and s = Array.make 24 0.02 in
+      T.adam_step ~lr:0.01 ~beta1:0.9 ~beta2:0.999 ~eps:1e-8 ~bc1:0.1
+        ~bc2:0.001 ~m ~v:s ~grad:(mk 4 6 2) v;
+      Array.concat [ T.to_array v; m; s ])
+
+let test_rng_constructors () =
+  agree "uniform" (fun () ->
+      T.to_array (T.uniform (Rng.create 42) 6 7 ~lo:(-2.0) ~hi:3.0));
+  agree "gaussian" (fun () ->
+      T.to_array (T.gaussian (Rng.create 43) 6 7 ~mu:0.5 ~sigma:2.0))
+
+(* {2 NaN and signed-zero edge semantics — satellite 1} *)
+
+let nan_row () = T.of_array [| Float.nan; -0.0; 0.0; 1.0; -1.0 |]
+
+let test_clamp_nan_passthrough () =
+  List.iter
+    (fun be ->
+      with_backend be (fun () ->
+          let c = T.clamp ~lo:(-0.5) ~hi:0.5 (nan_row ()) in
+          if not (Float.is_nan (T.get c 0 0)) then
+            Alcotest.failf "%s: clamp snapped NaN to %h" (T.backend_name be)
+              (T.get c 0 0);
+          let d = T.zeros 1 5 in
+          T.clamp_into ~lo:(-0.5) ~hi:0.5 (nan_row ()) ~dst:d;
+          if not (Float.is_nan (T.get d 0 0)) then
+            Alcotest.failf "%s: clamp_into snapped NaN" (T.backend_name be)))
+    [ T.Reference; T.Bigarray64 ];
+  agree "clamp nan/-0.0" (fun () ->
+      T.to_array (T.clamp ~lo:(-0.5) ~hi:0.5 (nan_row ())))
+
+let test_minmax_argmax_edges () =
+  (* NaN accumulator propagates; NaN element is skipped; -0.0 vs 0.0 keeps
+     the first encountered.  Both backends must agree bitwise. *)
+  let cases =
+    [
+      ("nan first", [| Float.nan; 3.0; -7.0 |]);
+      ("nan middle", [| 3.0; Float.nan; -7.0 |]);
+      ("neg zero first", [| -0.0; 0.0; 0.0 |]);
+      ("pos zero first", [| 0.0; -0.0; -0.0 |]);
+      ("plain", [| 4.0; -2.0; 9.0; 9.0 |]);
+    ]
+  in
+  List.iter
+    (fun (name, data) ->
+      agree ("min " ^ name) (fun () ->
+          [| T.min_value (T.of_array (Array.copy data)) |]);
+      agree ("max " ^ name) (fun () ->
+          [| T.max_value (T.of_array (Array.copy data)) |]);
+      agree ("argmax " ^ name) (fun () ->
+          Array.map float_of_int
+            (T.argmax_rows (T.of_array (Array.copy data)))))
+    cases;
+  (* a leading NaN is an incumbent nothing displaces *)
+  List.iter
+    (fun be ->
+      with_backend be (fun () ->
+          let am = T.argmax_rows (T.of_array [| Float.nan; 99.0 |]) in
+          Alcotest.(check int)
+            (T.backend_name be ^ ": argmax of leading-NaN row")
+            0 am.(0)))
+    [ T.Reference; T.Bigarray64 ]
+
+(* {2 Determinism within a backend} *)
+
+let pipeline () =
+  let a = mk 6 9 3 and b = mk 9 17 4 in
+  let m = T.matmul a b in
+  let t = T.zeros_as m 6 17 in
+  T.unop_into T.Tanh m ~dst:t;
+  let s = T.zeros_as t 6 17 in
+  T.softmax_rows_into t ~dst:s;
+  Array.concat [ T.to_array s; T.to_array (T.sum_cols s) ]
+
+let test_within_backend_determinism () =
+  List.iter
+    (fun be ->
+      let x = with_backend be pipeline in
+      let y = with_backend be pipeline in
+      check_bits ~what:(T.backend_name be ^ " repeat run") x y;
+      let checked =
+        with_backend be (fun () ->
+            let prev = T.checked () in
+            T.set_checked true;
+            Fun.protect ~finally:(fun () -> T.set_checked prev) pipeline)
+      in
+      check_bits ~what:(T.backend_name be ^ " checked vs unchecked") x checked)
+    [ T.Reference; T.Bigarray64 ]
+
+(* {2 Mixed-storage operands} *)
+
+let test_mixed_storage () =
+  let pure =
+    with_backend T.Reference (fun () ->
+        let a = mk 5 7 1 and b = mk 5 7 2 in
+        T.to_array (T.add a b))
+  in
+  let mixed =
+    with_backend T.Reference (fun () ->
+        let a = mk 5 7 1 in
+        with_backend T.Bigarray64 (fun () ->
+            let b = mk 5 7 2 in
+            let sum = T.add a b in
+            (* result follows the first operand's backend *)
+            (match T.backend_of sum with
+            | T.Reference -> ()
+            | T.Bigarray64 ->
+                Alcotest.fail "mixed add did not follow first operand");
+            T.to_array sum))
+  in
+  check_bits ~what:"mixed add = reference add" pure mixed;
+  let pure_mm =
+    with_backend T.Reference (fun () ->
+        T.to_array (T.matmul (mk 4 6 1) (mk 6 9 2)))
+  in
+  let mixed_mm =
+    with_backend T.Bigarray64 (fun () ->
+        let b = mk 6 9 2 in
+        with_backend T.Reference (fun () ->
+            let a = mk 4 6 1 in
+            T.to_array (T.matmul a b)))
+  in
+  (* mixed operands fall back to the reference kernels: bit-identical *)
+  check_bits ~what:"mixed matmul = reference matmul" pure_mm mixed_mm
+
+(* {2 Construction / surface} *)
+
+let test_surface () =
+  List.iter
+    (fun be ->
+      with_backend be (fun () ->
+          let name = T.backend_name be in
+          (match T.backend_of_string name with
+          | Some b when b = be -> ()
+          | _ -> Alcotest.failf "backend_of_string (%s) not inverse" name);
+          let t = T.create 2 3 [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |] in
+          Alcotest.(check (array (float 0.0)))
+            (name ^ ": create/to_array round-trip")
+            [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |] (T.to_array t);
+          (match T.backend_of t with
+          | b when b = be -> ()
+          | _ -> Alcotest.fail (name ^ ": constructor on wrong backend"));
+          let z = T.zeros 2 2 in
+          let a = T.to_array z in
+          a.(0) <- 99.0;
+          Alcotest.(check (float 0.0))
+            (name ^ ": to_array is a copy")
+            0.0 (T.get z 0 0);
+          let c = T.copy t in
+          T.set c 0 0 42.0;
+          Alcotest.(check (float 0.0))
+            (name ^ ": copy is deep")
+            1.0 (T.get t 0 0)))
+    [ T.Reference; T.Bigarray64 ];
+  Alcotest.(check string) "reference tag" "ref"
+    (with_backend T.Reference T.backend_tag);
+  Alcotest.(check string) "bigarray tag" "ba64"
+    (with_backend T.Bigarray64 T.backend_tag)
+
+(* {2 Cache isolation — a warm reference cache must not serve bigarray} *)
+
+let test_cache_isolation () =
+  Alcotest.(check string) "reference schema" "pnn-save-2+ref"
+    (with_backend T.Reference Pnn.Serialize.cache_schema);
+  Alcotest.(check string) "bigarray schema" "pnn-save-2+ba64"
+    (with_backend T.Bigarray64 Pnn.Serialize.cache_schema);
+  let key_of () =
+    Cache.key
+      ~schema:(Pnn.Serialize.cache_schema ())
+      ~kind:"btest" [ "config"; "seed 1" ]
+  in
+  let kref = with_backend T.Reference key_of in
+  let kba = with_backend T.Bigarray64 key_of in
+  if String.equal kref kba then
+    Alcotest.fail "cache keys collide across backends";
+  let cache = Cache.create ~dir:"_backend_cache_test" in
+  Cache.store cache ~kind:"btest" ~key:kref [ "reference result" ];
+  Alcotest.(check bool) "warm reference entry hits on reference key" true
+    (Option.is_some (Cache.find cache ~kind:"btest" ~key:kref));
+  Alcotest.(check bool) "warm reference entry misses on bigarray key" true
+    (Option.is_none (Cache.find cache ~kind:"btest" ~key:kba))
+
+let () =
+  Alcotest.run "backend"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "elementwise" `Quick test_elementwise;
+          Alcotest.test_case "reductions" `Quick test_reductions;
+          Alcotest.test_case "matmul family" `Quick test_matmul_family;
+          Alcotest.test_case "assembly" `Quick test_assembly;
+          Alcotest.test_case "training kernels" `Quick test_training_kernels;
+          Alcotest.test_case "rng constructors" `Quick test_rng_constructors;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "clamp NaN pass-through" `Quick
+            test_clamp_nan_passthrough;
+          Alcotest.test_case "min/max/argmax NaN and -0.0" `Quick
+            test_minmax_argmax_edges;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "bit-identity within backend" `Quick
+            test_within_backend_determinism;
+          Alcotest.test_case "mixed storage" `Quick test_mixed_storage;
+        ] );
+      ( "surface",
+        [
+          Alcotest.test_case "construction and tags" `Quick test_surface;
+          Alcotest.test_case "cache isolation" `Quick test_cache_isolation;
+        ] );
+    ]
