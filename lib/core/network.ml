@@ -250,6 +250,96 @@ let predict_cached t ~noise x =
   let e = cached_graph logits_cache t ~noise ~x ~labels:None in
   Tensor.argmax_rows (A.value e.c_root)
 
+(* {2 Serve-time predictors}
+
+   The replica caches above key on the {e physical identity} of the input
+   tensor — right for training/evaluation, where the same batch tensors live
+   for the whole run, but useless for a server whose every batch is a fresh
+   tensor.  A predictor instead owns a fixed-shape const input leaf that each
+   call blits into ({!A.set_value}), so one compiled graph serves an
+   unbounded stream of same-shaped batches.
+
+   Because every op in the forward pass is row-independent (matmul row i
+   reads only input row i; activations and the logit scale are elementwise),
+   each row of the refreshed root is bit-identical to running that row alone
+   through {!predict} — batch composition never changes an answer. *)
+
+type predictor = {
+  p_master : t; (* physical-identity key *)
+  p_rows : int;
+  p_cols : int;
+  p_x : A.t; (* const leaf the batch is blitted into *)
+  p_replica_params : A.t list;
+  p_master_params : A.t list;
+  p_noise : Layer.noise_nodes list;
+  p_nominal : Noise.t; (* all-ones draw, reused when no draw is given *)
+  p_root : A.t; (* scaled logits, rows × outputs *)
+  p_tape : A.tape;
+}
+
+let compile_predictor t ~rows ~cols =
+  let replica = replicate t in
+  let nominal = Noise.none ~theta_shapes:(theta_shapes t) in
+  let noise_nodes = List.map Layer.noise_nodes_of nominal in
+  let x_leaf = A.const (Tensor.zeros rows cols) in
+  let root =
+    A.scale t.config.Config.logit_scale (forward_nodes replica ~noise_nodes x_leaf)
+  in
+  {
+    p_master = t;
+    p_rows = rows;
+    p_cols = cols;
+    p_x = x_leaf;
+    p_replica_params = params_theta replica @ params_omega replica;
+    p_master_params = params_theta t @ params_omega t;
+    p_noise = noise_nodes;
+    p_nominal = nominal;
+    p_root = root;
+    p_tape = A.compile root;
+  }
+
+let predictor_shape p = (p.p_rows, p.p_cols)
+
+let predictor_logits p ?noise x =
+  if Tensor.shape x <> (p.p_rows, p.p_cols) then
+    invalid_arg "Network.predictor_logits: batch shape mismatch";
+  A.set_value p.p_x x;
+  (* The master is read-only at serve time, but re-blitting keeps the
+     predictor correct if someone does train the master between calls. *)
+  List.iter2
+    (fun rp mp -> A.set_value rp (A.value mp))
+    p.p_replica_params p.p_master_params;
+  let noise = match noise with Some n -> n | None -> p.p_nominal in
+  (try List.iter2 Layer.set_noise_nodes p.p_noise noise
+   with Invalid_argument _ ->
+     invalid_arg "Network.predictor_logits: noise/layer count mismatch");
+  A.refresh p.p_tape;
+  A.value p.p_root
+
+let predictor_predict p ?noise x = Tensor.argmax_rows (predictor_logits p ?noise x)
+
+(* Per-domain predictor cache, keyed by (master identity, batch shape).
+   Serving pads batches to a small set of row counts, so the working set is
+   tiny; LRU keeps a rebuild from ever being per-request. *)
+let predictor_cache_capacity = 12
+
+let predictor_cache : predictor list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let predictor_cached t ~rows ~cols =
+  let cache = Domain.DLS.get predictor_cache in
+  let hit p = p.p_master == t && p.p_rows = rows && p.p_cols = cols in
+  match List.find_opt hit !cache with
+  | Some p ->
+      (match !cache with
+      | front :: _ when front == p -> ()
+      | _ -> cache := p :: List.filter (fun p' -> p' != p) !cache);
+      p
+  | None ->
+      let p = compile_predictor t ~rows ~cols in
+      cache := take predictor_cache_capacity (p :: !cache);
+      p
+
 type weights = (Tensor.t * Tensor.t * Tensor.t) list
 
 let snapshot t = List.map Layer.snapshot t.layers

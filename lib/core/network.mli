@@ -88,6 +88,36 @@ val draw_loss_and_grads_alloc :
 (** As {!draw_loss_and_grads} but building a throwaway replica graph
     (bit-identical; the allocating reference). *)
 
+type predictor
+(** A serve-time compiled forward graph with a fixed-shape blittable input
+    leaf: one compilation answers an unbounded stream of same-shaped batches
+    (the replica caches above key on input {e identity}, which only helps
+    when the same batch tensor is reused).  Single-domain mutable state, like
+    every compiled graph. *)
+
+val compile_predictor : t -> rows:int -> cols:int -> predictor
+(** Compile a logits graph for [rows × cols] input batches against a fresh
+    replica of this network (nominal all-ones noise pre-bound). *)
+
+val predictor_shape : predictor -> int * int
+(** The [rows × cols] input shape the predictor was compiled for. *)
+
+val predictor_logits : predictor -> ?noise:Noise.t -> Tensor.t -> Tensor.t
+(** Blit the batch (and the master's current parameters, and [noise] or the
+    nominal all-ones draw) into the graph leaves, refresh, and return the
+    live temperature-scaled logits ([rows × outputs]).  Each row is
+    bit-identical to {!predict}'s logits for that row alone — the forward
+    pass is row-independent, so batch composition never changes an answer.
+    The returned tensor is the graph's root buffer: read or copy it before
+    the next call.  Raises [Invalid_argument] on a shape mismatch. *)
+
+val predictor_predict : predictor -> ?noise:Noise.t -> Tensor.t -> int array
+(** Argmax rows of {!predictor_logits}; bit-identical to {!predict}. *)
+
+val predictor_cached : t -> rows:int -> cols:int -> predictor
+(** This domain's LRU-cached {!compile_predictor} (keyed by network identity
+    and batch shape) — the serving hot path. *)
+
 val params_theta : t -> Autodiff.t list
 val params_omega : t -> Autodiff.t list
 

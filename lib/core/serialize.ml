@@ -12,8 +12,23 @@ let cache_schema () = schema_tag ^ "+" ^ Tensor.backend_tag ()
 let float_line a =
   String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") a))
 
+(* A truncated or corrupted save must surface as a clear [Failure
+   "Serialize: ..."] the loader can report, never as an [Invalid_argument]
+   or a bare [Failure "int_of_string"] escaping from a field parse.  Every
+   field goes through an [_opt] parse, and value counts are checked against
+   the declared shape before any [Tensor.create]. *)
+let int_field what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Serialize: bad %s %S" what s)
+
+let float_field what s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Serialize: bad %s %S" what s)
+
 let floats_of_words words =
-  Array.of_list (List.map float_of_string words)
+  Array.of_list (List.map (float_field "float value") words)
 
 let tensor_line t =
   Printf.sprintf "%d %d %s" (Tensor.rows t) (Tensor.cols t)
@@ -22,8 +37,18 @@ let tensor_line t =
 let tensor_of_line line =
   match String.split_on_char ' ' (String.trim line) with
   | rows :: cols :: values ->
-      Tensor.create (int_of_string rows) (int_of_string cols)
-        (Array.of_list (List.map float_of_string values))
+      let rows = int_field "tensor rows" rows
+      and cols = int_field "tensor cols" cols in
+      if rows < 0 || cols < 0 then
+        failwith "Serialize: negative tensor dimension";
+      let expect = rows * cols and got = List.length values in
+      if got <> expect then
+        failwith
+          (Printf.sprintf
+             "Serialize: truncated tensor line (%dx%d needs %d values, got %d)"
+             rows cols expect got);
+      Tensor.create rows cols
+        (Array.of_list (List.map (float_field "tensor value") values))
   | [] | [ _ ] -> failwith "Serialize: malformed tensor line"
 
 let config_line (c : Config.t) =
@@ -41,21 +66,21 @@ let config_of_line line =
       let val_every =
         match rest with
         | [] -> 5
-        | [ ve ] -> int_of_string ve
+        | [ ve ] -> int_field "config val_every" ve
         | _ -> failwith "Serialize: bad config line"
       in
       {
-        Config.hidden = int_of_string hidden;
-        lr_theta = float_of_string lr_t;
-        lr_omega = float_of_string lr_o;
-        epsilon = float_of_string eps;
-        n_mc_train = int_of_string mct;
-        n_mc_val = int_of_string mcv;
-        max_epochs = int_of_string me;
-        patience = int_of_string pat;
-        g_min = float_of_string gmin;
-        g_max = float_of_string gmax;
-        logit_scale = float_of_string ls;
+        Config.hidden = int_field "config hidden" hidden;
+        lr_theta = float_field "config lr_theta" lr_t;
+        lr_omega = float_field "config lr_omega" lr_o;
+        epsilon = float_field "config epsilon" eps;
+        n_mc_train = int_field "config n_mc_train" mct;
+        n_mc_val = int_field "config n_mc_val" mcv;
+        max_epochs = int_field "config max_epochs" me;
+        patience = int_field "config patience" pat;
+        g_min = float_field "config g_min" gmin;
+        g_max = float_field "config g_max" gmax;
+        logit_scale = float_field "config logit_scale" ls;
         val_every;
       }
   | _ -> failwith "Serialize: bad config line"
@@ -67,8 +92,12 @@ let rng_line rng =
 let rng_of_line line =
   match String.split_on_char ' ' (String.trim line) with
   | [ "rng"; a; b; c; d ] ->
-      Rng.of_state
-        (Array.map (fun w -> Int64.of_string ("0x" ^ w)) [| a; b; c; d |])
+      let word w =
+        match Int64.of_string_opt ("0x" ^ w) with
+        | Some v -> v
+        | None -> failwith (Printf.sprintf "Serialize: bad rng word %S" w)
+      in
+      Rng.of_state (Array.map word [| a; b; c; d |])
   | _ -> failwith "Serialize: bad rng line"
 
 let to_lines network =
@@ -106,7 +135,8 @@ let of_lines surrogate lines =
   | header :: config_l :: rest -> (
       match String.split_on_char ' ' (String.trim header) with
       | [ "pnn"; n ] ->
-          let n = int_of_string n in
+          let n = int_field "layer count" n in
+          if n < 0 then failwith "Serialize: negative layer count";
           let config = config_of_line config_l in
           let rec take k lines acc =
             if k = 0 then (List.rev acc, lines)
@@ -147,4 +177,9 @@ let load_file surrogate path =
         in
         go [])
   in
-  fst (of_lines surrogate lines)
+  (* Re-raise decode failures with the offending path so a server refusing
+     to start can say which model file is corrupt. *)
+  match of_lines surrogate lines with
+  | net, _ -> net
+  | exception Failure msg ->
+      failwith (Printf.sprintf "%s (while loading %s)" msg path)

@@ -21,7 +21,10 @@ let default_config =
     scan_dirs = [ "lib"; "bin"; "test"; "bench" ];
     exclude = [ "lint_fixtures" ];
     (* cache keys: Cache, Serialize, Checkpoint; results: the experiment and
-       evaluation stack.  Everything those units can reach inherits R2. *)
+       evaluation stack.  The serving path is result-producing too — a
+       response payload is a result, and BENCH_5.json is committed — so the
+       Serving library and its CLIs are roots as well.  Everything those
+       units can reach inherits R2. *)
     r2_roots =
       [
         "Cache";
@@ -35,6 +38,9 @@ let default_config =
         "Faults";
         "Lifetime";
         "Report";
+        "Serving";
+        "Serve";
+        "Loadgen";
       ];
   }
 

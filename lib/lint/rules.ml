@@ -28,8 +28,12 @@ let all_rules =
         "Sys.time, Unix.gettimeofday, Unix.time and Stdlib.Random are \
          banned in every module reachable from cache-key or \
          result-producing roots: a timestamp or ambient-random draw in \
-         that closure silently breaks bit-identical reproduction.  Timing \
-         for progress logs belongs in bin/ or bench/ shells outside the \
+         that closure silently breaks bit-identical reproduction.  The \
+         serving stack is in the closure too: a response payload is a \
+         result.  Scheduling clocks (batch linger, select timeouts) and \
+         latency observability are legitimate — suppress those sites with \
+         a reason saying the time never reaches a response.  Timing for \
+         progress logs belongs in bin/ or bench/ shells outside the \
          closure.";
     };
     {

@@ -1,0 +1,87 @@
+(* A small blocking client for the wire protocol — what the load generator,
+   the smoke target and the protocol tests speak through.  One outstanding
+   pipeline per connection: callers may send many requests before reading
+   any response (the server answers batched predicts at batch boundaries,
+   matched by request id). *)
+
+module P = Protocol
+
+type t = { fd : Unix.file_descr; rd : P.reader }
+
+let connect addr =
+  let domain =
+    match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | Unix.ADDR_INET _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; rd = P.reader () }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t req =
+  let frame = P.encode_request req in
+  let len = Bytes.length frame in
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write t.fd frame !sent (len - !sent)
+  done
+
+(* Raw bytes straight onto the wire — the malformed-frame tests need to
+   send things [encode_request] refuses to produce. *)
+let send_raw t bytes =
+  let len = Bytes.length bytes in
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write t.fd bytes !sent (len - !sent)
+  done
+
+let recv t =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match P.next_frame t.rd with
+    | Error msg -> failwith ("Client.recv: " ^ msg)
+    | Ok (Some payload) -> (
+        match P.decode_response payload with
+        | Ok resp -> resp
+        | Error msg -> failwith ("Client.recv: bad response: " ^ msg))
+    | Ok None -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> failwith "Client.recv: connection closed by server"
+        | n ->
+            P.feed t.rd chunk ~pos:0 ~len:n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+(* {1 One-shot conveniences} *)
+
+let rpc t req =
+  send t req;
+  recv t
+
+let predict t ~id features =
+  match rpc t (P.Predict { id; features }) with
+  | P.Class { id = rid; cls } when rid = id -> cls
+  | P.Error { message; _ } -> failwith ("Client.predict: server error: " ^ message)
+  | _ -> failwith "Client.predict: unexpected response"
+
+let predict_mc t ~id ~draws ~seed features =
+  match rpc t (P.Predict_mc { id; features; draws; seed }) with
+  | P.Mc_class { id = rid; cls; mean_p; q05; q95 } when rid = id ->
+      (cls, mean_p, q05, q95)
+  | P.Error { message; _ } -> failwith ("Client.predict_mc: server error: " ^ message)
+  | _ -> failwith "Client.predict_mc: unexpected response"
+
+let stats t =
+  match rpc t (P.Stats { id = 0l }) with
+  | P.Stats_reply { stats; _ } -> stats
+  | _ -> failwith "Client.stats: unexpected response"
+
+let shutdown t =
+  match rpc t (P.Shutdown { id = 0l }) with
+  | P.Shutdown_ack _ -> ()
+  | _ -> failwith "Client.shutdown: unexpected response"

@@ -1,0 +1,27 @@
+(** Blocking client for the inference-service wire protocol (load
+    generator, smoke target, tests).  Requests may be pipelined: send many,
+    then match responses by request id. *)
+
+type t
+
+val connect : Unix.sockaddr -> t
+val close : t -> unit
+
+val send : t -> Protocol.request -> unit
+val send_raw : t -> bytes -> unit
+(** Raw bytes onto the wire — for malformed-frame tests. *)
+
+val recv : t -> Protocol.response
+(** Block until one complete response frame arrives.  Raises [Failure] on
+    EOF or an undecodable response. *)
+
+val rpc : t -> Protocol.request -> Protocol.response
+(** [send] then [recv] — only safe when nothing else is in flight. *)
+
+val predict : t -> id:int32 -> float array -> int
+val predict_mc :
+  t -> id:int32 -> draws:int -> seed:int32 -> float array -> int * float * float * float
+(** [(cls, mean_p, q05, q95)]. *)
+
+val stats : t -> Protocol.server_stats
+val shutdown : t -> unit

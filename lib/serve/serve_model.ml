@@ -1,0 +1,138 @@
+(* The serve-time view of a trained network.
+
+   This is the train-time / serve-time API split: a [Serve_model.t] wraps a
+   [Network.t] it treats as strictly read-only — no optimizer, no loss
+   graphs, no weight mutation ever goes through this module.  Everything a
+   server needs is here: digest-verified loading, batched nominal
+   classification on cached fixed-shape predictors, and per-request
+   Monte-Carlo uncertainty with the deterministic ordered reduction.
+
+   Determinism contract: answers depend only on (model file, request
+   payload).  Batch composition cannot change an answer (the forward pass is
+   row-independent — see {!Network.predictor_logits}), the MC reduction is
+   ordered by draw index, and draws are pre-drawn sequentially from a
+   request-seeded [Rng.t] before any fan-out, so results are bit-identical
+   for any pool size and any batching schedule. *)
+
+module Network = Pnn.Network
+module Layer = Pnn.Layer
+module Serialize = Pnn.Serialize
+module Variation = Pnn.Variation
+
+type t = {
+  network : Network.t;
+  inputs : int;
+  outputs : int;
+  digest : string;
+  ctx : Variation.ctx;
+}
+
+let of_network network =
+  let layers = Network.layers network in
+  let first = List.hd layers in
+  let last = List.nth layers (List.length layers - 1) in
+  {
+    network;
+    inputs = Layer.inputs first;
+    outputs = Layer.outputs last;
+    digest = Serialize.digest network;
+    ctx = Variation.ctx_of_network network;
+  }
+
+let load ?expect_digest surrogate path =
+  if not (Sys.file_exists path) then
+    failwith (Printf.sprintf "Serve_model: model file %s does not exist" path);
+  let network = Serialize.load_file surrogate path in
+  let m = of_network network in
+  (match expect_digest with
+  | Some d when d <> m.digest ->
+      failwith
+        (Printf.sprintf
+           "Serve_model: digest mismatch for %s (expected %s, loaded %s)" path d
+           m.digest)
+  | Some _ | None -> ());
+  m
+
+let network m = m.network
+let inputs m = m.inputs
+let outputs m = m.outputs
+let digest m = m.digest
+
+(* Batches are padded up to the next power of two before hitting a
+   predictor, so the compiled-graph working set stays at the handful of
+   shapes {1, 2, 4, ...} instead of one graph per occupancy.  Padding rows
+   are zeros; row independence means they cannot perturb the real rows, and
+   their answers are discarded. *)
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
+
+let padded_rows n = next_pow2 n 1
+
+let batch_tensor m rows =
+  let k = Array.length rows in
+  if k = 0 then invalid_arg "Serve_model.predict_batch: empty batch";
+  let padded = padded_rows k in
+  let data = Array.make (padded * m.inputs) 0.0 in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> m.inputs then
+        invalid_arg "Serve_model.predict_batch: feature width mismatch";
+      Array.blit row 0 data (i * m.inputs) m.inputs)
+    rows;
+  Tensor.create padded m.inputs data
+
+let predict_batch m rows =
+  let x = batch_tensor m rows in
+  let p = Network.predictor_cached m.network ~rows:(Tensor.rows x) ~cols:m.inputs in
+  let all = Network.predictor_predict p x in
+  Array.sub all 0 (Array.length rows)
+
+(* {1 Monte-Carlo uncertainty} *)
+
+type mc_summary = { cls : int; mean_p : float; q05 : float; q95 : float }
+
+let argmax a =
+  let best = ref 0 in
+  for j = 1 to Array.length a - 1 do
+    if a.(j) > a.(!best) then best := j
+  done;
+  !best
+
+let predict_mc m ~pool ~model ~draws ~seed features =
+  if Array.length features <> m.inputs then
+    invalid_arg "Serve_model.predict_mc: feature width mismatch";
+  if draws < 1 then invalid_arg "Serve_model.predict_mc: draws < 1";
+  (* Pre-draw sequentially from the request-seeded stream, then fan the pure
+     forward passes out — the Evaluation.mc_accuracy pattern. *)
+  let rng = Rng.create seed in
+  let noises = Array.of_list (Variation.draw_many rng model m.ctx ~n:draws) in
+  let x = Tensor.create 1 m.inputs features in
+  let per_draw =
+    Parallel.Pool.map_array pool
+      (fun noise ->
+        let p = Network.predictor_cached m.network ~rows:1 ~cols:m.inputs in
+        let logits = Network.predictor_logits p ~noise x in
+        let probs = Tensor.zeros 1 m.outputs in
+        Tensor.softmax_rows_into logits ~dst:probs;
+        Array.init m.outputs (fun j -> Tensor.get probs 0 j))
+      noises
+  in
+  (* Ordered mean over the draw index: bit-identical at any pool size. *)
+  let mean = Array.make m.outputs 0.0 in
+  Array.iter
+    (fun row ->
+      for j = 0 to m.outputs - 1 do
+        mean.(j) <- mean.(j) +. row.(j)
+      done)
+    per_draw;
+  let inv_n = 1.0 /. float_of_int draws in
+  for j = 0 to m.outputs - 1 do
+    mean.(j) <- mean.(j) *. inv_n
+  done;
+  let cls = argmax mean in
+  let p_cls = Array.map (fun row -> row.(cls)) per_draw in
+  {
+    cls;
+    mean_p = mean.(cls);
+    q05 = Stats.quantile p_cls 0.05;
+    q95 = Stats.quantile p_cls 0.95;
+  }

@@ -1,0 +1,8 @@
+(* R2 serve fixture: a serving unit is result-producing (a response is a
+   result), so wall clocks inside it are findings unless the site carries a
+   reasoned allow saying the time only schedules, never answers. *)
+let deadline () = Unix.gettimeofday ()
+
+(* pnnlint:allow R2 scheduling only: picks a select timeout, never a
+   response field *)
+let linger_left t = t -. Unix.time ()

@@ -9,7 +9,9 @@ let fixture_config =
   {
     E.scan_dirs = [ "lint_fixtures" ];
     exclude = [];
-    r2_roots = [ "Fixture_r2_root" ];
+    (* two root families, like the live config: the experiment stack and
+       the serving stack *)
+    r2_roots = [ "Fixture_r2_root"; "Fixture_r2_serve" ];
   }
 
 let run_fixtures ?(config = fixture_config) () = E.run ~config ~root:"." ()
@@ -29,6 +31,7 @@ let test_golden_diagnostics () =
       "R1 lint_fixtures/fixture_r1.ml:2";
       "R2 lint_fixtures/fixture_r2.ml:2";
       "R2 lint_fixtures/fixture_r2.ml:3";
+      "R2 lint_fixtures/fixture_r2_serve.ml:4";
       "R3 lint_fixtures/fixture_r3.ml:2";
       "R3 lint_fixtures/fixture_r3.ml:3";
       "R4 lint_fixtures/fixture_r4.ml:2";
@@ -52,9 +55,9 @@ let test_golden_diagnostics () =
 
 let test_suppressions_counted () =
   let report = run_fixtures () in
-  Alcotest.(check int) "six suppressed findings" 6
+  Alcotest.(check int) "seven suppressed findings" 7
     (List.length report.E.suppressed);
-  Alcotest.(check int) "six valid suppression comments" 6
+  Alcotest.(check int) "seven valid suppression comments" 7
     (List.length report.E.suppressions);
   List.iter
     (fun (s : E.suppression) ->

@@ -197,6 +197,59 @@ let test_of_lines_truncated () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "expected Failure on missing layer section"
 
+(* Truncated/corrupt model files must surface as a clear [Failure
+   "Serialize: ..."] — never [Invalid_argument] from [Tensor.create] or a
+   bare [Failure "int_of_string"] — so a server can refuse to start with a
+   readable reason instead of crashing mid-load. *)
+let expect_serialize_failure what f =
+  match f () with
+  | exception Failure msg ->
+      if not (String.length msg >= 10 && String.sub msg 0 10 = "Serialize:") then
+        Alcotest.failf "%s: Failure lacks Serialize: prefix: %s" what msg
+  | exception e ->
+      Alcotest.failf "%s: escaped non-Failure exception %s" what
+        (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: expected Failure" what
+
+let test_tensor_line_truncated_values () =
+  (* shape says 2x3 = 6 values but only 4 survive: the length check must
+     fire before any [Tensor.create] *)
+  expect_serialize_failure "short value list" (fun () ->
+      S.tensor_of_line "2 3 0x1p0 0x1p1 0x1p2 0x1p3");
+  expect_serialize_failure "excess values" (fun () ->
+      S.tensor_of_line "1 1 0x1p0 0x1p1");
+  expect_serialize_failure "garbage dimension" (fun () ->
+      S.tensor_of_line "2 banana 0x1p0 0x1p1");
+  expect_serialize_failure "garbage value" (fun () ->
+      S.tensor_of_line "1 2 0x1p0 spam");
+  expect_serialize_failure "negative dimension" (fun () ->
+      S.tensor_of_line "-1 2 0x1p0 0x1p1")
+
+let test_load_file_truncated_rejected () =
+  let net = make_net ~inputs:3 ~outputs:2 () in
+  let path = Filename.temp_file "pnn_trunc" ".pnn" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      S.save_file net path;
+      (* chop the file mid-way through the last tensor line *)
+      let full = In_channel.with_open_text path In_channel.input_all in
+      let cut = String.length full - String.length full / 4 in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (String.sub full 0 cut));
+      expect_serialize_failure "truncated save file" (fun () ->
+          S.load_file (Lazy.force surrogate) path);
+      (* the error must name the offending path *)
+      (match S.load_file (Lazy.force surrogate) path with
+      | exception Failure msg ->
+          let has_sub hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "message names the file" true (has_sub msg path)
+      | _ -> Alcotest.fail "expected Failure"))
+
 let test_of_lines_malformed_header_or_config () =
   List.iter
     (fun lines ->
@@ -250,5 +303,9 @@ let () =
         [
           Alcotest.test_case "truncated" `Quick test_of_lines_truncated;
           Alcotest.test_case "bad header/config" `Quick test_of_lines_malformed_header_or_config;
+          Alcotest.test_case "truncated tensor line" `Quick
+            test_tensor_line_truncated_values;
+          Alcotest.test_case "truncated file rejected with path" `Quick
+            test_load_file_truncated_rejected;
         ] );
     ]

@@ -1,0 +1,539 @@
+(* Serving-stack tests: the wire codec (round-trips, malformed/truncated/
+   oversized frames), the clock-free batcher policy, the read-only
+   serve-time model view, and live socket servers under concurrent
+   clients.
+
+   The concurrency suite's contract is the PR 7 acceptance criterion:
+   every response that crosses the wire — classes and Monte-Carlo
+   quantiles alike — is bit-identical to the single-threaded in-process
+   answer, for any pool size and either tensor backend.  The dune rules
+   re-run this executable under REPRO_JOBS 1/4 and PNN_BACKEND=bigarray. *)
+
+module P = Serving.Protocol
+module B = Serving.Batcher
+module SM = Serving.Serve_model
+
+let surrogate =
+  lazy
+    (let dataset = Surrogate.Pipeline.generate_dataset ~n:250 () in
+     let model, _ =
+       Surrogate.Pipeline.train_surrogate ~arch:[ 10; 8; 6; 4 ] ~max_epochs:300
+         (Rng.create 42) dataset
+     in
+     model)
+
+let make_net ?(seed = 7) ~inputs ~outputs () =
+  Pnn.Network.create (Rng.create seed) Pnn.Config.default (Lazy.force surrogate)
+    ~inputs ~outputs
+
+let bits = Int64.bits_of_float
+
+let float_bits =
+  Alcotest.testable (fun fmt f -> Fmt.pf fmt "%h" f) (fun a b -> bits a = bits b)
+
+(* substring check for error-message assertions *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let nominal_noise net =
+  Pnn.Noise.none ~theta_shapes:(Pnn.Network.theta_shapes net)
+
+let predict_alone net x =
+  (Pnn.Network.predict net ~noise:(nominal_noise net) (Tensor.of_array x)).(0)
+
+let features_of ~inputs seed =
+  let rng = Rng.create seed in
+  Array.init inputs (fun _ -> Rng.float rng)
+
+(* {1 Protocol codec} *)
+
+let check_request_roundtrip msg req =
+  let frame = P.encode_request req in
+  (* strip the 4-byte length prefix to get the payload *)
+  let payload = Bytes.sub frame 4 (Bytes.length frame - 4) in
+  match P.decode_request payload with
+  | Error e -> Alcotest.failf "%s: decode failed: %s" msg e
+  | Ok req' -> (
+      match (req, req') with
+      | P.Predict { id; features }, P.Predict { id = id'; features = f' } ->
+          Alcotest.(check int32) (msg ^ " id") id id';
+          Alcotest.(check (array float_bits)) (msg ^ " features") features f'
+      | ( P.Predict_mc { id; features; draws; seed },
+          P.Predict_mc { id = id'; features = f'; draws = d'; seed = s' } ) ->
+          Alcotest.(check int32) (msg ^ " id") id id';
+          Alcotest.(check int) (msg ^ " draws") draws d';
+          Alcotest.(check int32) (msg ^ " seed") seed s';
+          Alcotest.(check (array float_bits)) (msg ^ " features") features f'
+      | P.Stats { id }, P.Stats { id = id' } | P.Shutdown { id }, P.Shutdown { id = id' }
+        ->
+          Alcotest.(check int32) (msg ^ " id") id id'
+      | _ -> Alcotest.failf "%s: variant changed across the wire" msg)
+
+let test_request_roundtrips () =
+  check_request_roundtrip "predict"
+    (P.Predict { id = 42l; features = [| 0.0; -0.0; 1.5e-300; 3.25 |] });
+  check_request_roundtrip "predict non-finite"
+    (P.Predict
+       { id = 1l; features = [| Float.nan; Float.infinity; Float.neg_infinity |] });
+  check_request_roundtrip "predict zero features"
+    (P.Predict { id = 7l; features = [||] });
+  check_request_roundtrip "predict_mc"
+    (P.Predict_mc { id = 3l; features = [| 0.25; 0.5 |]; draws = 64; seed = 99l });
+  check_request_roundtrip "stats" (P.Stats { id = 5l });
+  check_request_roundtrip "shutdown" (P.Shutdown { id = 0l })
+
+let check_response_roundtrip msg resp =
+  let frame = P.encode_response resp in
+  let payload = Bytes.sub frame 4 (Bytes.length frame - 4) in
+  match P.decode_response payload with
+  | Error e -> Alcotest.failf "%s: decode failed: %s" msg e
+  | Ok resp' -> (
+      match (resp, resp') with
+      | P.Class { id; cls }, P.Class { id = id'; cls = cls' } ->
+          Alcotest.(check int32) (msg ^ " id") id id';
+          Alcotest.(check int) (msg ^ " cls") cls cls'
+      | ( P.Mc_class { id; cls; mean_p; q05; q95 },
+          P.Mc_class { id = id'; cls = c'; mean_p = m'; q05 = l'; q95 = h' } ) ->
+          Alcotest.(check int32) (msg ^ " id") id id';
+          Alcotest.(check int) (msg ^ " cls") cls c';
+          Alcotest.(check float_bits) (msg ^ " mean_p") mean_p m';
+          Alcotest.(check float_bits) (msg ^ " q05") q05 l';
+          Alcotest.(check float_bits) (msg ^ " q95") q95 h'
+      | P.Stats_reply { id; stats }, P.Stats_reply { id = id'; stats = s' } ->
+          Alcotest.(check int32) (msg ^ " id") id id';
+          Alcotest.(check int64) (msg ^ " served") stats.P.served s'.P.served;
+          Alcotest.(check (array int64))
+            (msg ^ " occupancy") stats.P.occupancy s'.P.occupancy
+      | P.Shutdown_ack { id }, P.Shutdown_ack { id = id' } ->
+          Alcotest.(check int32) (msg ^ " id") id id'
+      | P.Error { id; message }, P.Error { id = id'; message = m' } ->
+          Alcotest.(check int32) (msg ^ " id") id id';
+          Alcotest.(check string) (msg ^ " message") message m'
+      | _ -> Alcotest.failf "%s: variant changed across the wire" msg)
+
+let test_response_roundtrips () =
+  check_response_roundtrip "class" (P.Class { id = 9l; cls = 2 });
+  check_response_roundtrip "mc"
+    (P.Mc_class { id = 1l; cls = 0; mean_p = 0.375; q05 = 0.25; q95 = 0.5 });
+  check_response_roundtrip "stats"
+    (P.Stats_reply
+       {
+         id = 2l;
+         stats =
+           {
+             P.served = 100L;
+             mc_served = 3L;
+             batches = 11L;
+             errors = 1L;
+             occupancy = [| 5L; 0L; 2L |];
+           };
+       });
+  check_response_roundtrip "ack" (P.Shutdown_ack { id = 4l });
+  check_response_roundtrip "error" (P.Error { id = 0l; message = "boom" })
+
+let expect_decode_error msg payload =
+  match P.decode_request payload with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: malformed payload decoded" msg
+
+let test_malformed_payloads () =
+  expect_decode_error "empty" Bytes.empty;
+  (* wrong protocol version *)
+  let frame = P.encode_request (P.Stats { id = 1l }) in
+  let payload = Bytes.sub frame 4 (Bytes.length frame - 4) in
+  let bad_ver = Bytes.copy payload in
+  Bytes.set_uint8 bad_ver 0 (P.version + 1);
+  expect_decode_error "bad version" bad_ver;
+  (* unknown request kind *)
+  let bad_kind = Bytes.copy payload in
+  Bytes.set_uint8 bad_kind 1 200;
+  expect_decode_error "unknown kind" bad_kind;
+  (* header promises 4 features but carries 2 *)
+  let b = Buffer.create 64 in
+  Buffer.add_uint8 b P.version;
+  Buffer.add_uint8 b 1 (* predict *);
+  Buffer.add_int32_be b 1l;
+  Buffer.add_uint16_be b 4;
+  Buffer.add_int64_be b 0L;
+  Buffer.add_int64_be b 0L;
+  expect_decode_error "truncated features" (Buffer.to_bytes b);
+  (* feature count above the protocol bound *)
+  let b = Buffer.create 64 in
+  Buffer.add_uint8 b P.version;
+  Buffer.add_uint8 b 1;
+  Buffer.add_int32_be b 1l;
+  Buffer.add_uint16_be b (P.max_features + 1);
+  expect_decode_error "oversized feature count" (Buffer.to_bytes b)
+
+let test_reader_incremental () =
+  (* two frames delivered one byte at a time must come out intact *)
+  let f1 = P.encode_request (P.Predict { id = 1l; features = [| 0.5; 0.25 |] }) in
+  let f2 = P.encode_request (P.Shutdown { id = 2l }) in
+  let stream = Bytes.cat f1 f2 in
+  let rd = P.reader () in
+  let got = ref [] in
+  Bytes.iteri
+    (fun i _ ->
+      P.feed rd stream ~pos:i ~len:1;
+      match P.next_frame rd with
+      | Ok (Some payload) -> got := payload :: !got
+      | Ok None -> ()
+      | Error e -> Alcotest.failf "framing error mid-stream: %s" e)
+    stream;
+  match List.rev !got with
+  | [ p1; p2 ] ->
+      (match P.decode_request p1 with
+      | Ok (P.Predict { id = 1l; _ }) -> ()
+      | _ -> Alcotest.fail "first frame mangled");
+      (match P.decode_request p2 with
+      | Ok (P.Shutdown { id = 2l }) -> ()
+      | _ -> Alcotest.fail "second frame mangled")
+  | frames -> Alcotest.failf "expected 2 frames, got %d" (List.length frames)
+
+let test_reader_oversized_frame () =
+  let rd = P.reader () in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (P.max_frame + 1));
+  P.feed rd hdr ~pos:0 ~len:4;
+  (match P.next_frame rd with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized declared length accepted");
+  (* a negative declared length is equally unrecoverable *)
+  let rd = P.reader () in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (-1l);
+  P.feed rd hdr ~pos:0 ~len:4;
+  match P.next_frame rd with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative declared length accepted"
+
+let test_reader_partial_is_not_an_error () =
+  let rd = P.reader () in
+  let frame = P.encode_request (P.Stats { id = 3l }) in
+  P.feed rd frame ~pos:0 ~len:(Bytes.length frame - 1);
+  (match P.next_frame rd with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "incomplete frame yielded"
+  | Error e -> Alcotest.failf "incomplete frame errored: %s" e);
+  P.feed rd frame ~pos:(Bytes.length frame - 1) ~len:1;
+  match P.next_frame rd with
+  | Ok (Some _) -> ()
+  | _ -> Alcotest.fail "completed frame not yielded"
+
+(* {1 Batcher policy} *)
+
+let test_batcher_fills_at_max_batch () =
+  let b = B.create ~max_batch:4 ~linger:10.0 in
+  for i = 0 to 9 do
+    B.push b ~now:0.0 i
+  done;
+  Alcotest.(check (list int)) "first full batch" [ 0; 1; 2; 3 ] (B.pop_ready b ~now:0.0);
+  Alcotest.(check (list int)) "second full batch" [ 4; 5; 6; 7 ] (B.pop_ready b ~now:0.0);
+  Alcotest.(check (list int)) "remainder not ready (linger)" [] (B.pop_ready b ~now:0.0);
+  Alcotest.(check int) "remainder pending" 2 (B.pending b)
+
+let test_batcher_linger_deadline () =
+  let b = B.create ~max_batch:64 ~linger:0.5 in
+  B.push b ~now:100.0 "a";
+  B.push b ~now:100.2 "b";
+  Alcotest.(check (option float_bits))
+    "deadline = admission + linger" (Some 100.5) (B.next_deadline b);
+  Alcotest.(check (list string)) "before the deadline" [] (B.pop_ready b ~now:100.49);
+  Alcotest.(check (list string))
+    "deadline releases everything pending" [ "a"; "b" ] (B.pop_ready b ~now:100.5);
+  Alcotest.(check (option float_bits)) "empty again" None (B.next_deadline b)
+
+let test_batcher_drain_chunks () =
+  let b = B.create ~max_batch:3 ~linger:1.0 in
+  for i = 0 to 7 do
+    B.push b ~now:0.0 i
+  done;
+  Alcotest.(check (list (list int)))
+    "drain chunks at max_batch in admission order"
+    [ [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 6; 7 ] ]
+    (B.drain b);
+  Alcotest.(check int) "drained" 0 (B.pending b)
+
+let test_batcher_validation () =
+  let expect_invalid msg f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" msg
+  in
+  expect_invalid "max_batch 0" (fun () -> B.create ~max_batch:0 ~linger:0.1);
+  expect_invalid "negative linger" (fun () -> B.create ~max_batch:4 ~linger:(-1.0));
+  expect_invalid "nan linger" (fun () -> B.create ~max_batch:4 ~linger:Float.nan)
+
+(* {1 Serve_model: the read-only serve-time view} *)
+
+let test_padded_rows () =
+  List.iter
+    (fun (k, want) ->
+      Alcotest.(check int) (Printf.sprintf "padded_rows %d" k) want (SM.padded_rows k))
+    [ (1, 1); (2, 2); (3, 4); (5, 8); (8, 8); (9, 16); (64, 64); (65, 128) ]
+
+let test_predict_batch_matches_predict () =
+  let net = make_net ~inputs:4 ~outputs:3 () in
+  let model = SM.of_network net in
+  List.iter
+    (fun k ->
+      let rows = Array.init k (fun i -> features_of ~inputs:4 (1000 + i)) in
+      let batched = SM.predict_batch model rows in
+      Array.iteri
+        (fun i row ->
+          Alcotest.(check int)
+            (Printf.sprintf "row %d of %d-batch" i k)
+            (predict_alone net row) batched.(i))
+        rows)
+    [ 1; 3; 8; 13 ]
+
+let test_predict_mc_pool_size_invariant () =
+  let net = make_net ~inputs:4 ~outputs:3 () in
+  let model = SM.of_network net in
+  let x = features_of ~inputs:4 4242 in
+  let p1 = Parallel.Pool.create ~jobs:1 () in
+  let p3 = Parallel.Pool.create ~jobs:3 () in
+  let mc pool =
+    SM.predict_mc model ~pool ~model:(Pnn.Variation.Uniform 0.1) ~draws:24 ~seed:11 x
+  in
+  let a = mc p1 and b = mc p3 in
+  Parallel.Pool.shutdown p1;
+  Parallel.Pool.shutdown p3;
+  Alcotest.(check int) "cls" a.SM.cls b.SM.cls;
+  Alcotest.(check float_bits) "mean_p" a.SM.mean_p b.SM.mean_p;
+  Alcotest.(check float_bits) "q05" a.SM.q05 b.SM.q05;
+  Alcotest.(check float_bits) "q95" a.SM.q95 b.SM.q95
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "pnn_serve_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_load_verifies_digest () =
+  with_temp_dir (fun dir ->
+      let net = make_net ~inputs:4 ~outputs:3 () in
+      let path = Filename.concat dir "model.pnn" in
+      Pnn.Serialize.save_file net path;
+      let good = Pnn.Serialize.digest net in
+      let model = SM.load ~expect_digest:good (Lazy.force surrogate) path in
+      Alcotest.(check string) "digest preserved" good (SM.digest model);
+      (match SM.load ~expect_digest:"deadbeef" (Lazy.force surrogate) path with
+      | _ -> Alcotest.fail "digest mismatch accepted"
+      | exception Failure _ -> ());
+      (* a truncated file must refuse cleanly, not load garbage *)
+      let full = In_channel.with_open_text path In_channel.input_all in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub full 0 (String.length full * 2 / 3)));
+      match SM.load (Lazy.force surrogate) path with
+      | _ -> Alcotest.fail "truncated model loaded"
+      | exception Failure msg ->
+          Alcotest.(check bool)
+            "refusal names the file" true
+            (contains msg "model.pnn"))
+
+(* {1 Live servers over a socket} *)
+
+type live = {
+  server : Serving.Server.t;
+  domain : unit Domain.t;
+  sock : string;
+  model : SM.t;
+  net : Pnn.Network.t;
+}
+
+let start_server ?(max_batch = 8) ?(linger = 0.0005) dir =
+  let net = make_net ~inputs:4 ~outputs:3 () in
+  let model = SM.of_network net in
+  let sock = Filename.concat dir "serve.sock" in
+  let config =
+    { Serving.Server.default_config with max_batch; linger }
+  in
+  let server = Serving.Server.create ~config model (Unix.ADDR_UNIX sock) in
+  let domain = Domain.spawn (fun () -> Serving.Server.run server) in
+  { server; domain; sock; model; net }
+
+let stop_server live =
+  Serving.Server.stop live.server;
+  Domain.join live.domain
+
+let test_wire_matches_inprocess () =
+  with_temp_dir (fun dir ->
+      let live = start_server dir in
+      Fun.protect ~finally:(fun () -> stop_server live) @@ fun () ->
+      let client = Serving.Client.connect (Unix.ADDR_UNIX live.sock) in
+      Fun.protect ~finally:(fun () -> Serving.Client.close client) @@ fun () ->
+      for i = 0 to 19 do
+        let x = features_of ~inputs:4 (500 + i) in
+        let wire = Serving.Client.predict client ~id:(Int32.of_int i) x in
+        let direct = (SM.predict_batch live.model [| x |]).(0) in
+        Alcotest.(check int) (Printf.sprintf "request %d" i) direct wire
+      done;
+      (* Monte-Carlo answers must also be bit-identical to the in-process
+         path, quantiles included *)
+      let x = features_of ~inputs:4 900 in
+      let cls, mean_p, q05, q95 =
+        Serving.Client.predict_mc client ~id:77l ~draws:16 ~seed:13l x
+      in
+      let direct =
+        SM.predict_mc live.model
+          ~pool:(Parallel.get_pool ())
+          ~model:Serving.Server.default_config.Serving.Server.mc_model ~draws:16
+          ~seed:13 x
+      in
+      Alcotest.(check int) "mc cls" direct.SM.cls cls;
+      Alcotest.(check float_bits) "mc mean_p" direct.SM.mean_p mean_p;
+      Alcotest.(check float_bits) "mc q05" direct.SM.q05 q05;
+      Alcotest.(check float_bits) "mc q95" direct.SM.q95 q95)
+
+let test_wire_rejects_bad_requests () =
+  with_temp_dir (fun dir ->
+      let live = start_server dir in
+      Fun.protect ~finally:(fun () -> stop_server live) @@ fun () ->
+      let client = Serving.Client.connect (Unix.ADDR_UNIX live.sock) in
+      Fun.protect ~finally:(fun () -> Serving.Client.close client) @@ fun () ->
+      (* wrong feature width: answered, connection stays up *)
+      (match Serving.Client.rpc client (P.Predict { id = 1l; features = [| 0.5 |] }) with
+      | P.Error { id = 1l; message } ->
+          Alcotest.(check bool)
+            "message names the widths" true
+            (contains message "expected 4 features")
+      | _ -> Alcotest.fail "width mismatch not rejected");
+      (* zero features is a protocol-legal request the model must refuse *)
+      (match Serving.Client.rpc client (P.Predict { id = 2l; features = [||] }) with
+      | P.Error { id = 2l; _ } -> ()
+      | _ -> Alcotest.fail "zero-feature request not rejected");
+      (* malformed payload inside an intact frame: answered with id 0, and
+         the connection keeps working afterwards *)
+      let bad = Buffer.create 8 in
+      Buffer.add_uint8 bad P.version;
+      Buffer.add_uint8 bad 250;
+      Serving.Client.send_raw client
+        (let payload = Buffer.to_bytes bad in
+         let framed = Bytes.create (4 + Bytes.length payload) in
+         Bytes.set_int32_be framed 0 (Int32.of_int (Bytes.length payload));
+         Bytes.blit payload 0 framed 4 (Bytes.length payload);
+         framed);
+      (match Serving.Client.recv client with
+      | P.Error { id = 0l; _ } -> ()
+      | _ -> Alcotest.fail "malformed payload not answered with id 0");
+      let x = features_of ~inputs:4 31 in
+      let wire = Serving.Client.predict client ~id:3l x in
+      let direct = (SM.predict_batch live.model [| x |]).(0) in
+      Alcotest.(check int) "connection survives a bad payload" direct wire;
+      (* oversized declared frame length: answered, then the server hangs up
+         because the stream cannot resync *)
+      let huge = Bytes.create 4 in
+      Bytes.set_int32_be huge 0 (Int32.of_int (P.max_frame + 1));
+      Serving.Client.send_raw client huge;
+      (match Serving.Client.recv client with
+      | P.Error { id = 0l; _ } -> ()
+      | _ -> Alcotest.fail "oversized frame not answered");
+      match Serving.Client.recv client with
+      | exception Failure _ -> () (* EOF: connection dropped, as documented *)
+      | _ -> Alcotest.fail "server kept an unsyncable connection open")
+
+let test_concurrent_clients_bit_identical () =
+  with_temp_dir (fun dir ->
+      let live = start_server ~max_batch:8 dir in
+      Fun.protect ~finally:(fun () -> stop_server live) @@ fun () ->
+      let n_clients = 4 and per_client = 24 in
+      (* every client pipelines its requests, so the server sees interleaved
+         traffic from all of them and coalesces across connections *)
+      let worker c =
+        let client = Serving.Client.connect (Unix.ADDR_UNIX live.sock) in
+        Fun.protect ~finally:(fun () -> Serving.Client.close client) @@ fun () ->
+        for i = 0 to per_client - 1 do
+          Serving.Client.send client
+            (P.Predict
+               { id = Int32.of_int i; features = features_of ~inputs:4 ((c * 100) + i) })
+        done;
+        let answers = Array.make per_client (-1) in
+        for _ = 1 to per_client do
+          match Serving.Client.recv client with
+          | P.Class { id; cls } -> answers.(Int32.to_int id) <- cls
+          | r -> Alcotest.failf "client %d: unexpected response %ld" c (P.response_id r)
+        done;
+        answers
+      in
+      let domains = Array.init n_clients (fun c -> Domain.spawn (fun () -> worker c)) in
+      let got = Array.map Domain.join domains in
+      (* the single-threaded reference answers, one request at a time *)
+      Array.iteri
+        (fun c answers ->
+          Array.iteri
+            (fun i cls ->
+              let x = features_of ~inputs:4 ((c * 100) + i) in
+              let direct = predict_alone live.net x in
+              Alcotest.(check int)
+                (Printf.sprintf "client %d request %d" c i)
+                direct cls)
+            answers)
+        got;
+      let probe = Serving.Client.connect (Unix.ADDR_UNIX live.sock) in
+      Fun.protect ~finally:(fun () -> Serving.Client.close probe) @@ fun () ->
+      let stats = Serving.Client.stats probe in
+      Alcotest.(check int64)
+        "every request was served exactly once"
+        (Int64.of_int (n_clients * per_client))
+        stats.P.served;
+      Alcotest.(check int64) "no errors" 0L stats.P.errors)
+
+let test_shutdown_request_stops_server () =
+  with_temp_dir (fun dir ->
+      let live = start_server dir in
+      let client = Serving.Client.connect (Unix.ADDR_UNIX live.sock) in
+      let x = features_of ~inputs:4 1 in
+      let (_ : int) = Serving.Client.predict client ~id:1l x in
+      Serving.Client.shutdown client;
+      Serving.Client.close client;
+      (* run returns on its own — no Server.stop needed *)
+      Domain.join live.domain;
+      Alcotest.(check int64)
+        "served one request before stopping" 1L
+        (Serving.Server.stats live.server).P.served)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trips" `Quick test_request_roundtrips;
+          Alcotest.test_case "response round-trips" `Quick test_response_roundtrips;
+          Alcotest.test_case "malformed payloads" `Quick test_malformed_payloads;
+          Alcotest.test_case "incremental reader" `Quick test_reader_incremental;
+          Alcotest.test_case "oversized frame" `Quick test_reader_oversized_frame;
+          Alcotest.test_case "partial frame" `Quick test_reader_partial_is_not_an_error;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "fills at max_batch" `Quick test_batcher_fills_at_max_batch;
+          Alcotest.test_case "linger deadline" `Quick test_batcher_linger_deadline;
+          Alcotest.test_case "drain chunks" `Quick test_batcher_drain_chunks;
+          Alcotest.test_case "validation" `Quick test_batcher_validation;
+        ] );
+      ( "serve-model",
+        [
+          Alcotest.test_case "padded rows" `Quick test_padded_rows;
+          Alcotest.test_case "batch matches predict" `Quick
+            test_predict_batch_matches_predict;
+          Alcotest.test_case "mc pool-size invariant" `Quick
+            test_predict_mc_pool_size_invariant;
+          Alcotest.test_case "load verifies digest" `Quick test_load_verifies_digest;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "matches in-process" `Quick test_wire_matches_inprocess;
+          Alcotest.test_case "rejects bad requests" `Quick test_wire_rejects_bad_requests;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_concurrent_clients_bit_identical;
+          Alcotest.test_case "shutdown request" `Quick test_shutdown_request_stops_server;
+        ] );
+    ]
