@@ -35,7 +35,7 @@ let run n seed max_epochs arch_small force dir =
     report.Surrogate.Pipeline.test_mse report.Surrogate.Pipeline.test_r2;
   Printf.printf "epochs: %d, training time %.1fs\n" report.Surrogate.Pipeline.epochs_run
     (t2 -. t1);
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Cache.mkdir_p dir;
   Surrogate.Model.save_file model path;
   Printf.printf "saved %s\n" path
 

@@ -1,7 +1,14 @@
+(* EEXIST-tolerant recursive mkdir.  The create is attempted *uncondition-
+   ally* after the parent exists and a racing creator is detected after the
+   fact, so two processes calling this concurrently (the TOCTOU that
+   [if not (Sys.file_exists d) then Sys.mkdir d] gets wrong) both succeed. *)
 let rec mkdir_p dir =
   if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir ->
+      (* lost a creation race (or the path pre-existed): fine either way *)
+      ()
   end
 
 (* Unique-enough temp names: same-process writers are disambiguated by the
@@ -254,26 +261,49 @@ let entries ?(check = false) ~dir () =
                      }))
       kinds
 
-let contains_substring s sub =
-  let n = String.length s and m = String.length sub in
-  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
-  m = 0 || at 0
+(* Exact parse of the names [temp_path] produces for entry files:
+   [<key>.pce.tmp.<pid>.<domain>.<counter>] with all three trailing fields
+   numeric.  A substring scan for ".pce.tmp." would also match *entry* files
+   whose key happens to contain the marker (keys are arbitrary strings at
+   this layer), deleting live data; the exact parse cannot. *)
+let is_numeric s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
 
-let stale_tmp_files ~dir =
+let tmp_file_key name =
+  (* entry_ext is ".pce"; the component split sees it as a bare "pce" *)
+  let ext = String.sub entry_ext 1 (String.length entry_ext - 1) in
+  match List.rev (String.split_on_char '.' name) with
+  | ctr :: dom :: pid :: "tmp" :: e :: (_ :: _ as rev_key)
+    when e = ext && is_numeric ctr && is_numeric dom && is_numeric pid ->
+      Some (String.concat "." (List.rev rev_key))
+  | _ -> None
+
+let default_tmp_stale_age = 600.0
+
+let stale_tmp_files ?(stale_age = default_tmp_stale_age) ~now ~dir () =
   if not (Sys.file_exists dir && Sys.is_directory dir) then []
   else
     Array.to_list (Sys.readdir dir)
     |> List.filter (fun k -> Sys.is_directory (Filename.concat dir k))
+    |> List.sort String.compare
     |> List.concat_map (fun kind ->
            let kdir = Filename.concat dir kind in
            Array.to_list (Sys.readdir kdir)
+           |> List.sort String.compare
            |> List.filter_map (fun f ->
-                  (* leftovers from crashed writers: <key>.pce.tmp.<...> *)
-                  if contains_substring f (entry_ext ^ ".tmp.") then
-                    Some (Filename.concat kdir f)
-                  else None))
+                  (* leftovers from crashed writers — but a *young* temp file
+                     is very likely a live writer's in-flight publish;
+                     deleting it would make that writer's rename fail.  Only
+                     files past the stale-age threshold are reclaimed. *)
+                  if tmp_file_key f = None then None
+                  else
+                    let path = Filename.concat kdir f in
+                    match Unix.stat path with
+                    | exception Unix.Unix_error _ -> None
+                    | st ->
+                        if now -. st.Unix.st_mtime > stale_age then Some path
+                        else None))
 
-let gc ?max_age_days ?(all = false) ~dir () =
+let gc ?max_age_days ?tmp_stale_age ?(all = false) ~dir () =
   (* pnnlint:allow R2 wall clock feeds only the GC age policy; cache keys
      and cached results never depend on it *)
   let now = Unix.time () in
@@ -291,9 +321,55 @@ let gc ?max_age_days ?(all = false) ~dir () =
       end
       else incr kept)
     (entries ~check:true ~dir ());
+  (* [gc ~all] is an explicit "clear the store": reclaim every temp file
+     regardless of age (there can be no writer whose output we still want) *)
+  let stale_age =
+    if all then Float.neg_infinity
+    else Option.value tmp_stale_age ~default:default_tmp_stale_age
+  in
   List.iter
     (fun tmp ->
       (try Sys.remove tmp with Sys_error _ -> ());
       incr removed)
-    (stale_tmp_files ~dir);
+    (stale_tmp_files ~stale_age ~now ~dir ());
   (!removed, !kept)
+
+(* {1 Exclusive publish (claim files)}
+
+   The write-side discipline is the same temp-file one {!Blob.write} uses;
+   the publish step is a hard [link] instead of a [rename], which fails with
+   [EEXIST] when the destination already exists — the atomic test-and-set a
+   directory-based work queue needs for claim files.  ([rename] silently
+   replaces, so it cannot arbitrate two claimants.) *)
+
+let publish_exclusive path content =
+  mkdir_p (Filename.dirname path);
+  let tmp = temp_path path in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  let created =
+    match Unix.link tmp path with
+    | () -> true
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
+  in
+  (try Sys.remove tmp with Sys_error _ -> ());
+  created
+
+let replace_file path content =
+  mkdir_p (Filename.dirname path);
+  let tmp = temp_path path in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

@@ -15,6 +15,14 @@
     bit-identical to a fresh compute and a corrupted entry is silently
     recomputed and rewritten. *)
 
+val mkdir_p : string -> unit
+(** Recursive, EEXIST-tolerant directory creation: safe against the
+    create/create race (two processes may call it on the same path
+    concurrently and both succeed).  The shared helper for every module that
+    materializes directories other processes may be creating too — ad-hoc
+    [if not (Sys.file_exists d) then Sys.mkdir d] sequences are exactly the
+    TOCTOU this exists to replace. *)
+
 (** {1 Checksummed atomic blob files}
 
     The file layer under the keyed store; also used directly by training
@@ -124,8 +132,44 @@ val entries : ?check:bool -> dir:string -> unit -> entry list
     [check:true] (default false) each entry's checksum is verified into
     [valid]. *)
 
+val default_tmp_stale_age : float
+(** Seconds a writer temp file must sit untouched before {!gc} may reclaim
+    it (600 s).  Far longer than any single atomic publish, far shorter than
+    a human-scale gc cadence. *)
+
+val stale_tmp_files :
+  ?stale_age:float -> now:float -> dir:string -> unit -> string list
+(** Writer temp files ([<key>.pce.tmp.<pid>.<domain>.<counter>], matched by
+    an exact filename parse — an entry whose {e key} merely contains the
+    marker is never misclassified) whose mtime is more than [stale_age]
+    (default {!default_tmp_stale_age}) before [now].  Younger temp files
+    belong to potentially live writers and are left alone so their
+    publishing rename cannot be broken. *)
+
 val gc :
-  ?max_age_days:float -> ?all:bool -> dir:string -> unit -> int * int
-(** [gc ~dir ()] deletes invalid entries and stale [*.tmp] files; with
-    [max_age_days] also entries older than that; with [all:true] every
-    entry.  Returns [(removed, kept)]. *)
+  ?max_age_days:float ->
+  ?tmp_stale_age:float ->
+  ?all:bool ->
+  dir:string -> unit -> int * int
+(** [gc ~dir ()] deletes invalid entries and writer temp files older than
+    [tmp_stale_age] (see {!stale_tmp_files}; a concurrent writer's in-flight
+    temp is younger than that and survives, so gc can run while writers are
+    publishing); with [max_age_days] also entries older than that; with
+    [all:true] every entry and every temp file regardless of age.  Returns
+    [(removed, kept)]. *)
+
+(** {1 Exclusive publish (claim files)} *)
+
+val publish_exclusive : string -> string -> bool
+(** [publish_exclusive path content] atomically creates [path] with
+    [content] and returns [true] iff no file existed there — the same
+    temp-file write discipline as {!Blob.write}, published with a hard link
+    (which fails on an existing destination) instead of a rename (which
+    silently replaces).  The test-and-set primitive for directory-based
+    claim files: of any number of concurrent callers exactly one wins.
+    Returns [false] to the losers; the temp file is always cleaned up. *)
+
+val replace_file : string -> string -> unit
+(** Atomic unconditional overwrite (temp + rename) — the companion of
+    {!publish_exclusive} for refreshing a file the caller already owns,
+    e.g. renewing a claim's lease. *)

@@ -49,6 +49,69 @@ let rec model_desc = function
 
 let model_tag = function None -> "nominal" | Some m -> model_desc m
 
+(* the per-seed split, shared by all arms; a function of the seed only (the
+   dataset is fixed per run), so any process can reproduce it *)
+let split_for (data : Datasets.Synth.t) ~seed =
+  Datasets.Synth.split (Rng.create (seed + 700)) data
+
+let init_name = function `Centered -> "centered" | `Random_sign -> "random_sign"
+
+(* [train_rng]'s tag covers (arm_idx, seed); the key carries both plus the
+   model descriptor, so arms sharing a config never collide. *)
+let cell_key ~surrogate_digest ~scale ~dataset ~arm_idx ~model ~seed =
+  Cache.key ~schema:(Pnn.Serialize.cache_schema ()) ~kind:"faultcell"
+    [
+      surrogate_digest;
+      Pnn.Serialize.config_line scale.Setup.config;
+      dataset;
+      string_of_int arm_idx;
+      model_tag model;
+      string_of_int seed;
+      init_name scale.Setup.init;
+    ]
+
+(* One memoized training cell — the fault-table counterpart of
+   {!Table2.train_cell}, and the unit the orchestrator distributes. *)
+let train_cell ?pool ?(cache = Cache.disabled ()) ?(checkpoints = false)
+    ?(checkpoint_every = 50) ?interrupt_after ~digest ~scale ~surrogate
+    ~dataset ~features ~n_classes ~arm_idx ~model ~seed ~split () =
+  let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
+  let key = cell_key ~surrogate_digest:digest ~scale ~dataset ~arm_idx ~model ~seed in
+  Cache.memoize cache ~kind:"faultcell" ~key ~encode:Pnn.Training.result_lines
+    ~decode:(Pnn.Training.result_of_lines surrogate)
+    (fun () ->
+      let rng = train_rng ~arm_idx ~seed in
+      let tdata = Pnn.Training.of_split ~n_classes split in
+      let network =
+        Pnn.Network.create ~init:scale.Setup.init rng scale.Setup.config
+          surrogate ~inputs:features ~outputs:n_classes
+      in
+      let checkpoint =
+        if not checkpoints then None
+        else
+          match Cache.member_path cache ~kind:"ckpt" ~key with
+          | None -> None
+          | Some path ->
+              Some
+                {
+                  Pnn.Training.ckpt_path = path;
+                  every = checkpoint_every;
+                  resume = true;
+                  interrupt_after;
+                }
+      in
+      let r =
+        match model with
+        | None -> Pnn.Training.fit ~pool ?checkpoint rng network tdata
+        | Some m ->
+            Pnn.Training.fit_under ~pool ?checkpoint rng ~model:m network tdata
+      in
+      (match checkpoint with
+      | Some c -> (
+          try Sys.remove c.Pnn.Training.ckpt_path with Sys_error _ -> ())
+      | None -> ());
+      r)
+
 let best_of candidates =
   match candidates with
   | [] -> invalid_arg "Faults.run: no seeds"
@@ -69,67 +132,13 @@ let run ?pool ?cache ?(checkpoints = false) ?(progress = fun _ -> ())
   let n_classes = spec.Datasets.Synth.classes in
   (* one split per seed, shared by all arms for a fair comparison *)
   let splits =
-    List.map
-      (fun seed -> (seed, Datasets.Synth.split (Rng.create (seed + 700)) data))
-      scale.Setup.seeds
-  in
-  let init_name =
-    match scale.Setup.init with
-    | `Centered -> "centered"
-    | `Random_sign -> "random_sign"
+    List.map (fun seed -> (seed, split_for data ~seed)) scale.Setup.seeds
   in
   let train_one ~arm_idx model (seed, split) =
-    (* [train_rng]'s tag covers (arm_idx, seed); the key carries both plus
-       the model descriptor, so arms sharing a config never collide. *)
-    let key =
-      Cache.key ~schema:(Pnn.Serialize.cache_schema ()) ~kind:"faultcell"
-        [
-          digest;
-          Pnn.Serialize.config_line scale.Setup.config;
-          dataset;
-          string_of_int arm_idx;
-          model_tag model;
-          string_of_int seed;
-          init_name;
-        ]
-    in
     let result =
-      Cache.memoize cache ~kind:"faultcell" ~key
-        ~encode:Pnn.Training.result_lines
-        ~decode:(Pnn.Training.result_of_lines surrogate)
-        (fun () ->
-          let rng = train_rng ~arm_idx ~seed in
-          let tdata = Pnn.Training.of_split ~n_classes split in
-          let network =
-            Pnn.Network.create ~init:scale.Setup.init rng scale.Setup.config
-              surrogate ~inputs:spec.Datasets.Synth.features ~outputs:n_classes
-          in
-          let checkpoint =
-            if not checkpoints then None
-            else
-              match Cache.member_path cache ~kind:"ckpt" ~key with
-              | None -> None
-              | Some path ->
-                  Some
-                    {
-                      Pnn.Training.ckpt_path = path;
-                      every = 50;
-                      resume = true;
-                      interrupt_after = None;
-                    }
-          in
-          let r =
-            match model with
-            | None -> Pnn.Training.fit ~pool ?checkpoint rng network tdata
-            | Some m ->
-                Pnn.Training.fit_under ~pool ?checkpoint rng ~model:m network
-                  tdata
-          in
-          (match checkpoint with
-          | Some c -> (
-              try Sys.remove c.Pnn.Training.ckpt_path with Sys_error _ -> ())
-          | None -> ());
-          r)
+      train_cell ~pool ~cache ~checkpoints ~digest ~scale ~surrogate ~dataset
+        ~features:spec.Datasets.Synth.features ~n_classes ~arm_idx ~model ~seed
+        ~split ()
     in
     (result, split)
   in

@@ -32,7 +32,8 @@ let init_tag = function `Centered -> "centered" | `Random_sign -> "random_sign"
    run reads — the frozen surrogate, the resolved config (which encodes arm
    and ε), the dataset identity and both seed layers.  [run_seed]'s stream
    tag is derived from the same inputs, so the key covers it. *)
-let cell_key ~kind ~surrogate_digest ~config ~dataset ~dataset_seed ~seed ~init =
+let raw_cell_key ~kind ~surrogate_digest ~config ~dataset ~dataset_seed ~seed
+    ~init =
   Cache.key ~schema:(Pnn.Serialize.cache_schema ()) ~kind
     [
       surrogate_digest;
@@ -43,10 +44,14 @@ let cell_key ~kind ~surrogate_digest ~config ~dataset ~dataset_seed ~seed ~init 
       init_tag init;
     ]
 
+let cell_key ~surrogate_digest ~config ~dataset ~dataset_seed ~seed ~init =
+  raw_cell_key ~kind:"t2cell" ~surrogate_digest ~config ~dataset ~dataset_seed
+    ~seed ~init
+
 let surrogate_digest surrogate =
   Cache.digest_lines (Surrogate.Model.to_lines surrogate)
 
-let checkpoint_for cache ~checkpoints ~key =
+let checkpoint_for cache ~checkpoints ~checkpoint_every ~interrupt_after ~key =
   if not checkpoints then None
   else
     match Cache.member_path cache ~kind:"ckpt" ~key with
@@ -55,10 +60,49 @@ let checkpoint_for cache ~checkpoints ~key =
         Some
           {
             Pnn.Training.ckpt_path = path;
-            every = 50;
+            every = checkpoint_every;
             resume = true;
-            interrupt_after = None;
+            interrupt_after;
           }
+
+(* the per-seed train/validation/test split, shared by every arm so the arm
+   comparison is fair; a function of (dataset identity, seed) only, so any
+   process can reproduce it *)
+let split_for (data : Datasets.Synth.t) ~seed =
+  let dataset_seed = data.Datasets.Synth.spec.Datasets.Synth.seed in
+  Datasets.Synth.split (Rng.create (dataset_seed + seed)) data
+
+(* One memoized training cell — the unit of work the multi-process
+   orchestrator distributes, so everything here (the key, the RNG stream
+   derivation, the checkpoint placement) must stay a pure function of the
+   named inputs. *)
+let train_cell ?pool ?(cache = Cache.disabled ()) ?(checkpoints = false)
+    ?(checkpoint_every = 50) ?interrupt_after ~digest ~scale ~surrogate
+    ~dataset ~dataset_seed ~n_classes ~seed ~split ~arm ~eps () =
+  let pool = match pool with Some p -> p | None -> Parallel.get_pool () in
+  let config = config_for scale arm eps in
+  let key =
+    cell_key ~surrogate_digest:digest ~config ~dataset ~dataset_seed ~seed
+      ~init:scale.Setup.init
+  in
+  Cache.memoize cache ~kind:"t2cell" ~key ~encode:Pnn.Training.result_lines
+    ~decode:(Pnn.Training.result_of_lines surrogate)
+    (fun () ->
+      let rng = run_seed ~dataset_seed ~arm ~eps ~seed in
+      let checkpoint =
+        checkpoint_for cache ~checkpoints ~checkpoint_every ~interrupt_after
+          ~key
+      in
+      let r =
+        Pnn.Training.train_fresh ~pool ~init:scale.Setup.init ?checkpoint rng
+          config surrogate ~n_classes split
+      in
+      (* the completed result supersedes any in-progress checkpoint *)
+      (match checkpoint with
+      | Some c -> (
+          try Sys.remove c.Pnn.Training.ckpt_path with Sys_error _ -> ())
+      | None -> ());
+      r)
 
 (* Train one arm for every seed and keep the best model by validation loss.
    The per-seed runs are independent (each derives its own RNG stream from
@@ -70,31 +114,12 @@ let train_best ?pool ?(cache = Cache.disabled ()) ?(checkpoints = false)
   let digest =
     match digest with Some d -> d | None -> surrogate_digest surrogate
   in
-  let config = config_for scale arm eps in
   let candidates =
     Parallel.Pool.map_list pool
       (fun (seed, split) ->
-        let key =
-          cell_key ~kind:"t2cell" ~surrogate_digest:digest ~config ~dataset
-            ~dataset_seed ~seed ~init:scale.Setup.init
-        in
         let result =
-          Cache.memoize cache ~kind:"t2cell" ~key
-            ~encode:Pnn.Training.result_lines
-            ~decode:(Pnn.Training.result_of_lines surrogate)
-            (fun () ->
-              let rng = run_seed ~dataset_seed ~arm ~eps ~seed in
-              let checkpoint = checkpoint_for cache ~checkpoints ~key in
-              let r =
-                Pnn.Training.train_fresh ~pool ~init:scale.Setup.init
-                  ?checkpoint rng config surrogate ~n_classes split
-              in
-              (* the completed result supersedes any in-progress checkpoint *)
-              (match checkpoint with
-              | Some c -> (
-                  try Sys.remove c.Pnn.Training.ckpt_path with Sys_error _ -> ())
-              | None -> ());
-              r)
+          train_cell ~pool ~cache ~checkpoints ~digest ~scale ~surrogate
+            ~dataset ~dataset_seed ~n_classes ~seed ~split ~arm ~eps ()
         in
         (result, split))
       splits
@@ -147,9 +172,7 @@ let run_dataset ?pool ?cache ?checkpoints ?digest ?(progress = fun _ -> ())
   in
   (* one split per seed, shared by all arms for a fair comparison *)
   let splits =
-    List.map
-      (fun seed -> (seed, Datasets.Synth.split (Rng.create (dataset_seed + seed)) data))
-      scale.Setup.seeds
+    List.map (fun seed -> (seed, split_for data ~seed)) scale.Setup.seeds
   in
   let train_best arm eps =
     train_best ?pool ~cache ?checkpoints ~digest scale surrogate ~dataset

@@ -44,6 +44,57 @@ val run :
     tree and resumes from them after an interruption; a cell's checkpoint is
     deleted once its result lands in the cache. *)
 
+(** {1 Cell-level building blocks}
+
+    The orchestrator distributes Table II work one training cell at a time, so
+    the key derivation, the per-seed split and the memoized training step are
+    exposed as pure functions of their named inputs: any process computing the
+    same cell arrives at the same cache entry. *)
+
+val config_for : Setup.scale -> Setup.arm -> float -> Pnn.Config.t
+(** The resolved training config of one (arm, train ε) column. *)
+
+val surrogate_digest : Surrogate.Model.t -> string
+(** Content digest of the frozen surrogate, folded into every cell key. *)
+
+val cell_key :
+  surrogate_digest:string ->
+  config:Pnn.Config.t ->
+  dataset:string ->
+  dataset_seed:int ->
+  seed:int ->
+  init:[ `Centered | `Random_sign ] ->
+  string
+(** The content address of one (dataset, seed, arm) training cell — exactly
+    the key {!run} uses, so externally computed cells are cache hits. *)
+
+val split_for : Datasets.Synth.t -> seed:int -> Datasets.Synth.split
+(** The per-seed train/validation/test split shared by every arm. *)
+
+val train_cell :
+  ?pool:Parallel.Pool.t ->
+  ?cache:Cache.t ->
+  ?checkpoints:bool ->
+  ?checkpoint_every:int ->
+  ?interrupt_after:int ->
+  digest:string ->
+  scale:Setup.scale ->
+  surrogate:Surrogate.Model.t ->
+  dataset:string ->
+  dataset_seed:int ->
+  n_classes:int ->
+  seed:int ->
+  split:Datasets.Synth.split ->
+  arm:Setup.arm ->
+  eps:float ->
+  unit ->
+  Pnn.Training.result
+(** One memoized training cell, keyed with {!cell_key}.  [checkpoint_every]
+    (default 50 epochs) sets the checkpoint cadence when [checkpoints] is on;
+    [interrupt_after] raises {!Pnn.Training.Interrupted} once that many
+    epochs have completed (after any due checkpoint write) — the
+    crash-injection hook the orchestrator's kill-recovery tests use. *)
+
 val cell_of : t -> dataset:string -> arm:Setup.arm -> epsilon:float -> cell
 (** Raises [Not_found]. *)
 

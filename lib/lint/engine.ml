@@ -41,6 +41,12 @@ let default_config =
         "Serving";
         "Serve";
         "Loadgen";
+        (* the sharded orchestrator publishes cache entries and assembles
+           the committed tables, so its whole closure (library + CLI) is
+           result-producing; wall clocks there may only drive the lease
+           protocol or progress reporting, under reasoned allows *)
+        "Orchestration";
+        "Orchestrate";
       ];
   }
 

@@ -1,0 +1,47 @@
+(** Scenario-matrix expansion and unit execution.
+
+    A {!ctx} freezes everything a training cell depends on — the scale, the
+    surrogate (and its digest), the dataset list, the optional fault-table
+    block and the cache — so {!units} is a pure function from ctx to the
+    content-addressed work list, and any process holding an equal ctx
+    expands an identical list.  That is the whole sharding contract: workers
+    never exchange results, they meet in the cache. *)
+
+type ctx = {
+  scale : Experiments.Setup.scale;
+  surrogate : Surrogate.Model.t;
+  digest : string;
+  datasets : Datasets.Synth.t list;
+  faults : (string * float) option;  (** fault-table (dataset, ε) block *)
+  cache : Cache.t;
+  checkpoints : bool;
+  checkpoint_every : int;
+}
+
+val create :
+  ?datasets:Datasets.Synth.t list ->
+  ?faults:string * float ->
+  ?checkpoints:bool ->
+  ?checkpoint_every:int ->
+  cache:Cache.t ->
+  Experiments.Setup.scale ->
+  Surrogate.Model.t ->
+  ctx
+(** Defaults: no datasets, no fault block, [checkpoints = true] (workers can
+    be killed, so mid-training state should survive), [checkpoint_every =
+    50]. *)
+
+val specs : ctx -> Spec.t list
+(** The expanded scenario matrix, in deterministic order: Table II cells
+    (datasets × arms × training ε × seeds, mirroring
+    {!Experiments.Table2.run}'s traversal) followed by fault-table cells
+    (arms × seeds). *)
+
+val units : ctx -> (string * Spec.t) list
+(** [specs] paired with their queue keys ({!Spec.key}). *)
+
+val execute :
+  ?pool:Parallel.Pool.t -> ?interrupt_after:int -> ctx -> Spec.t -> unit
+(** Compute one unit: reproduce its split, train, publish the result into
+    [ctx.cache] under the unit's key.  [interrupt_after] is the
+    crash-injection hook ({!Experiments.Table2.train_cell}). *)

@@ -1,0 +1,38 @@
+type t =
+  | T2_cell of {
+      dataset : string;
+      dataset_seed : int;
+      seed : int;
+      arm : Experiments.Setup.arm;
+      eps : float;
+    }
+  | Fault_cell of { dataset : string; arm_idx : int; seed : int; epsilon : float }
+
+let describe = function
+  | T2_cell { dataset; seed; arm; eps; _ } ->
+      Printf.sprintf "t2cell %s seed=%d %s eps=%g" dataset seed
+        (Experiments.Setup.arm_name arm) eps
+  | Fault_cell { dataset; arm_idx; seed; epsilon } ->
+      Printf.sprintf "faultcell %s arm=%d seed=%d eps=%g" dataset arm_idx seed
+        epsilon
+
+let fault_model ~arm_idx ~epsilon =
+  match List.nth_opt (Experiments.Faults.train_arms epsilon) arm_idx with
+  | Some (_, model) -> model
+  | None -> invalid_arg "Orchestrate.Spec.fault_model: arm index out of range"
+
+(* The queue id of a unit IS its cache content address: the exact key the
+   single-process table runners pass to [Cache.memoize].  Distributing work
+   by this key makes duplicate execution harmless (same-key publishes are
+   already handled by the cache's atomic writes) and makes "done" equivalent
+   to "the table assembly will hit". *)
+let key ~digest ~(scale : Experiments.Setup.scale) = function
+  | T2_cell { dataset; dataset_seed; seed; arm; eps } ->
+      Experiments.Table2.cell_key ~surrogate_digest:digest
+        ~config:(Experiments.Table2.config_for scale arm eps)
+        ~dataset ~dataset_seed ~seed ~init:scale.Experiments.Setup.init
+  | Fault_cell { dataset; arm_idx; seed; epsilon } ->
+      Experiments.Faults.cell_key ~surrogate_digest:digest ~scale ~dataset
+        ~arm_idx
+        ~model:(fault_model ~arm_idx ~epsilon)
+        ~seed

@@ -1,0 +1,33 @@
+(** One schedulable unit of experiment work: a single training cell.
+
+    Training dominates experiment cost, so the orchestrator distributes
+    training cells and leaves the (cheap, cache-memoized) Monte-Carlo
+    evaluations and table assembly to the coordinator process. *)
+
+type t =
+  | T2_cell of {
+      dataset : string;
+      dataset_seed : int;
+      seed : int;
+      arm : Experiments.Setup.arm;
+      eps : float;  (** training ε; [0.0] for nominal arms *)
+    }
+  | Fault_cell of {
+      dataset : string;
+      arm_idx : int;  (** index into {!Experiments.Faults.train_arms} *)
+      seed : int;
+      epsilon : float;  (** the fault table's severity anchor *)
+    }
+
+val describe : t -> string
+(** Human-readable one-liner (stored in queue unit files for debugging). *)
+
+val fault_model : arm_idx:int -> epsilon:float -> Pnn.Variation.model option
+(** The training fault model of arm [arm_idx] at severity [epsilon].  Raises
+    [Invalid_argument] when out of range. *)
+
+val key : digest:string -> scale:Experiments.Setup.scale -> t -> string
+(** The unit's queue id — exactly the cache key the single-process table
+    runners use for the same cell ({!Experiments.Table2.cell_key} /
+    {!Experiments.Faults.cell_key}), so completing a unit anywhere makes the
+    coordinator's assembly pass hit the cache. *)

@@ -33,6 +33,11 @@ module Pool = struct
         (try f () with _ -> ());
         worker_loop pool
 
+  (* OCaml 5's [Unix.fork] permanently refuses once any domain was ever
+     spawned in the process, so the fork-based orchestrator needs to know
+     whether the pool layer has ever spawned one (see [require_sequential]). *)
+  let ever_spawned = Atomic.make false
+
   let create ?jobs () =
     let jobs = match jobs with Some j -> Stdlib.max 1 j | None -> default_jobs () in
     let pool =
@@ -45,9 +50,11 @@ module Pool = struct
         shut = false;
       }
     in
-    if jobs > 1 then
+    if jobs > 1 then begin
+      Atomic.set ever_spawned true;
       pool.workers <-
-        List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+        List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool))
+    end;
     pool
 
   let jobs t = t.jobs
@@ -177,3 +184,13 @@ let get_pool () =
   in
   Mutex.unlock shared_mutex;
   pool
+
+let require_sequential () =
+  Mutex.lock shared_mutex;
+  (match !shared with
+  | Some p -> Pool.shutdown p
+  | None ->
+      let p = Pool.create ~jobs:1 () in
+      shared := Some p);
+  Mutex.unlock shared_mutex;
+  not (Atomic.get Pool.ever_spawned)

@@ -74,3 +74,15 @@ val get_pool : unit -> Pool.t
 (** The shared process-wide pool, created on first use with
     {!default_jobs} workers and shut down automatically at exit.  All
     library entry points taking [?pool] default to this. *)
+
+val require_sequential : unit -> bool
+(** Pin the shared pool to the sequential path: if it does not exist yet it
+    is created with [jobs = 1] (spawning no domains), otherwise it is shut
+    down (degrading it to sequential but leaving it usable).
+
+    This is the fork-safety latch for the multi-process orchestrator: OCaml 5
+    permanently refuses [Unix.fork] in any process that has {e ever} spawned
+    a domain, so a coordinator that intends to fork calls this before any
+    pool work.  Returns [true] iff the pool layer has never spawned a domain
+    — i.e. the process is still fork-safe as far as this module knows.  By
+    the pool's determinism contract, results are unaffected. *)

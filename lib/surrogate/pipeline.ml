@@ -224,7 +224,9 @@ let ensure ?(dir = "_artifacts") ?(n = 4000) ?(arch = Model.paper_arch)
     Logs.info (fun m ->
         m "surrogate trained: val MSE %.5f, test MSE %.5f (kept %d, rejected %d)"
           report.val_mse report.test_mse report.kept_samples report.rejected_samples);
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    (* EEXIST-tolerant: two processes may race to materialize the artifact
+       directory (the orchestrator's workers do) *)
+    Cache.mkdir_p dir;
     Model.save_file model path;
     model
   end

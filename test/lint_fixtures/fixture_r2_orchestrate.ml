@@ -1,0 +1,8 @@
+(* R2 orchestrate fixture: orchestrator units publish cache entries and
+   assemble committed tables, so a wall clock inside one is a finding
+   unless its allow says the time only drives the lease protocol. *)
+let lease_deadline () = Unix.gettimeofday ()
+
+(* pnnlint:allow R2 fixture: wall clock renews a lease only; unit results
+   are content-addressed and never read it *)
+let renewed_expiry lease = Unix.time () +. lease

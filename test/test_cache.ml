@@ -216,6 +216,9 @@ let test_disabled_is_transparent () =
 
 (* {1 Maintenance} *)
 
+(* Backdate a file so gc's stale-age policy sees it as ancient. *)
+let age_file path = Unix.utimes path 1.0 1.0
+
 let test_gc_removes_damage_and_all () =
   let dir = fresh_dir () in
   let c = Ca.create ~dir in
@@ -223,17 +226,123 @@ let test_gc_removes_damage_and_all () =
   Ca.store c ~kind:"unit" ~key:the_key special_lines;
   Ca.store c ~kind:"unit" ~key:key2 [ "fine" ];
   write_file (entry_path c) "garbage";
-  (* a stale temp file from a crashed writer *)
-  write_file (Filename.concat dir "unit/leftover.pce.tmp.999") "partial";
+  (* a long-abandoned temp from a crashed writer: exact tmp shape, old mtime *)
+  let stale_tmp = Filename.concat dir "unit/leftover.pce.tmp.999.0.1" in
+  write_file stale_tmp "partial";
+  age_file stale_tmp;
+  (* a *young* temp is a potentially live writer's in-flight publish *)
+  let live_tmp = Filename.concat dir "unit/inflight.pce.tmp.999.0.2" in
+  write_file live_tmp "partial";
   let removed, kept = Ca.gc ~dir () in
-  Alcotest.(check (pair int int)) "corrupt + temp removed, good kept" (2, 1)
-    (removed, kept);
+  Alcotest.(check (pair int int)) "corrupt + stale temp removed, good kept"
+    (2, 1) (removed, kept);
+  Alcotest.(check bool) "live writer's temp survives" true
+    (Sys.file_exists live_tmp);
+  Alcotest.(check bool) "stale temp gone" false (Sys.file_exists stale_tmp);
   Alcotest.(check bool) "survivor still hits" true
     (Ca.find c ~kind:"unit" ~key:key2 = Some [ "fine" ]);
   let removed, kept = Ca.gc ~all:true ~dir () in
-  Alcotest.(check (pair int int)) "gc --all clears" (1, 0) (removed, kept);
+  Alcotest.(check (pair int int)) "gc --all clears entries and every temp"
+    (2, 0) (removed, kept);
   Alcotest.(check (list string)) "store empty" []
-    (List.map (fun e -> e.Ca.path) (Ca.entries ~dir ()))
+    (List.map (fun e -> e.Ca.path) (Ca.entries ~dir ()));
+  Alcotest.(check (list string)) "no temp litter" [] (tmp_litter dir)
+
+let test_gc_never_misreads_entries_as_temps () =
+  let dir = fresh_dir () in
+  let c = Ca.create ~dir in
+  (* Keys are arbitrary strings at this layer; an entry whose key contains
+     the temp marker must never be reclaimed as a "temp file".  The old
+     substring scan for ".pce.tmp." would have deleted both of these. *)
+  let tricky = [ "x.pce.tmp.7"; "y.pce.tmp.1.2" ] in
+  List.iter (fun k -> Ca.store c ~kind:"unit" ~key:k [ "keep:" ^ k ]) tricky;
+  List.iter (fun k ->
+      match Ca.member_path c ~kind:"unit" ~key:k with
+      | Some p -> age_file p
+      | None -> Alcotest.fail "member_path on an enabled cache")
+    tricky;
+  let real_tmp = Filename.concat dir "unit/abc.pce.tmp.42.0.0" in
+  write_file real_tmp "partial";
+  age_file real_tmp;
+  Alcotest.(check (list string)) "stale scan sees exactly the real temp"
+    [ real_tmp ]
+    (Ca.stale_tmp_files ~now:(Unix.time ()) ~dir ());
+  let removed, kept = Ca.gc ~dir () in
+  Alcotest.(check (pair int int)) "only the real temp reclaimed" (1, 2)
+    (removed, kept);
+  List.iter (fun k ->
+      Alcotest.(check bool) ("entry " ^ k ^ " still hits") true
+        (Ca.find c ~kind:"unit" ~key:k = Some [ "keep:" ^ k ]))
+    tricky
+
+let test_gc_racing_live_writers () =
+  (* Satellite regression: gc sweeping while writers publish must never
+     break a publish (it used to delete *any* temp file, including a live
+     writer's in-flight one, making the final rename fail). *)
+  let dir = fresh_dir () in
+  let c = Ca.create ~dir in
+  let pool = P.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      P.parallel_for pool ~n:64 (fun i ->
+          if i mod 8 = 0 then ignore (Ca.gc ~dir ())
+          else
+            let key =
+              Ca.key ~schema:"test-1" ~kind:"unit" [ "race"; string_of_int i ]
+            in
+            Ca.store c ~kind:"unit" ~key [ "payload"; string_of_int i ]));
+  for i = 0 to 63 do
+    if i mod 8 <> 0 then
+      let key =
+        Ca.key ~schema:"test-1" ~kind:"unit" [ "race"; string_of_int i ]
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "entry %d published despite gc" i)
+        true
+        (Ca.find c ~kind:"unit" ~key = Some [ "payload"; string_of_int i ])
+  done
+
+(* {1 Primitives shared with the work queue} *)
+
+let test_mkdir_p_race_tolerant () =
+  let dir = fresh_dir () in
+  let deep = Filename.concat dir "a/b/c" in
+  let pool = P.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () -> P.parallel_for pool ~n:16 (fun _ -> Ca.mkdir_p deep));
+  Alcotest.(check bool) "deep path exists" true
+    (Sys.file_exists deep && Sys.is_directory deep);
+  (* repeated calls stay no-ops *)
+  Ca.mkdir_p deep;
+  Ca.mkdir_p dir;
+  Alcotest.(check bool) "still a directory" true (Sys.is_directory deep)
+
+let test_publish_exclusive_single_winner () =
+  let dir = fresh_dir () in
+  Ca.mkdir_p dir;
+  let path = Filename.concat dir "claim" in
+  let wins = Atomic.make 0 in
+  let pool = P.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      P.parallel_for pool ~n:16 (fun i ->
+          if Ca.publish_exclusive path (Printf.sprintf "owner %d\n" i) then
+            Atomic.incr wins));
+  Alcotest.(check int) "exactly one writer wins" 1 (Atomic.get wins);
+  Alcotest.(check bool) "loser content never published" true
+    (match read_file path with
+    | s -> String.length s > 6 && String.sub s 0 6 = "owner "
+    | exception Sys_error _ -> false);
+  Alcotest.(check (list string)) "losers' temps cleaned up" []
+    (tmp_litter dir);
+  (* replace_file overwrites unconditionally and atomically *)
+  Ca.replace_file path "renewed\n";
+  Alcotest.(check string) "replace_file overwrites" "renewed\n"
+    (read_file path);
+  Alcotest.(check (list string)) "replace leaves no temp" [] (tmp_litter dir)
 
 let () =
   Alcotest.run "cache"
@@ -262,5 +371,17 @@ let () =
       ( "disabled",
         [ Alcotest.test_case "transparent" `Quick test_disabled_is_transparent ] );
       ( "maintenance",
-        [ Alcotest.test_case "gc" `Quick test_gc_removes_damage_and_all ] );
+        [
+          Alcotest.test_case "gc" `Quick test_gc_removes_damage_and_all;
+          Alcotest.test_case "gc exact tmp parse" `Quick
+            test_gc_never_misreads_entries_as_temps;
+          Alcotest.test_case "gc vs live writers" `Quick
+            test_gc_racing_live_writers;
+        ] );
+      ( "primitives",
+        [
+          Alcotest.test_case "mkdir_p race" `Quick test_mkdir_p_race_tolerant;
+          Alcotest.test_case "publish_exclusive single winner" `Quick
+            test_publish_exclusive_single_winner;
+        ] );
     ]

@@ -9,9 +9,10 @@ let fixture_config =
   {
     E.scan_dirs = [ "lint_fixtures" ];
     exclude = [];
-    (* two root families, like the live config: the experiment stack and
-       the serving stack *)
-    r2_roots = [ "Fixture_r2_root"; "Fixture_r2_serve" ];
+    (* three root families, like the live config: the experiment stack,
+       the serving stack and the orchestration stack *)
+    r2_roots =
+      [ "Fixture_r2_root"; "Fixture_r2_serve"; "Fixture_r2_orchestrate" ];
   }
 
 let run_fixtures ?(config = fixture_config) () = E.run ~config ~root:"." ()
@@ -32,6 +33,7 @@ let test_golden_diagnostics () =
       "R2 lint_fixtures/fixture_r2.ml:2";
       "R2 lint_fixtures/fixture_r2.ml:3";
       "R2 lint_fixtures/fixture_r2_serve.ml:4";
+      "R2 lint_fixtures/fixture_r2_orchestrate.ml:4";
       "R3 lint_fixtures/fixture_r3.ml:2";
       "R3 lint_fixtures/fixture_r3.ml:3";
       "R4 lint_fixtures/fixture_r4.ml:2";
@@ -55,9 +57,9 @@ let test_golden_diagnostics () =
 
 let test_suppressions_counted () =
   let report = run_fixtures () in
-  Alcotest.(check int) "seven suppressed findings" 7
+  Alcotest.(check int) "eight suppressed findings" 8
     (List.length report.E.suppressed);
-  Alcotest.(check int) "seven valid suppression comments" 7
+  Alcotest.(check int) "eight valid suppression comments" 8
     (List.length report.E.suppressions);
   List.iter
     (fun (s : E.suppression) ->
