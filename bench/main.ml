@@ -36,6 +36,7 @@
      REPRO_SKIP_SANITIZER=1              (skip the checked-mode cross-check)
      REPRO_BENCH4_JSON=path              (default BENCH_4.json)
      REPRO_SKIP_BACKENDS=1               (skip the backend-vs-backend pairs)
+     REPRO_BENCH7_JSON=path              (default BENCH_7.json)
 *)
 
 open Bechamel
@@ -677,6 +678,7 @@ let backend_benchmarks alloc_rows =
         (name, ref_us, ba_us, ref_us /. Float.max ba_us 1e-3))
       ref_rows ba_rows
   in
+  let pair_rows = (ref_rows, ba_rows) in
   Printf.printf "== backend benchmarks (reference vs bigarray, scale=%s) ==\n"
     scale_name;
   List.iter
@@ -708,8 +710,8 @@ let backend_benchmarks alloc_rows =
                   (%.0f us) beyond noise"
                  ref_us (b2_ns /. 1e3))
       | _ -> ())
-  | Tensor.Bigarray64 -> ());
-  rows
+  | Tensor.Bigarray64 | Tensor.C64 -> ());
+  (rows, pair_rows)
 
 let write_bench4_json rows =
   let path =
@@ -730,6 +732,143 @@ let write_bench4_json rows =
         (if i = n - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d entries)\n%!" path n
+
+(* {1 Three-way backend benchmarks (BENCH_7)}
+
+   Part 7 — the C-stub backend against both OCaml backends over the same
+   workloads as BENCH_4, plus two checks the C backend introduces:
+
+   - the quick Table II slice rendered with the fused dense kernels must be
+     byte-identical to the decomposed rendering on the same backend (checked
+     mode gates every fused capability off and swaps each kernel for its
+     bounds-checked bigarray twin — bit-identity across that swap is the
+     whole point of the backend contract);
+   - a batched-serving row (wide pNN, batch 64) measuring the per-batch
+     latency distribution on bigarray vs C, since the fused layer kernel
+     targets exactly the serve/train hot path. *)
+
+let with_backend_for_bench be f =
+  let prev = Tensor.backend () in
+  Tensor.set_backend be;
+  Fun.protect ~finally:(fun () -> Tensor.set_backend prev) f
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let bench7_serving_row be =
+  with_backend_for_bench be @@ fun () ->
+  let sur = Experiments.Setup.surrogate_of_scale scale in
+  let inputs = 64 and outputs = 16 and batch = 64 in
+  let config =
+    { scale.Experiments.Setup.config with Pnn.Config.hidden = 48 }
+  in
+  let net = Pnn.Network.create (Rng.create 11) config sur ~inputs ~outputs in
+  let model = Serving.Serve_model.of_network net in
+  let rng = Rng.create 17 in
+  let rows =
+    Array.init batch (fun _ ->
+        Array.init inputs (fun _ -> Rng.uniform rng ~lo:0.0 ~hi:1.0))
+  in
+  (* warm up twice (scratch, tape caches), then record per-batch latency *)
+  ignore (Serving.Serve_model.predict_batch model rows);
+  ignore (Serving.Serve_model.predict_batch model rows);
+  let runs = 200 in
+  let lat = Array.make runs 0.0 in
+  for i = 0 to runs - 1 do
+    let t0 = Unix.gettimeofday () in
+    ignore (Serving.Serve_model.predict_batch model rows);
+    lat.(i) <- (Unix.gettimeofday () -. t0) *. 1e6
+  done;
+  Array.sort Float.compare lat;
+  (percentile lat 0.50, percentile lat 0.99)
+
+let bench7_fused_byte_equality () =
+  (* quick Table II (iris) on the C backend, fused vs decomposed *)
+  with_backend_for_bench Tensor.C64 @@ fun () ->
+  let sur = Experiments.Setup.surrogate_of_scale scale in
+  let data = Datasets.Bench13.load "iris" in
+  let render () =
+    Experiments.Table2.render
+      (Experiments.Table2.run ~datasets:[ data ] scale sur)
+  in
+  let fused = render () in
+  let decomposed =
+    let prev = Tensor.checked () in
+    Tensor.set_checked true;
+    Fun.protect ~finally:(fun () -> Tensor.set_checked prev) render
+  in
+  if not (String.equal fused decomposed) then
+    failwith "BENCH_7: fused Table II differs from decomposed on backend c";
+  Printf.printf
+    "BENCH_7: quick Table II (iris) byte-equal fused vs decomposed on c\n%!"
+
+let bench7_benchmarks (ref_rows, ba_rows) =
+  let c_rows = backend_rows Tensor.C64 in
+  let rows =
+    List.map2
+      (fun (name, ref_us) ((_, ba_us), (_, c_us)) ->
+        (name, ref_us, ba_us, c_us))
+      ref_rows
+      (List.combine ba_rows c_rows)
+  in
+  Printf.printf
+    "== backend benchmarks (reference vs bigarray vs c, scale=%s) ==\n"
+    scale_name;
+  List.iter
+    (fun (name, ref_us, ba_us, c_us) ->
+      Printf.printf
+        "  %-28s %10.2f us  %10.2f us  %10.2f us  (c %5.2fx ref, %5.2fx ba)\n"
+        name ref_us ba_us c_us
+        (ref_us /. Float.max c_us 1e-3)
+        (ba_us /. Float.max c_us 1e-3))
+    rows;
+  print_newline ();
+  bench7_fused_byte_equality ();
+  let ba_p50, ba_p99 = bench7_serving_row Tensor.Bigarray64 in
+  let c_p50, c_p99 = bench7_serving_row Tensor.C64 in
+  Printf.printf
+    "  serve_wide_batch64  bigarray p50 %.1f us p99 %.1f us | c p50 %.1f us \
+     p99 %.1f us (p99 %.2fx)\n%!"
+    ba_p50 ba_p99 c_p50 c_p99
+    (ba_p99 /. Float.max c_p99 1e-3);
+  (rows, (ba_p50, ba_p99), (c_p50, c_p99))
+
+let write_bench7_json (rows, (ba_p50, ba_p99), (c_p50, c_p99)) =
+  let path =
+    match Sys.getenv_opt "REPRO_BENCH7_JSON" with
+    | Some p -> p
+    | None -> "BENCH_7.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"BENCH_7\",\n  \"scale\": %S,\n" scale_name;
+  output_string oc "  \"results\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ref_us, ba_us, c_us) ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"ref_ns\": %.1f, \"ba_ns\": %.1f, \"c_ns\": \
+         %.1f, \"c_vs_ref\": %.2f, \"c_vs_ba\": %.2f }%s\n"
+        name (ref_us *. 1e3) (ba_us *. 1e3) (c_us *. 1e3)
+        (ref_us /. Float.max c_us 1e-3)
+        (ba_us /. Float.max c_us 1e-3)
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  ],\n";
+  output_string oc "  \"fused_table2_quick_iris_byte_equal\": true,\n";
+  Printf.fprintf oc
+    "  \"serving\": [\n\
+    \    { \"name\": \"serve_wide_batch64\", \"backend\": \"bigarray\", \
+     \"p50_us\": %.1f, \"p99_us\": %.1f },\n\
+    \    { \"name\": \"serve_wide_batch64\", \"backend\": \"c\", \"p50_us\": \
+     %.1f, \"p99_us\": %.1f }\n\
+    \  ],\n"
+    ba_p50 ba_p99 c_p50 c_p99;
+  Printf.fprintf oc "  \"serving_p99_speedup_c_vs_bigarray\": %.2f\n}\n"
+    (ba_p99 /. Float.max c_p99 1e-3);
   close_out oc;
   Printf.printf "wrote %s (%d entries)\n%!" path n
 
@@ -769,7 +908,10 @@ let () =
   write_bench2_json alloc;
   (match Sys.getenv_opt "REPRO_SKIP_BACKENDS" with
   | Some "1" -> ()
-  | Some _ | None -> write_bench4_json (backend_benchmarks alloc));
+  | Some _ | None ->
+      let rows4, pair_rows = backend_benchmarks alloc in
+      write_bench4_json rows4;
+      write_bench7_json (bench7_benchmarks pair_rows));
   (match Sys.getenv_opt "REPRO_SKIP_BENCH3" with
   | Some "1" -> ()
   | Some _ | None -> write_bench3_json (cache_benchmarks ()));

@@ -35,8 +35,8 @@ let setup_backend name =
   match Tensor.backend_of_string name with
   | Some b -> Tensor.set_backend b
   | None ->
-      Printf.eprintf "experiment: unknown backend %S (use reference | bigarray)\n%!"
-        name;
+      Printf.eprintf "experiment: unknown backend %S (use %s)\n%!" name
+        Tensor.backend_choices;
       exit 2
 
 let report_backend () =
@@ -163,9 +163,12 @@ let backend_arg =
     & opt string (Tensor.backend_name (Tensor.backend ()))
     & info [ "backend" ]
         ~doc:
-          "tensor kernel backend: $(b,reference) (bit-identity oracle) or \
-           $(b,bigarray) (Bigarray.Float64 fast path); cached results are \
-           keyed per backend")
+          (Printf.sprintf
+             "tensor kernel backend (%s): $(b,reference) is the bit-identity \
+              oracle, $(b,bigarray) the Bigarray.Float64 fast path, $(b,c) \
+              the vectorized C-stub path; cached results are keyed per \
+              backend"
+             Tensor.backend_choices))
 
 let datasets_arg =
   Arg.(

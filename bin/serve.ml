@@ -13,7 +13,8 @@ let setup_backend name =
   match Tensor.backend_of_string name with
   | Some b -> Tensor.set_backend b
   | None ->
-      Printf.eprintf "serve: unknown backend %S (use reference | bigarray)\n%!" name;
+      Printf.eprintf "serve: unknown backend %S (use %s)\n%!" name
+        Tensor.backend_choices;
       exit 2
 
 let backend_arg =
@@ -22,8 +23,8 @@ let backend_arg =
     & opt string (Tensor.backend_name (Tensor.backend ()))
     & info [ "backend" ]
         ~doc:
-          "tensor kernel backend on the serving hot path: $(b,reference) or \
-           $(b,bigarray)")
+          (Printf.sprintf "tensor kernel backend on the serving hot path (%s)"
+             Tensor.backend_choices))
 
 let mc_model_of ~family ~param =
   match family with

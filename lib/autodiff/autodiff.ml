@@ -287,6 +287,72 @@ let add_rowvec m v =
         end
       end)
 
+(* Fused dense-layer forward: one node for [unop (x·w +rowvec b)], the
+   inner loop of every surrogate MLP evaluation (13 tiny layers per pNN
+   layer per MC draw) where per-node dispatch dominated small-net cost.
+   Forward runs the backend's fused kernel when available (one stub call);
+   backward replicates the legacy matmul -> add_rowvec -> unary node chain
+   operation-for-operation, INCLUDING the [0.0 +. x] flush each
+   intermediate node's first grad accumulation performed on its zeroed
+   buffer — so trajectories are bit-identical to the unfused graph.  With
+   [op] absent the unary stage vanishes (the legacy chain ended at the
+   add_rowvec node). *)
+let dense ?op x w b =
+  let m = T.rows x.value and n = T.cols w.value in
+  (* [pre] persists across passes (refreshed in place on recompute); with a
+     nonlinearity it plays the add_rowvec node's value, otherwise it IS the
+     output buffer. *)
+  let pre = T.zeros_as x.value m n in
+  let out = match op with Some _ -> T.zeros_as x.value m n | None -> pre in
+  T.matmul_bias_unop_into ?op x.value w.value b.value ~pre ~out;
+  let ssc = ref None and gac = ref None and gmc = ref None in
+  let svc = ref None and sxc = ref None and atc = ref None and swc = ref None in
+  node out [ x; w; b ]
+    ~recompute:(fun self ->
+      T.matmul_bias_unop_into ?op x.value w.value b.value ~pre ~out:self.value)
+    (fun self ->
+      if self.needs_grad then begin
+        let g = grad_buffer self in
+        (* unary stage: ga plays the add_rowvec node's grad buffer (zeroed,
+           then accumulated once — the 0.0 +. s flush) *)
+        let ga =
+          match op with
+          | Some u ->
+              let s = scratch_like ssc g in
+              T.unop_bwd_into u ~x:pre ~y:self.value ~g ~dst:s;
+              let ga = scratch_like gac g in
+              T.fill ga 0.0;
+              T.add_into ga s ~dst:ga;
+              ga
+          | None -> g
+        in
+        (* add_rowvec stage: bias grad first, then the matmul stage seeds
+           gm (the matmul node's grad buffer) — same accumulation order as
+           the legacy chain *)
+        if b.needs_grad then begin
+          let sv = scratch svc b.value 1 n in
+          T.sum_rows_into ga ~dst:sv;
+          accum b sv
+        end;
+        if x.needs_grad || w.needs_grad then begin
+          let gm = scratch_like gmc g in
+          T.fill gm 0.0;
+          T.add_into gm ga ~dst:gm;
+          if x.needs_grad then begin
+            let s = scratch_like sxc x.value in
+            T.matmul_nt_into gm w.value ~dst:s;
+            accum x s
+          end;
+          if w.needs_grad then begin
+            let at = scratch atc x.value (T.cols x.value) (T.rows x.value) in
+            T.transpose_into x.value ~dst:at;
+            let s = scratch_like swc w.value in
+            T.matmul_into at gm ~dst:s;
+            accum w s
+          end
+        end
+      end)
+
 let mul_rowvec m v =
   let sm = ref None and sv = ref None in
   node (T.mul_rowvec m.value v.value) [ m; v ]

@@ -89,6 +89,14 @@ val transpose : t -> t
 val add_rowvec : t -> t -> t
 (** [add_rowvec m v] adds a [1 × cols] vector to each row of [m]. *)
 
+val dense : ?op:Tensor.unop -> t -> t -> t -> t
+(** [dense ?op x w b] is the fused dense-layer forward
+    [unop (x·w +rowvec b)] as a single node — bit-identical (values and
+    gradients) to [unary_op (add_rowvec (matmul x w) b)], but forwarded
+    through the backend's fused kernel when one is available and with one
+    node's worth of tape/dispatch overhead instead of three.  With [op]
+    absent, no nonlinearity is applied. *)
+
 val mul_rowvec : t -> t -> t
 val div_rowvec : t -> t -> t
 (** [div_rowvec m v] divides each row of [m] elementwise by [v]. *)

@@ -54,7 +54,10 @@ let all_rules =
          Bigarray.Array1.unsafe_get/unsafe_set (including the monomorphic \
          Array1 shadow in the bigarray kernel backend) skip bounds checks; \
          each site must have a (* SAFETY: ... *) comment within 3 lines \
-         stating why every index is in range.  PNN_CHECKED=1 additionally \
+         stating why every index is in range.  The same applies to every \
+         external C-stub declaration in lib/tensor (non-% primitives): the \
+         stub crosses the FFI with raw buffers, so the declaration must \
+         document its bounds/ABI contract.  PNN_CHECKED=1 additionally \
          swaps lib/tensor kernels to bounds-checked loops.";
     };
     {
@@ -74,10 +77,10 @@ let all_rules =
       id = "R6";
       title = "no backend-internal storage access outside lib/tensor";
       detail =
-        "Kernels_ref, Kernels_ba and Tensor_backend are the tensor \
-         library's internal kernel layer (the tensor library is unwrapped, \
-         so they are globally visible); touching them from outside \
-         lib/tensor bypasses the dispatch layer, breaking backend \
+        "Kernels_ref, Kernels_ba, Kernels_c and Tensor_backend are the \
+         tensor library's internal kernel layer (the tensor library is \
+         unwrapped, so they are globally visible); touching them from \
+         outside lib/tensor bypasses the dispatch layer, breaking backend \
          selection, mixed-storage fallback and checked-mode swapping.  Go \
          through the Tensor API; tooling that genuinely needs raw buffers \
          suppresses with a reason.";
@@ -127,7 +130,7 @@ let check_ident ctx lid line =
       f "R5"
         "polymorphic compare; use Int.compare / Float.compare / \
          String.compare or a typed comparator"
-  | ("Kernels_ref" | "Kernels_ba" | "Tensor_backend") :: _
+  | ("Kernels_ref" | "Kernels_ba" | "Kernels_c" | "Tensor_backend") :: _
     when Deps.find_substring ctx.file.Source.path "lib/tensor" = None ->
       f "R6"
         (String.concat "." p
@@ -197,6 +200,32 @@ let has_safety_comment (file : Source.file) line =
       && is_safety_comment c)
     file.Source.comments
 
+(* R4 also covers FFI boundaries: an [external] whose primitive is a C stub
+   (any name not starting with '%') hands raw buffers across the FFI with no
+   bounds checking at all, so the declaration itself is an unsafe site and
+   needs the same SAFETY justification.  Confined to lib/tensor — the only
+   place stubs are allowed to live (R6 keeps callers out). *)
+let check_primitive ctx (vd : Parsetree.value_description) line =
+  let is_c_stub =
+    match vd.pval_prim with
+    | name :: _ -> String.length name > 0 && name.[0] <> '%'
+    | [] -> false
+  in
+  if is_c_stub && Deps.find_substring ctx.file.Source.path "lib/tensor" <> None
+  then
+    Some
+      {
+        rule = "R4";
+        path = ctx.file.Source.path;
+        line;
+        msg =
+          Printf.sprintf
+            "external %s is a C stub crossing the FFI without a SAFETY \
+             justification; document its buffer/ABI contract"
+            vd.pval_name.Asttypes.txt;
+      }
+  else None
+
 (* {2 Driver} *)
 
 let run ctx =
@@ -214,6 +243,24 @@ let run ctx =
               add (check_apply ctx fn args (line_of e))
           | _ -> ());
           default_iterator.expr it e);
+      structure_item =
+        (fun it si ->
+          (match si.Parsetree.pstr_desc with
+          | Pstr_primitive vd ->
+              add
+                (check_primitive ctx vd
+                   si.Parsetree.pstr_loc.Location.loc_start.Lexing.pos_lnum)
+          | _ -> ());
+          default_iterator.structure_item it si);
+      signature_item =
+        (fun it si ->
+          (match si.Parsetree.psig_desc with
+          | Psig_value vd when vd.pval_prim <> [] ->
+              add
+                (check_primitive ctx vd
+                   si.Parsetree.psig_loc.Location.loc_start.Lexing.pos_lnum)
+          | _ -> ());
+          default_iterator.signature_item it si);
     }
   in
   it.structure it ctx.file.Source.structure;

@@ -7,12 +7,24 @@ let apply t x =
   | Sigmoid -> Autodiff.sigmoid x
   | Linear -> x
 
+(* The backend unop implementing each activation — the bridge the fused
+   dense kernels key on.  Formulas match the former [Tensor.map] closures
+   exactly (tanh; if v > 0.0 then v else 0.0; 1/(1+exp(-v))), so routing
+   through the unop kernels is bit-identical while avoiding the per-element
+   closure boxing. *)
+let unop = function
+  | Tanh -> Some Tensor.Tanh
+  | Relu -> Some Tensor.Relu
+  | Sigmoid -> Some Tensor.Sigmoid
+  | Linear -> None
+
 let apply_tensor t x =
-  match t with
-  | Tanh -> Tensor.map Stdlib.tanh x
-  | Relu -> Tensor.map (fun v -> if v > 0.0 then v else 0.0) x
-  | Sigmoid -> Tensor.map (fun v -> 1.0 /. (1.0 +. exp (-.v))) x
-  | Linear -> x
+  match unop t with
+  | None -> x
+  | Some op ->
+      let dst = Tensor.zeros_as x (Tensor.rows x) (Tensor.cols x) in
+      Tensor.unop_into op x ~dst;
+      dst
 
 let of_string = function
   | "tanh" -> Tanh

@@ -7,6 +7,25 @@ let create rng ?(init = Init.Xavier) ~inputs ~outputs () =
 
 let forward t x = Autodiff.add_rowvec (Autodiff.matmul x t.w) t.b
 let forward_tensor t x = Tensor.add_rowvec (Tensor.matmul x (Autodiff.value t.w)) (Autodiff.value t.b)
+
+(* Fused forwards: layer + activation in one node / one kernel call —
+   bit-identical to [Activation.apply act (forward t x)] (resp. the
+   apply_tensor chain); the win is dispatch and tape overhead, which
+   dominates the 13-tiny-layer surrogate evaluation. *)
+let forward_fused act t x = Autodiff.dense ?op:(Activation.unop act) x t.w t.b
+
+let forward_tensor_fused act t x =
+  let w = Autodiff.value t.w and b = Autodiff.value t.b in
+  let m = Tensor.rows x and n = Tensor.cols w in
+  let pre = Tensor.zeros_as x m n in
+  match Activation.unop act with
+  | None ->
+      Tensor.matmul_bias_unop_into x w b ~pre ~out:pre;
+      pre
+  | Some op ->
+      let out = Tensor.zeros_as x m n in
+      Tensor.matmul_bias_unop_into ~op x w b ~pre ~out;
+      out
 let params t = [ t.w; t.b ]
 let inputs t = Tensor.rows (Autodiff.value t.w)
 let outputs t = Tensor.cols (Autodiff.value t.w)

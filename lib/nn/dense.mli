@@ -5,6 +5,16 @@ type t = { w : Autodiff.t; b : Autodiff.t }
 val create : Rng.t -> ?init:Init.scheme -> inputs:int -> outputs:int -> unit -> t
 val forward : t -> Autodiff.t -> Autodiff.t
 val forward_tensor : t -> Tensor.t -> Tensor.t
+
+val forward_fused : Activation.t -> t -> Autodiff.t -> Autodiff.t
+(** [forward_fused act t x] is [Activation.apply act (forward t x)] as one
+    fused node — bit-identical values and gradients, one kernel call on
+    backends with the fused capability. *)
+
+val forward_tensor_fused : Activation.t -> t -> Tensor.t -> Tensor.t
+(** Tape-free fused counterpart of
+    [Activation.apply_tensor act (forward_tensor t x)]. *)
+
 val params : t -> Autodiff.t list
 val inputs : t -> int
 val outputs : t -> int

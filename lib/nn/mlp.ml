@@ -18,13 +18,15 @@ let create rng ~sizes ~hidden ~output =
   in
   { layers; hidden; output; arch = sizes }
 
+(* All three forwards route each layer + activation through the fused dense
+   path (one node / one kernel call instead of three) — bit-identical to the
+   former matmul/add_rowvec/activation chains. *)
 let rec forward_layers act_hidden act_out layers x =
   match layers with
   | [] -> x
-  | [ last ] -> Activation.apply act_out (Dense.forward last x)
+  | [ last ] -> Dense.forward_fused act_out last x
   | l :: rest ->
-      let h = Activation.apply act_hidden (Dense.forward l x) in
-      forward_layers act_hidden act_out rest h
+      forward_layers act_hidden act_out rest (Dense.forward_fused act_hidden l x)
 
 let forward t x = forward_layers t.hidden t.output t.layers x
 
@@ -32,25 +34,24 @@ let forward_tensor t x =
   let rec go layers x =
     match layers with
     | [] -> x
-    | [ last ] -> Activation.apply_tensor t.output (Dense.forward_tensor last x)
-    | l :: rest ->
-        go rest (Activation.apply_tensor t.hidden (Dense.forward_tensor l x))
+    | [ last ] -> Dense.forward_tensor_fused t.output last x
+    | l :: rest -> go rest (Dense.forward_tensor_fused t.hidden l x)
   in
   go t.layers x
 
 let forward_frozen t x =
   (* Same computation as [forward] but weights enter as constants, so the
      backward pass does not touch them. *)
-  let frozen_forward layer x =
+  let frozen_forward act layer x =
     let w = Autodiff.const (Autodiff.value layer.Dense.w) in
     let b = Autodiff.const (Autodiff.value layer.Dense.b) in
-    Autodiff.add_rowvec (Autodiff.matmul x w) b
+    Autodiff.dense ?op:(Activation.unop act) x w b
   in
   let rec go layers x =
     match layers with
     | [] -> x
-    | [ last ] -> Activation.apply t.output (frozen_forward last x)
-    | l :: rest -> go rest (Activation.apply t.hidden (frozen_forward l x))
+    | [ last ] -> frozen_forward t.output last x
+    | l :: rest -> go rest (frozen_forward t.hidden l x)
   in
   go t.layers x
 

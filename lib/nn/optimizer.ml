@@ -110,19 +110,25 @@ let step t nodes =
       a.t <- a.t + 1;
       let bc1 = 1.0 -. (a.beta1 ** float_of_int a.t) in
       let bc2 = 1.0 -. (a.beta2 ** float_of_int a.t) in
-      List.iter
-        (fun node ->
-          let value = Autodiff.value node and grad = Autodiff.grad node in
-          let n = param_size node in
-          let state =
-            let k = key_of node in
-            match Hashtbl.find_opt a.table k with
-            | Some s -> s
-            | None ->
-                let s = { m = Array.make n 0.0; v = Array.make n 0.0 } in
-                Hashtbl.add a.table k s;
-                s
-          in
-          Tensor.adam_step ~lr:t.lr ~beta1:a.beta1 ~beta2:a.beta2 ~eps:a.eps
-            ~bc1 ~bc2 ~m:state.m ~v:state.v ~grad value)
-        nodes
+      (* One fused call over all leaves (single stub call on backends with
+         the capability); per-item updates are bit-identical to the former
+         per-node Tensor.adam_step loop. *)
+      let items =
+        List.map
+          (fun node ->
+            let value = Autodiff.value node and grad = Autodiff.grad node in
+            let n = param_size node in
+            let state =
+              let k = key_of node in
+              match Hashtbl.find_opt a.table k with
+              | Some s -> s
+              | None ->
+                  let s = { m = Array.make n 0.0; v = Array.make n 0.0 } in
+                  Hashtbl.add a.table k s;
+                  s
+            in
+            (value, grad, state.m, state.v))
+          nodes
+      in
+      Tensor.adam_step_many ~lr:t.lr ~beta1:a.beta1 ~beta2:a.beta2 ~eps:a.eps
+        ~bc1 ~bc2 items

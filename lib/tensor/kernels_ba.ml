@@ -972,3 +972,10 @@ let adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad ~value n =
       Array1.unsafe_set value i
         (Array1.unsafe_get value i -. (lr *. mhat /. (Stdlib.sqrt vhat +. eps)))
     done
+
+(* No fused capabilities: the OCaml loops gain nothing from fusion that the
+   dispatch layer's decomposed sequence doesn't already deliver, and keeping
+   this backend decomposed preserves it as the checked-twin oracle the C
+   backend delegates to under PNN_CHECKED=1. *)
+let matmul_bias_unop = None
+let adam_step_many = None

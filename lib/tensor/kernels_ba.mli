@@ -3,8 +3,13 @@
     Flat c_layout [Bigarray.Array1] storage with unrolled/blocked hot loops.
     Per-element kernels match the reference backend bit-for-bit; only
     [matmul]/[matmul_nt] re-associate accumulation and may differ in the
-    last ulp (deterministically within this backend).  [buf] is abstract:
-    only the dispatch layer in {!Tensor} constructs or consumes backend
-    storage (pnnlint R6 enforces the boundary outside [lib/tensor]). *)
+    last ulp (deterministically within this backend).  [buf] is concrete so
+    {!Kernels_c} — which uses the same flat Float64 storage — can delegate
+    to these loops as its bounds-checked twins under PNN_CHECKED=1; outside
+    [lib/tensor] the boundary is enforced by pnnlint R6 (only the dispatch
+    layer in {!Tensor} constructs or consumes backend storage). *)
 
-include Tensor_backend.KERNELS
+include
+  Tensor_backend.KERNELS
+    with type buf =
+      (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t

@@ -1,0 +1,364 @@
+(* C-stub kernel backend: flat Bigarray.Float64 storage (the same [buf] as
+   {!Kernels_ba}) with the hot kernels implemented as vectorized C foreign
+   stubs in pnn_kernels_stubs.c.
+
+   Numeric contract (see Tensor_backend.KERNELS): the C per-element kernels
+   perform the reference backend's floating-point operations in the
+   reference order and are bit-identical to it — the stubs are compiled
+   with -O2 -fno-fast-math -ffp-contract=off so the C compiler may not
+   re-associate or contract into FMA, and tanh/exp/log resolve to the same
+   libm the OCaml runtime links.  Only [matmul]/[matmul_nt] re-associate,
+   deterministically, replicating {!Kernels_ba}'s register-blocked
+   association exactly; the backend still carries its own cache tag (+c64)
+   so cached results never cross backends.
+
+   Checked (sanitizer) mode: C stubs cannot bounds-check OCaml-side, so
+   under PNN_CHECKED=1 every kernel delegates to {!Kernels_ba}'s
+   bounds-checked loop body — legal because the storage type is shared and
+   Kernels_ba's checked bodies perform the same float ops in the same
+   order as the stubs (for the matmul family, because the stubs replicate
+   Kernels_ba's association).  Results are bit-identical across modes by
+   construction.
+
+   Closure-carrying kernels ([map]/[map2]) and the cold edge kernels with
+   delicate NaN/-0.0 select semantics ([min_value]/[max_value]/
+   [argmax_rows], colvec broadcasts) delegate to Kernels_ba's OCaml loops
+   unconditionally: closures cannot cross the FFI, and the edge kernels are
+   not worth a C twin that would have to reproduce IEEE select quirks. *)
+
+open Bigarray
+module TB = Tensor_backend
+module Kb = Kernels_ba
+
+type buf = (float, float64_elt, c_layout) Array1.t
+
+let impl = TB.C64
+
+(* storage: identical to the bigarray backend (same [buf]) *)
+
+let create = Kb.create
+let length = Kb.length
+let get = Kb.get
+let set = Kb.set
+let fill = Kb.fill
+let blit = Kb.blit
+let of_float_array = Kb.of_float_array
+let to_float_array = Kb.to_float_array
+let load = Kb.load
+
+(* {2 Foreign stubs}
+
+   ABI: flat Float64 bigarray data pointers + explicit [@untagged]
+   dimensions, [@unboxed] float scalars, no callbacks, no OCaml-heap
+   allocation ([@@noalloc]); each stub has a _byte twin for the bytecode
+   calling convention.  Bounds are never checked C-side: every wrapper
+   below is called from the Tensor dispatch layer, which validates shapes
+   before dispatch (PNN_CHECKED=1 additionally reroutes every call to
+   Kernels_ba's bounds-checked bodies before the stub is reached). *)
+
+(* SAFETY: dispatch guarantees a, b and dst all have >= n elements; the stub
+   touches indices 0..n-1 only, and dst may alias an input (same-index
+   read/write). *)
+external c_add : buf -> buf -> buf -> (int[@untagged]) -> unit
+  = "pnn_c_add_byte" "pnn_c_add"
+[@@noalloc]
+
+(* SAFETY: same contract as c_add — n bounds all three buffers. *)
+external c_sub : buf -> buf -> buf -> (int[@untagged]) -> unit
+  = "pnn_c_sub_byte" "pnn_c_sub"
+[@@noalloc]
+
+(* SAFETY: same contract as c_add — n bounds all three buffers. *)
+external c_mul : buf -> buf -> buf -> (int[@untagged]) -> unit
+  = "pnn_c_mul_byte" "pnn_c_mul"
+[@@noalloc]
+
+(* SAFETY: same contract as c_add — n bounds all three buffers. *)
+external c_div : buf -> buf -> buf -> (int[@untagged]) -> unit
+  = "pnn_c_div_byte" "pnn_c_div"
+[@@noalloc]
+
+(* SAFETY: a and dst have >= n elements; indices 0..n-1 only; aliasing ok. *)
+external c_neg : buf -> buf -> (int[@untagged]) -> unit
+  = "pnn_c_neg_byte" "pnn_c_neg"
+[@@noalloc]
+
+(* SAFETY: a and dst have >= n elements; indices 0..n-1 only; aliasing ok. *)
+external c_scale : (float[@unboxed]) -> buf -> buf -> (int[@untagged]) -> unit
+  = "pnn_c_scale_byte" "pnn_c_scale"
+[@@noalloc]
+
+(* SAFETY: a and dst have >= n elements; indices 0..n-1 only; aliasing ok. *)
+external c_add_scalar :
+  (float[@unboxed]) -> buf -> buf -> (int[@untagged]) -> unit
+  = "pnn_c_add_scalar_byte" "pnn_c_add_scalar"
+[@@noalloc]
+
+(* SAFETY: a and dst have >= n elements; indices 0..n-1 only; aliasing ok. *)
+external c_clamp :
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  buf ->
+  buf ->
+  (int[@untagged]) ->
+  unit = "pnn_c_clamp_byte" "pnn_c_clamp"
+[@@noalloc]
+
+(* SAFETY: m and dst have >= rows*cols elements, v has >= cols; row strides
+   derive from the stated dims; dst may alias m (same-index writes). *)
+external c_add_rowvec :
+  buf -> buf -> buf -> (int[@untagged]) -> (int[@untagged]) -> unit
+  = "pnn_c_add_rowvec_byte" "pnn_c_add_rowvec"
+[@@noalloc]
+
+(* SAFETY: same contract as c_add_rowvec. *)
+external c_mul_rowvec :
+  buf -> buf -> buf -> (int[@untagged]) -> (int[@untagged]) -> unit
+  = "pnn_c_mul_rowvec_byte" "pnn_c_mul_rowvec"
+[@@noalloc]
+
+(* SAFETY: a is m*k, b is k*n, c is m*n (validated by dispatch); c is
+   overwritten and must not alias a or b. *)
+external c_matmul :
+  buf ->
+  buf ->
+  buf ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  unit = "pnn_c_matmul_byte" "pnn_c_matmul"
+[@@noalloc]
+
+(* SAFETY: a is m*k, b is n*k, c is m*n; c overwritten, no aliasing. *)
+external c_matmul_nt :
+  buf ->
+  buf ->
+  buf ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  unit = "pnn_c_matmul_nt_byte" "pnn_c_matmul_nt"
+[@@noalloc]
+
+(* SAFETY: src is rows*cols, dst is cols*rows; dst must not alias src. *)
+external c_transpose : buf -> buf -> (int[@untagged]) -> (int[@untagged]) -> unit
+  = "pnn_c_transpose_byte" "pnn_c_transpose"
+[@@noalloc]
+
+(* SAFETY: a and b have >= n elements; read-only. *)
+external c_dot : buf -> buf -> (int[@untagged]) -> (float[@unboxed])
+  = "pnn_c_dot_byte" "pnn_c_dot"
+[@@noalloc]
+
+(* SAFETY: a has >= n elements; read-only. *)
+external c_sum : buf -> (int[@untagged]) -> (float[@unboxed])
+  = "pnn_c_sum_byte" "pnn_c_sum"
+[@@noalloc]
+
+(* SAFETY: src is rows*cols, dst has >= cols (pre-zeroed accumulator);
+   dst must not alias src. *)
+external c_sum_rows :
+  buf -> buf -> (int[@untagged]) -> (int[@untagged]) -> unit
+  = "pnn_c_sum_rows_byte" "pnn_c_sum_rows"
+[@@noalloc]
+
+(* SAFETY: src is rows*cols, dst has >= rows; dst must not alias src. *)
+external c_sum_cols :
+  buf -> buf -> (int[@untagged]) -> (int[@untagged]) -> unit
+  = "pnn_c_sum_cols_byte" "pnn_c_sum_cols"
+[@@noalloc]
+
+(* SAFETY: src and dst have >= n elements; op is a valid unop code (0..6,
+   produced only by unop_code below); aliasing ok. *)
+external c_unary : (int[@untagged]) -> buf -> buf -> (int[@untagged]) -> unit
+  = "pnn_c_unary_byte" "pnn_c_unary"
+[@@noalloc]
+
+(* SAFETY: x, y, g and s all have >= n elements; op is a valid unop code;
+   s may alias g (same-index read/write). *)
+external c_unary_bwd :
+  (int[@untagged]) -> buf -> buf -> buf -> buf -> (int[@untagged]) -> unit
+  = "pnn_c_unary_bwd_byte" "pnn_c_unary_bwd"
+[@@noalloc]
+
+(* SAFETY: src and out are rows*cols; out may alias src (each row is fully
+   read into the max scan before out's row is written... rows are processed
+   independently and the exp pass reads src[c] before writing out[c], so
+   same-buffer aliasing is same-index only). *)
+external c_softmax_rows :
+  buf -> buf -> (int[@untagged]) -> (int[@untagged]) -> unit
+  = "pnn_c_softmax_rows_byte" "pnn_c_softmax_rows"
+[@@noalloc]
+
+(* SAFETY: p and y have >= n elements; read-only. *)
+external c_ce_loss_sum : buf -> buf -> (int[@untagged]) -> (float[@unboxed])
+  = "pnn_c_ce_loss_sum_byte" "pnn_c_ce_loss_sum"
+[@@noalloc]
+
+(* SAFETY: grad and value have >= n elements; value updated in place at
+   index i from index i only. *)
+external c_sgd_step : (float[@unboxed]) -> buf -> buf -> (int[@untagged]) -> unit
+  = "pnn_c_sgd_step_byte" "pnn_c_sgd_step"
+[@@noalloc]
+
+(* SAFETY: m and v are float arrays of length >= n (flat unboxed doubles;
+   the optimizer allocates moments at the parameter's size), grad and value
+   are bigarrays of >= n elements; all updates are same-index. *)
+external c_adam_step :
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  float array ->
+  float array ->
+  buf ->
+  buf ->
+  (int[@untagged]) ->
+  unit = "pnn_c_adam_step_byte" "pnn_c_adam_step"
+[@@noalloc]
+
+(* SAFETY: x is m*k, w is k*n, b has >= n, pre and out are m*n; pre/out
+   must not alias x/w/b; out may equal pre.  op is -1 (none) or a valid
+   unop code. *)
+external c_matmul_bias_unop :
+  (int[@untagged]) ->
+  buf ->
+  buf ->
+  buf ->
+  buf ->
+  buf ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  unit = "pnn_c_matmul_bias_unop_byte" "pnn_c_matmul_bias_unop"
+[@@noalloc]
+
+(* SAFETY: each item (value, grad, m, v, numel) carries its own length:
+   value/grad are bigarrays and m/v float arrays all of >= numel elements
+   (the dispatch layer builds items from same-shaped tensors and
+   optimizer-allocated moments); the stub reads tuple fields of the
+   immutable items array and performs same-index updates only. *)
+external c_adam_step_many :
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (buf * buf * float array * float array * int) array ->
+  unit = "pnn_c_adam_step_many_byte" "pnn_c_adam_step_many"
+[@@noalloc]
+
+(* {2 Kernel catalogue} *)
+
+let add a b dst n = if !TB.checked then Kb.add a b dst n else c_add a b dst n
+let sub a b dst n = if !TB.checked then Kb.sub a b dst n else c_sub a b dst n
+let mul a b dst n = if !TB.checked then Kb.mul a b dst n else c_mul a b dst n
+let div a b dst n = if !TB.checked then Kb.div a b dst n else c_div a b dst n
+let neg a dst n = if !TB.checked then Kb.neg a dst n else c_neg a dst n
+
+let scale k a dst n =
+  if !TB.checked then Kb.scale k a dst n else c_scale k a dst n
+
+let add_scalar k a dst n =
+  if !TB.checked then Kb.add_scalar k a dst n else c_add_scalar k a dst n
+
+let clamp ~lo ~hi a dst n =
+  if !TB.checked then Kb.clamp ~lo ~hi a dst n else c_clamp lo hi a dst n
+
+(* Closures cannot cross the FFI: map/map2 stay on the OCaml loops. *)
+let map = Kb.map
+let map2 = Kb.map2
+
+let add_rowvec m v dst rows cols =
+  if !TB.checked then Kb.add_rowvec m v dst rows cols
+  else c_add_rowvec m v dst rows cols
+
+let mul_rowvec m v dst rows cols =
+  if !TB.checked then Kb.mul_rowvec m v dst rows cols
+  else c_mul_rowvec m v dst rows cols
+
+(* Cold column broadcasts: not on any hot path, OCaml loops are fine. *)
+let add_colvec = Kb.add_colvec
+let mul_colvec = Kb.mul_colvec
+let div_colvec = Kb.div_colvec
+
+let matmul a b c m k n =
+  if !TB.checked then Kb.matmul a b c m k n else c_matmul a b c m k n
+
+let matmul_nt a b c m k n =
+  if !TB.checked then Kb.matmul_nt a b c m k n else c_matmul_nt a b c m k n
+
+let transpose src dst rows cols =
+  if !TB.checked then Kb.transpose src dst rows cols
+  else c_transpose src dst rows cols
+
+let dot a b n = if !TB.checked then Kb.dot a b n else c_dot a b n
+let sum a n = if !TB.checked then Kb.sum a n else c_sum a n
+
+(* IEEE-select edge kernels (NaN keeps the second operand / first-max wins):
+   delegate to the OCaml loops rather than duplicating the quirks in C. *)
+let min_value = Kb.min_value
+let max_value = Kb.max_value
+let argmax_rows = Kb.argmax_rows
+
+let sum_rows src dst rows cols =
+  if !TB.checked then Kb.sum_rows src dst rows cols
+  else c_sum_rows src dst rows cols
+
+let sum_cols src dst rows cols =
+  if !TB.checked then Kb.sum_cols src dst rows cols
+  else c_sum_cols src dst rows cols
+
+(* Codes match enum pnn_unop in pnn_kernels_stubs.c (declaration order). *)
+let unop_code = function
+  | TB.Tanh -> 0
+  | TB.Sigmoid -> 1
+  | TB.Exp -> 2
+  | TB.Log -> 3
+  | TB.Sqrt -> 4
+  | TB.Relu -> 5
+  | TB.Abs -> 6
+
+let unary op src dst n =
+  if !TB.checked then Kb.unary op src dst n
+  else c_unary (unop_code op) src dst n
+
+let unary_bwd op ~x ~y ~g ~s n =
+  if !TB.checked then Kb.unary_bwd op ~x ~y ~g ~s n
+  else c_unary_bwd (unop_code op) x y g s n
+
+let softmax_rows src out rows cols =
+  if !TB.checked then Kb.softmax_rows src out rows cols
+  else c_softmax_rows src out rows cols
+
+let ce_loss_sum p y n =
+  if !TB.checked then Kb.ce_loss_sum p y n else c_ce_loss_sum p y n
+
+let sgd_step ~lr ~grad ~value n =
+  if !TB.checked then Kb.sgd_step ~lr ~grad ~value n
+  else c_sgd_step lr grad value n
+
+let adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad ~value n =
+  if !TB.checked then
+    Kb.adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad ~value n
+  else c_adam_step lr beta1 beta2 eps bc1 bc2 m v grad value n
+
+(* {2 Fused capabilities}
+
+   Advertised unconditionally; the dispatch layer only takes the fused
+   route outside checked mode (under PNN_CHECKED=1 it decomposes so every
+   constituent runs its bounds-checked body). *)
+
+let matmul_bias_unop =
+  Some
+    (fun op ~x ~w ~b ~pre ~out m k n ->
+      let code = match op with None -> -1 | Some u -> unop_code u in
+      c_matmul_bias_unop code x w b pre out m k n)
+
+let adam_step_many =
+  Some
+    (fun ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 items ->
+      c_adam_step_many lr beta1 beta2 eps bc1 bc2 items)

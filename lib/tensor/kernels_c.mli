@@ -1,0 +1,16 @@
+(** C-stub kernel backend — vectorized foreign stubs on flat Float64 storage.
+
+    Same [buf] as {!Kernels_ba}; hot kernels run in C
+    (pnn_kernels_stubs.c, compiled -O2 -fno-fast-math -ffp-contract=off).
+    Per-element kernels are bit-identical to the reference backend; the
+    matmul family re-associates deterministically, replicating
+    {!Kernels_ba}'s register-blocked association, behind its own +c64
+    cache tag.  This backend is the only one advertising the fused
+    [matmul_bias_unop] / [adam_step_many] capabilities.  Only the dispatch
+    layer in {!Tensor} may call these directly (pnnlint R6 enforces the
+    boundary outside [lib/tensor]). *)
+
+include
+  Tensor_backend.KERNELS
+    with type buf =
+      (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t

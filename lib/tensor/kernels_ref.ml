@@ -688,3 +688,8 @@ let adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad ~value n =
     let vhat = v.(i) /. bc2 in
     value.(i) <- value.(i) -. (lr *. mhat /. (Stdlib.sqrt vhat +. eps))
   done
+
+(* The reference backend never fuses: the decomposed kernel sequence IS the
+   bit-identity oracle the fused capabilities are specified against. *)
+let matmul_bias_unop = None
+let adam_step_many = None

@@ -19,20 +19,32 @@
 module TB = Tensor_backend
 module Kr = Kernels_ref
 module Kb = Kernels_ba
+module Kc = Kernels_c
 
-type storage = F of Kr.buf | B1 of Kb.buf
+(* B1 and C share the flat Float64 bigarray buffer type; the distinct
+   constructors keep dispatch storage-driven (a C tensor runs C kernels, a
+   bigarray tensor runs the OCaml loops, and B1-meets-C is mixed storage
+   like any other pair). *)
+type storage = F of Kr.buf | B1 of Kb.buf | C of Kc.buf
 type t = { rows : int; cols : int; store : storage }
 
 (* {1 Backends} *)
 
-type backend = TB.id = Reference | Bigarray64
+type backend = TB.id = Reference | Bigarray64 | C64
 
 let backend () = !TB.current
 let set_backend b = TB.current := b
 let backend_of_string = TB.of_string
 let backend_name = TB.name
+let backends = TB.all
+let backend_choices = TB.names_string
 let backend_tag () = TB.tag !TB.current
-let storage_backend = function F _ -> Reference | B1 _ -> Bigarray64
+
+let storage_backend = function
+  | F _ -> Reference
+  | B1 _ -> Bigarray64
+  | C _ -> C64
+
 let backend_of t = storage_backend t.store
 
 let set_checked b = TB.checked := b
@@ -41,44 +53,55 @@ let checked () = !TB.checked
 (* {1 Storage helpers} *)
 
 let alloc_for b n =
-  match b with Reference -> F (Kr.create n) | Bigarray64 -> B1 (Kb.create n)
+  match b with
+  | Reference -> F (Kr.create n)
+  | Bigarray64 -> B1 (Kb.create n)
+  | C64 -> C (Kc.create n)
 
 let alloc_active n = alloc_for !TB.current n
 let alloc_like t n = alloc_for (storage_backend t.store) n
-let sget s i = match s with F a -> Kr.get a i | B1 b -> Kb.get b i
-let sset s i v = match s with F a -> Kr.set a i v | B1 b -> Kb.set b i v
+
+(* B1 and C buffers are the same bigarray type, so the scalar storage
+   helpers share the Kb accessors via or-patterns. *)
+let sget s i = match s with F a -> Kr.get a i | B1 b | C b -> Kb.get b i
+let sset s i v = match s with F a -> Kr.set a i v | B1 b | C b -> Kb.set b i v
 
 let sfill s pos len v =
-  match s with F a -> Kr.fill a ~pos ~len v | B1 b -> Kb.fill b ~pos ~len v
+  match s with
+  | F a -> Kr.fill a ~pos ~len v
+  | B1 b | C b -> Kb.fill b ~pos ~len v
 
 (* exact element copy between any two storages *)
 let sblit src src_pos dst dst_pos len =
   match (src, dst) with
   | F s, F d -> Kr.blit s src_pos d dst_pos len
-  | B1 s, B1 d -> Kb.blit s src_pos d dst_pos len
-  | F s, B1 d ->
+  | (B1 s | C s), (B1 d | C d) -> Kb.blit s src_pos d dst_pos len
+  | F s, (B1 d | C d) ->
       for i = 0 to len - 1 do
         Kb.set d (dst_pos + i) (Kr.get s (src_pos + i))
       done
-  | B1 s, F d ->
+  | (B1 s | C s), F d ->
       for i = 0 to len - 1 do
         Kr.set d (dst_pos + i) (Kb.get s (src_pos + i))
       done
 
 (* Read-only view for the mixed-storage fallback: the F case returns the
    LIVE array (no copy) — callers must not write through it. *)
-let snapshot = function F a -> a | B1 b -> Kb.to_float_array b
+let snapshot = function F a -> a | B1 b | C b -> Kb.to_float_array b
 
 let load_into s arr =
-  match s with F d -> Kr.load d arr | B1 b -> Kb.load b arr
+  match s with F d -> Kr.load d arr | B1 b | C b -> Kb.load b arr
+
+let dup_ba b =
+  let n = Kb.length b in
+  let d = Kb.create n in
+  Kb.blit b 0 d 0 n;
+  d
 
 let dup_store = function
   | F a -> F (Kr.of_float_array a)
-  | B1 b ->
-      let n = Kb.length b in
-      let d = Kb.create n in
-      Kb.blit b 0 d 0 n;
-      B1 d
+  | B1 b -> B1 (dup_ba b)
+  | C b -> C (dup_ba b)
 
 (* {1 Shape plumbing} *)
 
@@ -114,6 +137,7 @@ let create rows cols data =
     match !TB.current with
     | Reference -> F data (* wraps without copy, as before the backend split *)
     | Bigarray64 -> B1 (Kb.of_float_array data)
+    | C64 -> C (Kc.of_float_array data)
   in
   { rows; cols; store }
 
@@ -193,7 +217,9 @@ let row t r =
   dst
 
 let to_array t =
-  match t.store with F a -> Array.copy a | B1 b -> Kb.to_float_array b
+  match t.store with
+  | F a -> Array.copy a
+  | B1 b | C b -> Kb.to_float_array b
 
 let to_arrays t =
   let a = to_array t in
@@ -205,47 +231,52 @@ let to_arrays t =
    operands run their backend's kernel; mixed operands take the reference
    fallback described in the header. *)
 
-let ew1 kr kb a dst n =
+let ew1 kr kb kc a dst n =
   match (a.store, dst.store) with
   | F x, F d -> kr x d n
   | B1 x, B1 d -> kb x d n
+  | C x, C d -> kc x d n
   | ax, ds ->
       let d = Array.make n 0.0 in
       kr (snapshot ax) d n;
       load_into ds d
 
-let ew2 kr kb a b dst n =
+let ew2 kr kb kc a b dst n =
   match (a.store, b.store, dst.store) with
   | F x, F y, F d -> kr x y d n
   | B1 x, B1 y, B1 d -> kb x y d n
+  | C x, C y, C d -> kc x y d n
   | ax, by, ds ->
       let d = Array.make n 0.0 in
       kr (snapshot ax) (snapshot by) d n;
       load_into ds d
 
-let bc2 kr kb m v dst rows cols =
+let bc2 kr kb kc m v dst rows cols =
   match (m.store, v.store, dst.store) with
   | F x, F y, F d -> kr x y d rows cols
   | B1 x, B1 y, B1 d -> kb x y d rows cols
+  | C x, C y, C d -> kc x y d rows cols
   | mx, vy, ds ->
       let d = Array.make (rows * cols) 0.0 in
       kr (snapshot mx) (snapshot vy) d rows cols;
       load_into ds d
 
 (* matmul-shaped: three ints after the buffers *)
-let mm3 kr kb a b dst m k n =
+let mm3 kr kb kc a b dst m k n =
   match (a.store, b.store, dst.store) with
   | F x, F y, F d -> kr x y d m k n
   | B1 x, B1 y, B1 d -> kb x y d m k n
+  | C x, C y, C d -> kc x y d m k n
   | ax, by, ds ->
       let d = Array.make (m * n) 0.0 in
       kr (snapshot ax) (snapshot by) d m k n;
       load_into ds d
 
-let t2 kr kb src dst rows cols =
+let t2 kr kb kc src dst rows cols =
   match (src.store, dst.store) with
   | F x, F d -> kr x d rows cols
   | B1 x, B1 d -> kb x d rows cols
+  | C x, C d -> kc x d rows cols
   | sx, ds ->
       let d = Array.make (rows * cols) 0.0 in
       kr (snapshot sx) d rows cols;
@@ -253,8 +284,8 @@ let t2 kr kb src dst rows cols =
 
 (* {1 Elementwise} *)
 
-let map_disp f a dst n = ew1 (Kr.map f) (Kb.map f) a dst n
-let map2_disp f a b dst n = ew2 (Kr.map2 f) (Kb.map2 f) a b dst n
+let map_disp f a dst n = ew1 (Kr.map f) (Kb.map f) (Kc.map f) a dst n
+let map2_disp f a b dst n = ew2 (Kr.map2 f) (Kb.map2 f) (Kc.map2 f) a b dst n
 
 let map f t =
   let dst = zeros_as t t.rows t.cols in
@@ -270,46 +301,46 @@ let map2 f a b =
 let add a b =
   binop_check "add" a b;
   let dst = zeros_as a a.rows a.cols in
-  ew2 Kr.add Kb.add a b dst (numel a);
+  ew2 Kr.add Kb.add Kc.add a b dst (numel a);
   dst
 
 let sub a b =
   binop_check "sub" a b;
   let dst = zeros_as a a.rows a.cols in
-  ew2 Kr.sub Kb.sub a b dst (numel a);
+  ew2 Kr.sub Kb.sub Kc.sub a b dst (numel a);
   dst
 
 let mul a b =
   binop_check "mul" a b;
   let dst = zeros_as a a.rows a.cols in
-  ew2 Kr.mul Kb.mul a b dst (numel a);
+  ew2 Kr.mul Kb.mul Kc.mul a b dst (numel a);
   dst
 
 let div a b =
   binop_check "div" a b;
   let dst = zeros_as a a.rows a.cols in
-  ew2 Kr.div Kb.div a b dst (numel a);
+  ew2 Kr.div Kb.div Kc.div a b dst (numel a);
   dst
 
 let neg t =
   let dst = zeros_as t t.rows t.cols in
-  ew1 Kr.neg Kb.neg t dst (numel t);
+  ew1 Kr.neg Kb.neg Kc.neg t dst (numel t);
   dst
 
 let scale k t =
   let dst = zeros_as t t.rows t.cols in
-  ew1 (Kr.scale k) (Kb.scale k) t dst (numel t);
+  ew1 (Kr.scale k) (Kb.scale k) (Kc.scale k) t dst (numel t);
   dst
 
 let add_scalar k t =
   let dst = zeros_as t t.rows t.cols in
-  ew1 (Kr.add_scalar k) (Kb.add_scalar k) t dst (numel t);
+  ew1 (Kr.add_scalar k) (Kb.add_scalar k) (Kc.add_scalar k) t dst (numel t);
   dst
 
 let clamp ~lo ~hi t =
   if hi < lo then invalid_arg "Tensor.clamp: hi < lo";
   let dst = zeros_as t t.rows t.cols in
-  ew1 (Kr.clamp ~lo ~hi) (Kb.clamp ~lo ~hi) t dst (numel t);
+  ew1 (Kr.clamp ~lo ~hi) (Kb.clamp ~lo ~hi) (Kc.clamp ~lo ~hi) t dst (numel t);
   dst
 
 (* {1 Broadcast helpers} *)
@@ -320,13 +351,13 @@ let rowvec_check name m v =
 let add_rowvec m v =
   rowvec_check "add_rowvec" m v;
   let dst = zeros_as m m.rows m.cols in
-  bc2 Kr.add_rowvec Kb.add_rowvec m v dst m.rows m.cols;
+  bc2 Kr.add_rowvec Kb.add_rowvec Kc.add_rowvec m v dst m.rows m.cols;
   dst
 
 let mul_rowvec m v =
   rowvec_check "mul_rowvec" m v;
   let dst = zeros_as m m.rows m.cols in
-  bc2 Kr.mul_rowvec Kb.mul_rowvec m v dst m.rows m.cols;
+  bc2 Kr.mul_rowvec Kb.mul_rowvec Kc.mul_rowvec m v dst m.rows m.cols;
   dst
 
 let colvec_check name m v =
@@ -335,19 +366,19 @@ let colvec_check name m v =
 let add_colvec m v =
   colvec_check "add_colvec" m v;
   let dst = zeros_as m m.rows m.cols in
-  bc2 Kr.add_colvec Kb.add_colvec m v dst m.rows m.cols;
+  bc2 Kr.add_colvec Kb.add_colvec Kc.add_colvec m v dst m.rows m.cols;
   dst
 
 let mul_colvec m v =
   colvec_check "mul_colvec" m v;
   let dst = zeros_as m m.rows m.cols in
-  bc2 Kr.mul_colvec Kb.mul_colvec m v dst m.rows m.cols;
+  bc2 Kr.mul_colvec Kb.mul_colvec Kc.mul_colvec m v dst m.rows m.cols;
   dst
 
 let div_colvec m v =
   colvec_check "div_colvec" m v;
   let dst = zeros_as m m.rows m.cols in
-  bc2 Kr.div_colvec Kb.div_colvec m v dst m.rows m.cols;
+  bc2 Kr.div_colvec Kb.div_colvec Kc.div_colvec m v dst m.rows m.cols;
   dst
 
 (* {1 Linear algebra} *)
@@ -357,19 +388,19 @@ let matmul a b =
   let m = a.rows and k = a.cols and n = b.cols in
   let dst = zeros_as a m n in
   (* freshly allocated dst is already zeroed, as the kernels require *)
-  mm3 Kr.matmul Kb.matmul a b dst m k n;
+  mm3 Kr.matmul Kb.matmul Kc.matmul a b dst m k n;
   dst
 
 let matmul_nt a b =
   if a.cols <> b.cols then shape_fail "matmul_nt" a b;
   let m = a.rows and k = a.cols and n = b.rows in
   let dst = zeros_as a m n in
-  mm3 Kr.matmul_nt Kb.matmul_nt a b dst m k n;
+  mm3 Kr.matmul_nt Kb.matmul_nt Kc.matmul_nt a b dst m k n;
   dst
 
 let transpose t =
   let dst = zeros_as t t.cols t.rows in
-  t2 Kr.transpose Kb.transpose t dst t.rows t.cols;
+  t2 Kr.transpose Kb.transpose Kc.transpose t dst t.rows t.cols;
   dst
 
 let dot a b =
@@ -377,6 +408,7 @@ let dot a b =
   match (a.store, b.store) with
   | F x, F y -> Kr.dot x y (numel a)
   | B1 x, B1 y -> Kb.dot x y (numel a)
+  | C x, C y -> Kc.dot x y (numel a)
   | ax, by -> Kr.dot (snapshot ax) (snapshot by) (numel a)
 
 (* {1 Reductions} *)
@@ -385,6 +417,7 @@ let sum t =
   match t.store with
   | F a -> Kr.sum a (numel t)
   | B1 b -> Kb.sum b (numel t)
+  | C b -> Kc.sum b (numel t)
 
 let mean t =
   if numel t = 0 then invalid_arg "Tensor.mean: empty tensor";
@@ -394,29 +427,29 @@ let min_value t =
   if numel t = 0 then invalid_arg "Tensor.min_value: empty tensor";
   match t.store with
   | F a -> Kr.min_value a (numel t)
-  | B1 b -> Kb.min_value b (numel t)
+  | B1 b | C b -> Kb.min_value b (numel t)
 
 let max_value t =
   if numel t = 0 then invalid_arg "Tensor.max_value: empty tensor";
   match t.store with
   | F a -> Kr.max_value a (numel t)
-  | B1 b -> Kb.max_value b (numel t)
+  | B1 b | C b -> Kb.max_value b (numel t)
 
 let sum_rows t =
   let dst = zeros_as t 1 t.cols in
-  t2 Kr.sum_rows Kb.sum_rows t dst t.rows t.cols;
+  t2 Kr.sum_rows Kb.sum_rows Kc.sum_rows t dst t.rows t.cols;
   dst
 
 let sum_cols t =
   let dst = zeros_as t t.rows 1 in
-  t2 Kr.sum_cols Kb.sum_cols t dst t.rows t.cols;
+  t2 Kr.sum_cols Kb.sum_cols Kc.sum_cols t dst t.rows t.cols;
   dst
 
 let argmax_rows t =
   if t.cols = 0 then invalid_arg "Tensor.argmax_rows: zero columns";
   match t.store with
   | F a -> Kr.argmax_rows a t.rows t.cols
-  | B1 b -> Kb.argmax_rows b t.rows t.cols
+  | B1 b | C b -> Kb.argmax_rows b t.rows t.cols
 
 (* {1 Assembly} *)
 
@@ -493,49 +526,49 @@ let map2_into f a b ~dst =
 let add_into a b ~dst =
   binop_check "add_into" a b;
   shape_check_dst "add_into" dst a.rows a.cols;
-  ew2 Kr.add Kb.add a b dst (numel a)
+  ew2 Kr.add Kb.add Kc.add a b dst (numel a)
 
 let sub_into a b ~dst =
   binop_check "sub_into" a b;
   shape_check_dst "sub_into" dst a.rows a.cols;
-  ew2 Kr.sub Kb.sub a b dst (numel a)
+  ew2 Kr.sub Kb.sub Kc.sub a b dst (numel a)
 
 let mul_into a b ~dst =
   binop_check "mul_into" a b;
   shape_check_dst "mul_into" dst a.rows a.cols;
-  ew2 Kr.mul Kb.mul a b dst (numel a)
+  ew2 Kr.mul Kb.mul Kc.mul a b dst (numel a)
 
 let div_into a b ~dst =
   binop_check "div_into" a b;
   shape_check_dst "div_into" dst a.rows a.cols;
-  ew2 Kr.div Kb.div a b dst (numel a)
+  ew2 Kr.div Kb.div Kc.div a b dst (numel a)
 
 let neg_into a ~dst =
   shape_check_dst "neg_into" dst a.rows a.cols;
-  ew1 Kr.neg Kb.neg a dst (numel a)
+  ew1 Kr.neg Kb.neg Kc.neg a dst (numel a)
 
 let scale_into k a ~dst =
   shape_check_dst "scale_into" dst a.rows a.cols;
-  ew1 (Kr.scale k) (Kb.scale k) a dst (numel a)
+  ew1 (Kr.scale k) (Kb.scale k) (Kc.scale k) a dst (numel a)
 
 let add_scalar_into k a ~dst =
   shape_check_dst "add_scalar_into" dst a.rows a.cols;
-  ew1 (Kr.add_scalar k) (Kb.add_scalar k) a dst (numel a)
+  ew1 (Kr.add_scalar k) (Kb.add_scalar k) (Kc.add_scalar k) a dst (numel a)
 
 let clamp_into ~lo ~hi a ~dst =
   if hi < lo then invalid_arg "Tensor.clamp_into: hi < lo";
   shape_check_dst "clamp_into" dst a.rows a.cols;
-  ew1 (Kr.clamp ~lo ~hi) (Kb.clamp ~lo ~hi) a dst (numel a)
+  ew1 (Kr.clamp ~lo ~hi) (Kb.clamp ~lo ~hi) (Kc.clamp ~lo ~hi) a dst (numel a)
 
 let add_rowvec_into m v ~dst =
   rowvec_check "add_rowvec_into" m v;
   shape_check_dst "add_rowvec_into" dst m.rows m.cols;
-  bc2 Kr.add_rowvec Kb.add_rowvec m v dst m.rows m.cols
+  bc2 Kr.add_rowvec Kb.add_rowvec Kc.add_rowvec m v dst m.rows m.cols
 
 let mul_rowvec_into m v ~dst =
   rowvec_check "mul_rowvec_into" m v;
   shape_check_dst "mul_rowvec_into" dst m.rows m.cols;
-  bc2 Kr.mul_rowvec Kb.mul_rowvec m v dst m.rows m.cols
+  bc2 Kr.mul_rowvec Kb.mul_rowvec Kc.mul_rowvec m v dst m.rows m.cols
 
 let broadcast_rowvec_into v ~dst =
   (* each dst row := v; bit-identical to [mul_rowvec (ones …) v]
@@ -550,26 +583,26 @@ let matmul_into a b ~dst =
   let m = a.rows and k = a.cols and n = b.cols in
   shape_check_dst "matmul_into" dst m n;
   sfill dst.store 0 (m * n) 0.0;
-  mm3 Kr.matmul Kb.matmul a b dst m k n
+  mm3 Kr.matmul Kb.matmul Kc.matmul a b dst m k n
 
 let matmul_nt_into a b ~dst =
   if a.cols <> b.cols then shape_fail "matmul_nt_into" a b;
   let m = a.rows and k = a.cols and n = b.rows in
   shape_check_dst "matmul_nt_into" dst m n;
-  mm3 Kr.matmul_nt Kb.matmul_nt a b dst m k n
+  mm3 Kr.matmul_nt Kb.matmul_nt Kc.matmul_nt a b dst m k n
 
 let transpose_into t ~dst =
   shape_check_dst "transpose_into" dst t.cols t.rows;
-  t2 Kr.transpose Kb.transpose t dst t.rows t.cols
+  t2 Kr.transpose Kb.transpose Kc.transpose t dst t.rows t.cols
 
 let sum_rows_into t ~dst =
   shape_check_dst "sum_rows_into" dst 1 t.cols;
   sfill dst.store 0 t.cols 0.0;
-  t2 Kr.sum_rows Kb.sum_rows t dst t.rows t.cols
+  t2 Kr.sum_rows Kb.sum_rows Kc.sum_rows t dst t.rows t.cols
 
 let sum_cols_into t ~dst =
   shape_check_dst "sum_cols_into" dst t.rows 1;
-  t2 Kr.sum_cols Kb.sum_cols t dst t.rows t.cols
+  t2 Kr.sum_cols Kb.sum_cols Kc.sum_cols t dst t.rows t.cols
 
 let slice_cols_into t start len ~dst =
   if start < 0 || len < 0 || start + len > t.cols then
@@ -629,7 +662,7 @@ type unop = TB.unop = Tanh | Sigmoid | Exp | Log | Sqrt | Relu | Abs
 
 let unop_into op a ~dst =
   shape_check_dst "unop_into" dst a.rows a.cols;
-  ew1 (Kr.unary op) (Kb.unary op) a dst (numel a)
+  ew1 (Kr.unary op) (Kb.unary op) (Kc.unary op) a dst (numel a)
 
 let unop_bwd_into op ~x ~y ~g ~dst =
   binop_check "unop_bwd_into" x y;
@@ -639,6 +672,7 @@ let unop_bwd_into op ~x ~y ~g ~dst =
   match (x.store, y.store, g.store, dst.store) with
   | F xb, F yb, F gb, F db -> Kr.unary_bwd op ~x:xb ~y:yb ~g:gb ~s:db n
   | B1 xb, B1 yb, B1 gb, B1 db -> Kb.unary_bwd op ~x:xb ~y:yb ~g:gb ~s:db n
+  | C xb, C yb, C gb, C db -> Kc.unary_bwd op ~x:xb ~y:yb ~g:gb ~s:db n
   | xs, ys, gs, ds ->
       let d = Array.make n 0.0 in
       Kr.unary_bwd op ~x:(snapshot xs) ~y:(snapshot ys) ~g:(snapshot gs) ~s:d n;
@@ -646,13 +680,14 @@ let unop_bwd_into op ~x ~y ~g ~dst =
 
 let softmax_rows_into m ~dst =
   shape_check_dst "softmax_rows_into" dst m.rows m.cols;
-  t2 Kr.softmax_rows Kb.softmax_rows m dst m.rows m.cols
+  t2 Kr.softmax_rows Kb.softmax_rows Kc.softmax_rows m dst m.rows m.cols
 
 let ce_loss_sum probs labels =
   binop_check "ce_loss_sum" probs labels;
   match (probs.store, labels.store) with
   | F p, F y -> Kr.ce_loss_sum p y (numel probs)
   | B1 p, B1 y -> Kb.ce_loss_sum p y (numel probs)
+  | C p, C y -> Kc.ce_loss_sum p y (numel probs)
   | ps, ys -> Kr.ce_loss_sum (snapshot ps) (snapshot ys) (numel probs)
 
 let sgd_step ~lr ~grad value =
@@ -661,12 +696,13 @@ let sgd_step ~lr ~grad value =
   match (value.store, grad.store) with
   | F v, F g -> Kr.sgd_step ~lr ~grad:g ~value:v n
   | B1 v, B1 g -> Kb.sgd_step ~lr ~grad:g ~value:v n
+  | C v, C g -> Kc.sgd_step ~lr ~grad:g ~value:v n
   | vs, gs ->
       (* snapshot of an F store is the live array, so Kr updates it in
-         place; a B1 store needs the result loaded back *)
+         place; a bigarray-backed store needs the result loaded back *)
       let v = snapshot vs in
       Kr.sgd_step ~lr ~grad:(snapshot gs) ~value:v n;
-      (match vs with F _ -> () | B1 b -> Kb.load b v)
+      (match vs with F _ -> () | B1 b | C b -> Kb.load b v)
 
 let adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad value =
   binop_check "adam_step" value grad;
@@ -678,11 +714,81 @@ let adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad value =
       Kr.adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad:gb ~value:vb n
   | B1 vb, B1 gb ->
       Kb.adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad:gb ~value:vb n
+  | C vb, C gb ->
+      Kc.adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad:gb ~value:vb n
   | vs, gs ->
       let vb = snapshot vs in
       Kr.adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad:(snapshot gs)
         ~value:vb n;
-      (match vs with F _ -> () | B1 b -> Kb.load b vb)
+      (match vs with F _ -> () | B1 b | C b -> Kb.load b vb)
+
+(* {1 Fused hot-path entry points}
+
+   Each takes the backend's fused capability when (a) every operand lives
+   on that backend, (b) the backend advertises the capability, and (c) the
+   sanitizer is off (checked mode decomposes so every constituent kernel
+   runs its bounds-checked body).  Otherwise it decomposes into the exact
+   kernel sequence the fused stub replicates, so both routes are
+   bit-identical on a given backend. *)
+
+let matmul_bias_unop_into ?op x w b ~pre ~out =
+  if x.cols <> w.rows then shape_fail "matmul_bias_unop_into" x w;
+  let m = x.rows and k = x.cols and n = w.cols in
+  if b.rows <> 1 || b.cols <> n then shape_fail "matmul_bias_unop_into" w b;
+  shape_check_dst "matmul_bias_unop_into" pre m n;
+  shape_check_dst "matmul_bias_unop_into" out m n;
+  let fused =
+    if !TB.checked then None
+    else
+      match (x.store, w.store, b.store, pre.store, out.store) with
+      | C xb, C wb, C bb, C pb, C ob -> (
+          match Kc.matmul_bias_unop with
+          | Some f -> Some (fun () -> f op ~x:xb ~w:wb ~b:bb ~pre:pb ~out:ob m k n)
+          | None -> None)
+      | _ -> None
+  in
+  match fused with
+  | Some run -> run ()
+  | None -> (
+      matmul_into x w ~dst:pre;
+      (* elementwise broadcast: dst aliasing the matrix operand is legal *)
+      add_rowvec_into pre b ~dst:pre;
+      match op with
+      | Some u -> unop_into u pre ~dst:out
+      | None -> if not (out == pre) then blit ~src:pre ~dst:out)
+
+let adam_step_many ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 items =
+  List.iter
+    (fun (value, grad, m, v) ->
+      binop_check "adam_step_many" value grad;
+      if Array.length m <> numel value || Array.length v <> numel value then
+        invalid_arg "Tensor.adam_step_many: moment length mismatch")
+    items;
+  let all_c =
+    List.for_all
+      (fun (value, grad, _, _) ->
+        match (value.store, grad.store) with
+        | C _, C _ -> true
+        | _ -> false)
+      items
+  in
+  match Kc.adam_step_many with
+  | Some f when all_c && not !TB.checked ->
+      let arr =
+        Array.of_list
+          (List.map
+             (fun (value, grad, m, v) ->
+               match (value.store, grad.store) with
+               | C vb, C gb -> (vb, gb, m, v, numel value)
+               | _ -> assert false)
+             items)
+      in
+      f ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 arr
+  | _ ->
+      List.iter
+        (fun (value, grad, m, v) ->
+          adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad value)
+        items
 
 (* {1 Comparison and printing} *)
 

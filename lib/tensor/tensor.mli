@@ -14,7 +14,7 @@ type t
 
 (** {1:backends Kernel backends}
 
-    Each tensor's flat buffer is owned by one of two kernel backends:
+    Each tensor's flat buffer is owned by one of three kernel backends:
 
     - {!Reference} — plain [float array] loops, operation-for-operation
       identical to the pre-backend implementation.  The bit-identity oracle:
@@ -29,9 +29,17 @@ type t
       re-associate their accumulations and may differ in the last few ulps —
       deterministically: the same program produces bitwise-identical results
       run-to-run within this backend.
+    - {!C64} — the same flat Float64 storage with the hot kernels as
+      vectorized C foreign stubs (compiled [-O2 -fno-fast-math
+      -ffp-contract=off], so C float semantics stay IEEE-strict).
+      Per-element kernels are bit-identical to the reference backend; the
+      matmul family re-associates deterministically (replicating
+      {!Bigarray64}'s register-blocked association).  The only backend with
+      fused layer-forward / Adam kernels (used automatically by the
+      autodiff and optimizer hot paths; see {!matmul_bias_unop_into}).
 
-    Selection: [PNN_BACKEND=reference|bigarray] in the environment (read at
-    module initialization) or {!set_backend}.  The active backend decides
+    Selection: [PNN_BACKEND=reference|bigarray|c] in the environment (read
+    at module initialization) or {!set_backend}.  The active backend decides
     where {e constructors} ({!zeros}, {!create}, {!uniform}, …) allocate;
     operations allocate their result on their {e first operand's} backend, so
     a computation stays on one backend even if the flag changes mid-run.
@@ -40,7 +48,7 @@ type t
     process.  Cached experiment results are keyed by {!backend_tag} so runs
     never observe another backend's numerics. *)
 
-type backend = Tensor_backend.id = Reference | Bigarray64
+type backend = Tensor_backend.id = Reference | Bigarray64 | C64
 
 val backend : unit -> backend
 (** The active backend used by constructors. *)
@@ -48,14 +56,23 @@ val backend : unit -> backend
 val set_backend : backend -> unit
 
 val backend_of_string : string -> backend option
-(** Accepts ["reference"]/["ref"] and ["bigarray"]/["bigarray64"]/["ba64"]. *)
+(** Accepts ["reference"]/["ref"], ["bigarray"]/["bigarray64"]/["ba64"] and
+    ["c"]/["c64"]. *)
 
 val backend_name : backend -> string
-(** ["reference"] or ["bigarray"] — inverse of {!backend_of_string}. *)
+(** ["reference"], ["bigarray"] or ["c"] — inverse of {!backend_of_string}. *)
+
+val backends : backend list
+(** Every live backend, in registry order — the single source the CLI
+    surfaces and the test matrix enumerate. *)
+
+val backend_choices : string
+(** The canonical names joined with ["|"] (["reference|bigarray|c"]), for
+    [--backend] help text and error messages. *)
 
 val backend_tag : unit -> string
-(** Short stable tag of the active backend (["ref"] / ["ba64"]) folded into
-    cache keys so cached results never cross backends. *)
+(** Short stable tag of the active backend (["ref"] / ["ba64"] / ["c64"])
+    folded into cache keys so cached results never cross backends. *)
 
 val backend_of : t -> backend
 (** The backend owning this tensor's storage. *)
@@ -338,6 +355,35 @@ val adam_step :
 (** One Adam update in place on the value tensor; [m]/[v] are the caller-owned
     first/second-moment buffers ([bc1]/[bc2] the bias corrections
     [1 - betaᵢ^t]). *)
+
+(** {1 Fused hot-path kernels}
+
+    Single-call fusions of the dominant kernel sequences.  Each routes to a
+    backend's fused capability when every operand lives on that backend,
+    the backend advertises it, and checked mode is off; otherwise it
+    decomposes into the exact kernel sequence the fused implementation
+    replicates.  Both routes are bit-identical on a given backend — the
+    fusion only removes dispatch and loop-restart overhead, never changes
+    float operations or their order. *)
+
+val matmul_bias_unop_into : ?op:unop -> t -> t -> t -> pre:t -> out:t -> unit
+(** [matmul_bias_unop_into ?op x w b ~pre ~out] is the dense-layer forward:
+    [pre := x·w +rowvec b], then [out := op pre] (with [?op] absent, [out]
+    becomes a copy of [pre]; passing [out == pre] skips the copy).  [pre]
+    and [out] must not alias [x], [w] or [b]; [out] may alias [pre]. *)
+
+val adam_step_many :
+  lr:float ->
+  beta1:float ->
+  beta2:float ->
+  eps:float ->
+  bc1:float ->
+  bc2:float ->
+  (t * t * float array * float array) list ->
+  unit
+(** One Adam update over every [(value, grad, m, v)] parameter leaf —
+    semantically (and bitwise) per-leaf {!adam_step} calls, fused into one
+    kernel invocation when the backend allows. *)
 
 (** {1 Comparison and printing} *)
 

@@ -1,12 +1,13 @@
 (* Backend registry for the tensor kernel set.
 
    A backend is an implementation of the {!KERNELS} module type below: a flat
-   buffer type plus every arithmetic core the tensor layer dispatches to.  Two
-   implementations exist today — {!Kernels_ref} on [float array] (the
-   bit-identity oracle every golden trajectory is pinned to) and {!Kernels_ba}
-   on flat [Bigarray.Array1] Float64 storage with unrolled/blocked loops.  A
-   future C-stub or BLAS backend is one more module satisfying {!KERNELS} plus
-   one more storage constructor in [Tensor.t].
+   buffer type plus every arithmetic core the tensor layer dispatches to.
+   Three implementations exist today — {!Kernels_ref} on [float array] (the
+   bit-identity oracle every golden trajectory is pinned to), {!Kernels_ba}
+   on flat [Bigarray.Array1] Float64 storage with unrolled/blocked OCaml
+   loops, and {!Kernels_c} on the same storage with vectorized C foreign
+   stubs.  A BLAS backend would be one more module satisfying {!KERNELS}
+   plus one more storage constructor in [Tensor.t].
 
    This module also owns the two process-wide mode flags the kernels consult:
 
@@ -19,19 +20,31 @@
      backend keeps using that backend's kernels even after the flag changes —
      so the flag only decides where fresh allocations land. *)
 
-type id = Reference | Bigarray64
+type id = Reference | Bigarray64 | C64
+
+(* The single source of truth for the live backend list: [of_string],
+   [names_string] (error messages and every --backend help text) and the
+   test matrix all derive from it. *)
+let all = [ Reference; Bigarray64; C64 ]
 
 let of_string = function
   | "reference" | "ref" -> Some Reference
   | "bigarray" | "bigarray64" | "ba64" -> Some Bigarray64
+  | "c" | "c64" -> Some C64
   | _ -> None
 
-let name = function Reference -> "reference" | Bigarray64 -> "bigarray"
+let name = function
+  | Reference -> "reference"
+  | Bigarray64 -> "bigarray"
+  | C64 -> "c"
+
+let names = List.map name all
+let names_string = String.concat "|" names
 
 (* Short, stable tags folded into cache keys (Serialize.cache_schema): the
-   two backends may differ in the last ulp, so cached results must never
-   cross. *)
-let tag = function Reference -> "ref" | Bigarray64 -> "ba64"
+   backends may differ in the last ulp on the matmul family, so cached
+   results must never cross. *)
+let tag = function Reference -> "ref" | Bigarray64 -> "ba64" | C64 -> "c64"
 
 let checked =
   ref
@@ -48,9 +61,8 @@ let current =
         | Some b -> b
         | None ->
             failwith
-              (Printf.sprintf
-                 "PNN_BACKEND=%s: unknown backend (expected reference|bigarray)"
-                 s)))
+              (Printf.sprintf "PNN_BACKEND=%s: unknown backend (expected %s)" s
+                 names_string)))
 
 (* Unary nonlinearities are backend kernels (the autodiff tape calls them on
    backend-owned storage); the constructor set is shared so every backend
@@ -164,4 +176,40 @@ module type KERNELS = sig
   (** Moment buffers [m]/[v] are optimizer-owned plain arrays (they are
       checkpointed by the optimizer codec and never enter tensor math), so
       they stay [float array] on every backend. *)
+
+  (* Optional fused capabilities.  A backend that cannot fuse advertises
+     [None] and the dispatch layer decomposes into the catalogue kernels
+     above; a backend advertising [Some f] guarantees [f] is bit-identical
+     to the decomposed sequence on the same backend. *)
+
+  val matmul_bias_unop :
+    (unop option ->
+    x:buf ->
+    w:buf ->
+    b:buf ->
+    pre:buf ->
+    out:buf ->
+    int ->
+    int ->
+    int ->
+    unit)
+    option
+  (** Fused dense-layer forward over [m k n]: [pre := x·w +rowvec b] then
+      [out := unop pre] ([None] leaves [out] untouched and callers use
+      [pre]; [out] may equal [pre]).  [pre]/[out] must not alias [x], [w]
+      or [b]. *)
+
+  val adam_step_many :
+    (lr:float ->
+    beta1:float ->
+    beta2:float ->
+    eps:float ->
+    bc1:float ->
+    bc2:float ->
+    (buf * buf * float array * float array * int) array ->
+    unit)
+    option
+  (** One call for an Adam step over every parameter leaf.  Each item is
+      [(value, grad, m, v, numel)]; leaves are updated independently,
+      bit-identically to per-leaf [adam_step] calls. *)
 end

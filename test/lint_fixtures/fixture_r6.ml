@@ -3,3 +3,5 @@ let bad () = Kernels_ba.create 4
 
 (* pnnlint:allow R6 fixture: tooling that genuinely needs the raw buffer *)
 let ok () = Tensor_backend.tag backend
+
+let bad_c () = Kernels_c.scale 2.0 buf

@@ -1,0 +1,15 @@
+(* R4 external fixture: C-stub declarations in lib/tensor must carry a
+   SAFETY note; %-primitives are compiler intrinsics and exempt, and
+   Kernels_c references are legal from inside lib/tensor (no R6). *)
+external bad_stub : float -> float = "pnn_fixture_bad" [@@noalloc]
+
+(* SAFETY: fixture — pure float-in/float-out stub, touches no buffers *)
+external ok_stub : float -> float = "pnn_fixture_ok" [@@noalloc]
+
+external ok_prim : ('a, 'b, 'c) Bigarray.Array1.t -> int -> 'a
+  = "%caml_ba_ref_1"
+
+(* pnnlint:allow R4 fixture: waiver instead of a SAFETY note *)
+external ok_waived : float -> float = "pnn_fixture_waived" [@@noalloc]
+
+let ok_inside () = Kernels_c.create 4

@@ -1,13 +1,16 @@
 (* Cross-backend kernel agreement suite.
 
-   The reference backend is the bit-identity oracle; the bigarray backend
-   must agree with it bit-for-bit on every per-element kernel and within
-   1e-12 relative error on the re-associated matmul family.  Each check
-   builds its inputs *inside* the backend under test so the whole
-   computation stays homogeneous; mixed-storage behavior gets its own
-   test. *)
+   The reference backend is the bit-identity oracle; every fast backend
+   (bigarray and the C-stub backend) must agree with it bit-for-bit on
+   every per-element kernel and within 1e-12 relative error on the
+   re-associated matmul family.  Each check builds its inputs *inside* the
+   backend under test so the whole computation stays homogeneous;
+   mixed-storage behavior gets its own test. *)
 
 module T = Tensor
+
+let fast_backends = [ T.Bigarray64; T.C64 ]
+let all_backends = T.Reference :: fast_backends
 
 let with_backend b f =
   let prev = T.backend () in
@@ -53,11 +56,16 @@ let check_close ~what a b =
         Alcotest.failf "%s: index %d: %h vs %h (rel err > 1e-12)" what i x y)
     a
 
-(* Run [f : unit -> float array] on both backends and compare. *)
+(* Run [f : unit -> float array] on every backend and compare each fast
+   backend against the reference oracle. *)
 let agree ?(exact = true) what f =
   let r = with_backend T.Reference f in
-  let b = with_backend T.Bigarray64 f in
-  (if exact then check_bits else check_close) ~what r b
+  List.iter
+    (fun be ->
+      let b = with_backend be f in
+      let what = Printf.sprintf "%s [%s]" what (T.backend_name be) in
+      (if exact then check_bits else check_close) ~what r b)
+    fast_backends
 
 let shapes = [ (0, 0); (0, 3); (1, 1); (1, 7); (5, 1); (3, 4); (7, 5); (8, 8); (33, 17) ]
 
@@ -254,7 +262,7 @@ let test_clamp_nan_passthrough () =
           T.clamp_into ~lo:(-0.5) ~hi:0.5 (nan_row ()) ~dst:d;
           if not (Float.is_nan (T.get d 0 0)) then
             Alcotest.failf "%s: clamp_into snapped NaN" (T.backend_name be)))
-    [ T.Reference; T.Bigarray64 ];
+    all_backends;
   agree "clamp nan/-0.0" (fun () ->
       T.to_array (T.clamp ~lo:(-0.5) ~hi:0.5 (nan_row ())))
 
@@ -288,7 +296,7 @@ let test_minmax_argmax_edges () =
           Alcotest.(check int)
             (T.backend_name be ^ ": argmax of leading-NaN row")
             0 am.(0)))
-    [ T.Reference; T.Bigarray64 ]
+    all_backends
 
 (* {2 Determinism within a backend} *)
 
@@ -314,7 +322,7 @@ let test_within_backend_determinism () =
             Fun.protect ~finally:(fun () -> T.set_checked prev) pipeline)
       in
       check_bits ~what:(T.backend_name be ^ " checked vs unchecked") x checked)
-    [ T.Reference; T.Bigarray64 ]
+    all_backends
 
 (* {2 Mixed-storage operands} *)
 
@@ -324,33 +332,55 @@ let test_mixed_storage () =
         let a = mk 5 7 1 and b = mk 5 7 2 in
         T.to_array (T.add a b))
   in
-  let mixed =
-    with_backend T.Reference (fun () ->
-        let a = mk 5 7 1 in
-        with_backend T.Bigarray64 (fun () ->
-            let b = mk 5 7 2 in
-            let sum = T.add a b in
-            (* result follows the first operand's backend *)
-            (match T.backend_of sum with
-            | T.Reference -> ()
-            | T.Bigarray64 ->
-                Alcotest.fail "mixed add did not follow first operand");
-            T.to_array sum))
-  in
-  check_bits ~what:"mixed add = reference add" pure mixed;
+  List.iter
+    (fun fast ->
+      let mixed =
+        with_backend T.Reference (fun () ->
+            let a = mk 5 7 1 in
+            with_backend fast (fun () ->
+                let b = mk 5 7 2 in
+                let sum = T.add a b in
+                (* result follows the first operand's backend *)
+                if T.backend_of sum <> T.Reference then
+                  Alcotest.failf "mixed add (ref, %s) did not follow first operand"
+                    (T.backend_name fast);
+                T.to_array sum))
+      in
+      check_bits
+        ~what:(Printf.sprintf "mixed add (ref, %s) = reference add" (T.backend_name fast))
+        pure mixed)
+    fast_backends;
   let pure_mm =
     with_backend T.Reference (fun () ->
         T.to_array (T.matmul (mk 4 6 1) (mk 6 9 2)))
   in
-  let mixed_mm =
-    with_backend T.Bigarray64 (fun () ->
+  let mixed_mm fast =
+    with_backend fast (fun () ->
         let b = mk 6 9 2 in
         with_backend T.Reference (fun () ->
             let a = mk 4 6 1 in
             T.to_array (T.matmul a b)))
   in
   (* mixed operands fall back to the reference kernels: bit-identical *)
-  check_bits ~what:"mixed matmul = reference matmul" pure_mm mixed_mm
+  List.iter
+    (fun fast ->
+      check_bits
+        ~what:(Printf.sprintf "mixed matmul (%s, ref) = reference matmul" (T.backend_name fast))
+        pure_mm (mixed_mm fast))
+    fast_backends;
+  (* bigarray-meets-C is also mixed storage (distinct backends even though
+     both are flat float64 buffers): reference-kernel fallback, bitwise *)
+  let ba_c_mm =
+    with_backend T.C64 (fun () ->
+        let b = mk 6 9 2 in
+        with_backend T.Bigarray64 (fun () ->
+            let a = mk 4 6 1 in
+            let r = T.matmul a b in
+            if T.backend_of r <> T.Bigarray64 then
+              Alcotest.fail "mixed (ba, c) matmul did not follow first operand";
+            T.to_array r))
+  in
+  check_bits ~what:"mixed matmul (ba, c) = reference matmul" pure_mm ba_c_mm
 
 (* {2 Construction / surface} *)
 
@@ -380,11 +410,16 @@ let test_surface () =
           Alcotest.(check (float 0.0))
             (name ^ ": copy is deep")
             1.0 (T.get t 0 0)))
-    [ T.Reference; T.Bigarray64 ];
+    all_backends;
+  Alcotest.(check (list string))
+    "backends catalogue matches the live list"
+    [ "reference"; "bigarray"; "c" ]
+    (List.map T.backend_name T.backends);
   Alcotest.(check string) "reference tag" "ref"
     (with_backend T.Reference T.backend_tag);
   Alcotest.(check string) "bigarray tag" "ba64"
-    (with_backend T.Bigarray64 T.backend_tag)
+    (with_backend T.Bigarray64 T.backend_tag);
+  Alcotest.(check string) "c tag" "c64" (with_backend T.C64 T.backend_tag)
 
 (* {2 Cache isolation — a warm reference cache must not serve bigarray} *)
 
@@ -393,6 +428,8 @@ let test_cache_isolation () =
     (with_backend T.Reference Pnn.Serialize.cache_schema);
   Alcotest.(check string) "bigarray schema" "pnn-save-2+ba64"
     (with_backend T.Bigarray64 Pnn.Serialize.cache_schema);
+  Alcotest.(check string) "c schema" "pnn-save-2+c64"
+    (with_backend T.C64 Pnn.Serialize.cache_schema);
   let key_of () =
     Cache.key
       ~schema:(Pnn.Serialize.cache_schema ())
@@ -400,14 +437,170 @@ let test_cache_isolation () =
   in
   let kref = with_backend T.Reference key_of in
   let kba = with_backend T.Bigarray64 key_of in
-  if String.equal kref kba then
+  let kc = with_backend T.C64 key_of in
+  if String.equal kref kba || String.equal kref kc || String.equal kba kc then
     Alcotest.fail "cache keys collide across backends";
   let cache = Cache.create ~dir:"_backend_cache_test" in
   Cache.store cache ~kind:"btest" ~key:kref [ "reference result" ];
+  Cache.store cache ~kind:"btest" ~key:kba [ "bigarray result" ];
   Alcotest.(check bool) "warm reference entry hits on reference key" true
     (Option.is_some (Cache.find cache ~kind:"btest" ~key:kref));
-  Alcotest.(check bool) "warm reference entry misses on bigarray key" true
-    (Option.is_none (Cache.find cache ~kind:"btest" ~key:kba))
+  Alcotest.(check bool) "bigarray key addresses its own entry" true
+    (String.equal
+       (List.hd (Option.get (Cache.find cache ~kind:"btest" ~key:kba)))
+       "bigarray result");
+  Alcotest.(check bool) "a +c64 key never serves +ref or +ba64 entries" true
+    (Option.is_none (Cache.find cache ~kind:"btest" ~key:kc))
+
+(* {2 Fused hot-path kernels — fused vs decomposed bit-identity} *)
+
+let fused_ops = [ None; Some T.Tanh; Some T.Relu; Some T.Sigmoid ]
+
+let fused_op_name = function None -> "none" | Some u -> unop_name u
+
+let fused_shapes = [ (1, 1, 1); (5, 7, 4); (3, 5, 9); (8, 8, 16); (0, 3, 4); (6, 2, 17) ]
+
+let run_fused_dense () =
+  List.concat_map
+    (fun (m, k, n) ->
+      List.concat_map
+        (fun op ->
+          let x = T.scale 0.05 (mk m k 1) in
+          let w = T.scale 0.05 (mk k n 2) in
+          let b = T.scale 0.05 (mk 1 n 3) in
+          let pre = T.zeros m n and out = T.zeros m n in
+          T.matmul_bias_unop_into ?op x w b ~pre ~out;
+          [ T.to_array pre; T.to_array out ])
+        fused_ops)
+    fused_shapes
+  |> Array.concat
+
+let test_fused_dense () =
+  List.iter
+    (fun be ->
+      with_backend be (fun () ->
+          List.iter
+            (fun (m, k, n) ->
+              List.iter
+                (fun op ->
+                  let what =
+                    Printf.sprintf "fused dense %s %dx%dx%d [%s]"
+                      (fused_op_name op) m k n (T.backend_name be)
+                  in
+                  let x = T.scale 0.05 (mk m k 1) in
+                  let w = T.scale 0.05 (mk k n 2) in
+                  let b = T.scale 0.05 (mk 1 n 3) in
+                  let pre = T.zeros m n and out = T.zeros m n in
+                  T.matmul_bias_unop_into ?op x w b ~pre ~out;
+                  (* decomposed oracle on the same backend *)
+                  let pre2 = T.zeros m n in
+                  T.matmul_into x w ~dst:pre2;
+                  if m > 0 && n > 0 then T.add_rowvec_into pre2 b ~dst:pre2;
+                  let out2 =
+                    match op with
+                    | None -> pre2
+                    | Some u ->
+                        let o = T.zeros m n in
+                        T.unop_into u pre2 ~dst:o;
+                        o
+                  in
+                  check_bits ~what:(what ^ " (pre)") (T.to_array pre2)
+                    (T.to_array pre);
+                  check_bits ~what:(what ^ " (out)") (T.to_array out2)
+                    (T.to_array out);
+                  (* sharing pre as out must work when no unop is applied *)
+                  if op = None then begin
+                    let shared = T.zeros m n in
+                    T.matmul_bias_unop_into x w b ~pre:shared ~out:shared;
+                    check_bits ~what:(what ^ " (pre==out)") (T.to_array out2)
+                      (T.to_array shared)
+                  end)
+                fused_ops)
+            fused_shapes))
+    T.backends;
+  (* the fused path must be bit-identical across checked/unchecked modes *)
+  List.iter
+    (fun be ->
+      let plain = with_backend be run_fused_dense in
+      let checked =
+        with_backend be (fun () ->
+            let prev = T.checked () in
+            T.set_checked true;
+            Fun.protect ~finally:(fun () -> T.set_checked prev) run_fused_dense)
+      in
+      check_bits
+        ~what:(T.backend_name be ^ " fused dense checked vs unchecked")
+        plain checked)
+    T.backends
+
+let test_fused_adam () =
+  List.iter
+    (fun be ->
+      with_backend be (fun () ->
+          let lr = 0.01 and beta1 = 0.9 and beta2 = 0.999 and eps = 1e-8 in
+          let bc1 = 0.1 and bc2 = 0.001 in
+          let mk_leaf s =
+            (mk 3 4 s, mk 3 4 (s + 10), Array.make 12 0.01, Array.make 12 0.02)
+          in
+          let items = List.map mk_leaf [ 1; 2; 3 ] in
+          let twins =
+            List.map (fun (v, g, m, s) -> (T.copy v, g, Array.copy m, Array.copy s)) items
+          in
+          T.adam_step_many ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 items;
+          List.iter
+            (fun (v, g, m, s) ->
+              T.adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v:s ~grad:g v)
+            twins;
+          List.iteri
+            (fun i ((v, _, m, s), (v', _, m', s')) ->
+              let what =
+                Printf.sprintf "fused adam leaf %d [%s]" i (T.backend_name be)
+              in
+              check_bits ~what:(what ^ " value") (T.to_array v') (T.to_array v);
+              check_bits ~what:(what ^ " m") m' m;
+              check_bits ~what:(what ^ " v") s' s)
+            (List.combine items twins)))
+    T.backends
+
+let test_fused_autodiff () =
+  (* Autodiff.dense (one node) against the legacy 3-node chain: values and
+     every gradient bit-identical, on every backend. *)
+  let run be fused op_act =
+    with_backend be (fun () ->
+        let x = Autodiff.const (T.scale 0.05 (mk 4 6 1)) in
+        let w = Autodiff.param (T.scale 0.05 (mk 6 3 2)) in
+        let b = Autodiff.param (T.scale 0.05 (mk 1 3 3)) in
+        let y =
+          if fused then Autodiff.dense ?op:op_act x w b
+          else
+            let pre = Autodiff.add_rowvec (Autodiff.matmul x w) b in
+            match op_act with
+            | None -> pre
+            | Some T.Tanh -> Autodiff.tanh pre
+            | Some T.Sigmoid -> Autodiff.sigmoid pre
+            | Some T.Relu -> Autodiff.relu pre
+            | Some _ -> Alcotest.fail "unexpected unop"
+        in
+        let loss = Autodiff.mean (Autodiff.mul y y) in
+        Autodiff.backward loss;
+        Array.concat
+          [
+            T.to_array (Autodiff.value y);
+            T.to_array (Autodiff.grad w);
+            T.to_array (Autodiff.grad b);
+          ])
+  in
+  List.iter
+    (fun be ->
+      List.iter
+        (fun op ->
+          check_bits
+            ~what:
+              (Printf.sprintf "autodiff dense %s [%s]" (fused_op_name op)
+                 (T.backend_name be))
+            (run be false op) (run be true op))
+        fused_ops)
+    T.backends
 
 let () =
   Alcotest.run "backend"
@@ -433,6 +626,12 @@ let () =
           Alcotest.test_case "bit-identity within backend" `Quick
             test_within_backend_determinism;
           Alcotest.test_case "mixed storage" `Quick test_mixed_storage;
+        ] );
+      ( "fused",
+        [
+          Alcotest.test_case "dense fused vs decomposed" `Quick test_fused_dense;
+          Alcotest.test_case "adam fused vs per-leaf" `Quick test_fused_adam;
+          Alcotest.test_case "autodiff dense node" `Quick test_fused_autodiff;
         ] );
       ( "surface",
         [

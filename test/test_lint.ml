@@ -38,8 +38,10 @@ let test_golden_diagnostics () =
       "R3 lint_fixtures/fixture_r3.ml:3";
       "R4 lint_fixtures/fixture_r4.ml:2";
       "R4 lint_fixtures/fixture_r4.ml:11";
+      "R4 lint_fixtures/lib/tensor/fixture_r4_stub.ml:4";
       "R5 lint_fixtures/fixture_r5.ml:2";
       "R6 lint_fixtures/fixture_r6.ml:2";
+      "R6 lint_fixtures/fixture_r6.ml:7";
       "R5 lint_fixtures/fixture_r5.ml:3";
       "S1 lint_fixtures/fixture_s1.ml:2";
       "R5 lint_fixtures/fixture_s1.ml:3";
@@ -57,9 +59,9 @@ let test_golden_diagnostics () =
 
 let test_suppressions_counted () =
   let report = run_fixtures () in
-  Alcotest.(check int) "eight suppressed findings" 8
+  Alcotest.(check int) "nine suppressed findings" 9
     (List.length report.E.suppressed);
-  Alcotest.(check int) "eight valid suppression comments" 8
+  Alcotest.(check int) "nine valid suppression comments" 9
     (List.length report.E.suppressions);
   List.iter
     (fun (s : E.suppression) ->
@@ -80,7 +82,11 @@ let test_safety_comments_tracked () =
   let report = run_fixtures () in
   Alcotest.(check (list (pair string int)))
     "SAFETY sites"
-    [ ("lint_fixtures/fixture_r4.ml", 5); ("lint_fixtures/fixture_r4.ml", 14) ]
+    [
+      ("lint_fixtures/fixture_r4.ml", 5);
+      ("lint_fixtures/fixture_r4.ml", 14);
+      ("lint_fixtures/lib/tensor/fixture_r4_stub.ml", 6);
+    ]
     (List.sort compare_sites
        (List.map (fun (path, line, _) -> (path, line)) report.E.safety))
 
