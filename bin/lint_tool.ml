@@ -2,12 +2,15 @@
 
    Examples:
      dune exec bin/lint_tool.exe -- check
+     dune exec bin/lint_tool.exe -- check --json
      dune exec bin/lint_tool.exe -- check --root . --r2-root Cache
+     dune exec bin/lint_tool.exe -- stats --json
      dune exec bin/lint_tool.exe -- list-rules
      dune exec bin/lint_tool.exe -- allow-report
 
    `check` exits 1 when any unsuppressed finding remains — `dune build @lint`
-   wires it into the default test gate. *)
+   wires it into the default test gate.  `--json` output is byte-stable so
+   CI can diff lint posture across commits. *)
 
 open Cmdliner
 
@@ -20,17 +23,25 @@ let config root_override r2_roots =
   in
   (root_override, base)
 
-let cmd_check (root, config) verbose =
+let cmd_check (root, config) verbose json =
   let report = Pnnlint.Engine.run ~config ~root () in
-  print_string (Pnnlint.Engine.render_report report);
-  if verbose && report.Pnnlint.Engine.suppressed <> [] then begin
-    print_string "-- suppressed --\n";
-    List.iter
-      (fun (f, _) ->
-        Printf.printf "%s (suppressed)\n" (Pnnlint.Engine.render_finding f))
-      report.Pnnlint.Engine.suppressed
+  if json then print_string (Pnnlint.Engine.render_json report)
+  else begin
+    print_string (Pnnlint.Engine.render_report report);
+    if verbose && report.Pnnlint.Engine.suppressed <> [] then begin
+      print_string "-- suppressed --\n";
+      List.iter
+        (fun (f, _) ->
+          Printf.printf "%s (suppressed)\n" (Pnnlint.Engine.render_finding f))
+        report.Pnnlint.Engine.suppressed
+    end
   end;
   if report.Pnnlint.Engine.findings <> [] then exit 1
+
+let cmd_stats (root, config) json =
+  let report = Pnnlint.Engine.run ~config ~root () in
+  if json then print_string (Pnnlint.Engine.render_stats_json report)
+  else print_string (Pnnlint.Engine.render_stats report)
 
 let cmd_list_rules () = print_string (Pnnlint.Engine.render_rules ())
 
@@ -56,12 +67,24 @@ let r2_roots_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"also print suppressed findings")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"machine-readable JSON output (byte-stable)")
+
 let config_term = Term.(const config $ root_arg $ r2_roots_arg)
 
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"scan the tree and fail on any unsuppressed finding")
-    Term.(const cmd_check $ config_term $ verbose_arg)
+    Term.(const cmd_check $ config_term $ verbose_arg $ json_arg)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"per-rule posture: findings, suppressed findings and allow \
+             comments for every rule")
+    Term.(const cmd_stats $ config_term $ json_arg)
 
 let list_rules_cmd =
   Cmd.v
@@ -78,4 +101,7 @@ let () =
   let info =
     Cmd.info "lint_tool" ~doc:"pnnlint — repo-invariant static analyzer"
   in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; list_rules_cmd; allow_report_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; stats_cmd; list_rules_cmd; allow_report_cmd ]))

@@ -137,6 +137,8 @@ let connect_fd addr =
 type raw_conn = {
   fd : Unix.file_descr;
   rd : P.reader;
+  (* pnnlint:allow R7 each raw_conn is built and driven by exactly one
+     load-generator domain; inflight never crosses domains *)
   mutable inflight : (int32 * float) list;
 }
 

@@ -3,6 +3,8 @@ module T = Tensor
 type t = {
   id : int;
   value : T.t;
+  (* pnnlint:allow R7 tape nodes are confined to the domain that built the
+     tape; parallel training replicates tapes per worker (see Network.copy) *)
   mutable grad : T.t option; (* allocated lazily, zeroed in place *)
   parents : t list;
   push : t -> unit; (* propagate self's grad into parents' grads *)

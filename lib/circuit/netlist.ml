@@ -7,6 +7,8 @@ type element =
   | Capacitor of { a : node; b : node; farads : float }
   | Isource of { into : node; out_of : node; amps : float }
 
+(* pnnlint:allow R7 a builder is used by one domain during construction;
+   compiled circuits read it immutably afterwards *)
 type t = { mutable next_node : int; mutable elems : element list (* reversed *) }
 
 let ground = 0

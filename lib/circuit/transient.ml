@@ -15,6 +15,8 @@ type cap_state = {
   a : Netlist.node;
   b : Netlist.node;
   farads : float;
+  (* pnnlint:allow R7 per-simulation integrator state owned by the single
+     domain stepping the transient loop; never escapes [run] *)
   mutable v_prev : float;
   mutable i_prev : float;
 }

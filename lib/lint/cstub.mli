@@ -1,0 +1,29 @@
+(** C-stub cross-checker — the multi-language half of rule R8.
+
+    Analyzes a stub pair: the C file defining [CAMLprim] stubs (tokenized
+    with enough preprocessing to expand the stub-generating macros) and the
+    OCaml file declaring the matching [external]s, plus the dune file whose
+    [foreign_stubs] flags pin IEEE-strict compilation.
+
+    Checks: byte/native twin naming, native arity and
+    [@untagged]/[@unboxed]/boxed parameter layout, byte-twin calling
+    convention (all-[value], or [(value *argv, int argn)] above arity 5),
+    no OCaml-heap interaction reachable from a [@@noalloc] native body,
+    no orphan [CAMLprim]; and the float contract — no [fma()], no libm
+    outside the allowlist (tanh exp log sqrt fabs), no [#pragma], no
+    optimize/fast-math [__attribute__], dune flags present (multiply-add
+    sites are reported when they are not). *)
+
+val analyze :
+  c_path:string ->
+  c_file:string ->
+  ml:Source.file ->
+  dune_path:string ->
+  dune_file:string ->
+  unit ->
+  Rules.finding list * Source.comment list
+(** [analyze ~c_path ~c_file ~ml ~dune_path ~dune_file ()] returns R8
+    findings plus the C file's comments, so the engine can run its normal
+    [pnnlint:allow] suppression pass over C-side sites.  [c_path] /
+    [dune_path] are the display paths findings are reported under;
+    [c_file] / [dune_file] are the paths actually read. *)

@@ -164,6 +164,13 @@ let build_graph ~libs (files : Source.file list) =
   in
   { resolve; file_refs }
 
+let referencing_units graph ~names =
+  let nameset = SS.of_list names in
+  graph.file_refs
+  |> List.filter (fun (_, refs) -> not (SS.disjoint refs nameset))
+  |> List.map (fun (path, _) -> unit_name path)
+  |> List.sort_uniq String.compare
+
 let closure graph ~roots =
   let refs_of path =
     match List.assoc_opt path graph.file_refs with

@@ -28,6 +28,12 @@ type graph
 
 val build_graph : libs:lib list -> Source.file list -> graph
 
+val referencing_units : graph -> names:string list -> string list
+(** Unit names of every scanned [.ml] file that references any of the given
+    module names.  Rule R7 seeds its domain closure with these: a file that
+    mentions [Domain] or [Parallel] spawns (or is) concurrent code, so
+    everything it can reach is shared-state territory. *)
+
 val closure : graph -> roots:string list -> Set.Make(String).t
 (** Paths of every [.ml] file reachable from the given unit / wrapper names,
     roots included. *)

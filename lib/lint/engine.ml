@@ -14,6 +14,11 @@ type config = {
   scan_dirs : string list;  (* relative to the root *)
   exclude : string list;  (* path substrings to skip, e.g. fixture dirs *)
   r2_roots : string list;  (* units whose dep closure R2 applies to *)
+  r7_seeds : string list;  (* module names whose referencers seed R7 *)
+  fork_allowed : string list;  (* units that may call Unix.fork (R7) *)
+  cstub_pairs : (string * string * string) list;
+      (* R8 stub pairs: C file, OCaml externals file, dune file — relative
+         to the root *)
 }
 
 let default_config =
@@ -47,6 +52,19 @@ let default_config =
            protocol or progress reporting, under reasoned allows *)
         "Orchestration";
         "Orchestrate";
+      ];
+    (* R7's closure is seeded by auto-detection: any scanned module that
+       mentions one of these names spawns (or coordinates) domains, so
+       everything reachable from it is shared-state territory. *)
+    r7_seeds = [ "Domain"; "Parallel"; "Coordinator"; "Thread" ];
+    (* the orchestrator's Coordinator forks workers behind a pre-domain
+       latch (Parallel.require_sequential); nobody else may fork *)
+    fork_allowed = [ "Coordinator" ];
+    cstub_pairs =
+      [
+        ( "lib/tensor/pnn_kernels_stubs.c",
+          "lib/tensor/kernels_c.ml",
+          "lib/tensor/dune" );
       ];
   }
 
@@ -159,7 +177,7 @@ let normalize path =
 let run ?(config = default_config) ~root () =
   let files =
     List.map
-      (fun p -> { (Source.load p) with Source.path = normalize p })
+      (fun p -> { (Source.load_cached p) with Source.path = normalize p })
       (source_files config root)
   in
   let libs = List.filter_map Deps.scan_dune_file (dune_files config root) in
@@ -168,17 +186,46 @@ let run ?(config = default_config) ~root () =
   in
   let graph = Deps.build_graph ~libs files in
   let r2_closure = Deps.closure graph ~roots:config.r2_roots in
+  let r7_closure =
+    (* roots: every scanned unit that mentions a seed name, plus the seeds
+       themselves (so the Parallel/Coordinator libraries are covered even
+       when nothing in the scan set references them) *)
+    Deps.closure graph
+      ~roots:
+        (Deps.referencing_units graph ~names:config.r7_seeds
+        @ config.r7_seeds)
+  in
   let module SS = Set.Make (String) in
-  let in_closure (f : Source.file) =
+  let in_closure closure (f : Source.file) =
     match f.Source.kind with
-    | Source.Ml -> SS.mem f.Source.path r2_closure
+    | Source.Ml -> SS.mem f.Source.path closure
     | Source.Mli ->
         (* an interface shares its implementation's obligations *)
-        SS.mem (Filename.remove_extension f.Source.path ^ ".ml") r2_closure
+        SS.mem (Filename.remove_extension f.Source.path ^ ".ml") closure
   in
   let all_findings = ref [] in
   let all_sups = ref [] in
   let safety = ref [] in
+  let take_suppressions path comments =
+    List.iter
+      (fun c ->
+        match parse_suppression path c with
+        | None -> ()
+        | Some s ->
+            if s.rules = [] || s.reason = "" then
+              all_findings :=
+                {
+                  Rules.rule = "S1";
+                  path;
+                  line = s.sup_line;
+                  msg =
+                    "suppression must list rule ids and a non-empty \
+                     reason: pnnlint:allow R<n> <why>";
+                }
+                :: !all_findings
+            else all_sups := s :: !all_sups)
+      comments
+  in
   List.iter
     (fun (f : Source.file) ->
       (match f.Source.parse_error with
@@ -187,26 +234,16 @@ let run ?(config = default_config) ~root () =
             { Rules.rule = "P0"; path = f.Source.path; line; msg }
             :: !all_findings
       | None -> ());
-      let ctx = { Rules.file = f; r2_applies = in_closure f } in
+      let ctx =
+        {
+          Rules.file = f;
+          r2_applies = in_closure r2_closure f;
+          r7_applies = in_closure r7_closure f;
+          fork_allowed = config.fork_allowed;
+        }
+      in
       all_findings := Rules.run ctx @ !all_findings;
-      List.iter
-        (fun c ->
-          match parse_suppression f.Source.path c with
-          | None -> ()
-          | Some s ->
-              if s.rules = [] || s.reason = "" then
-                all_findings :=
-                  {
-                    Rules.rule = "S1";
-                    path = f.Source.path;
-                    line = s.sup_line;
-                    msg =
-                      "suppression must list rule ids and a non-empty \
-                       reason: pnnlint:allow R<n> <why>";
-                  }
-                  :: !all_findings
-              else all_sups := s :: !all_sups)
-        f.Source.comments;
+      take_suppressions f.Source.path f.Source.comments;
       List.iter
         (fun (c : Source.comment) ->
           safety :=
@@ -214,6 +251,29 @@ let run ?(config = default_config) ~root () =
             :: !safety)
         (Rules.safety_comments f))
     files;
+  (* R8: registered C-stub pairs (cross-language, so outside the per-file
+     loop; C-side comments join the same suppression pass) *)
+  List.iter
+    (fun (c_rel, ml_rel, dune_rel) ->
+      let full rel = Filename.concat root rel in
+      let c_path = normalize (full c_rel) in
+      let dune_path = normalize (full dune_rel) in
+      let ml_path = normalize (full ml_rel) in
+      let ml =
+        match
+          List.find_opt (fun f -> f.Source.path = ml_path) files
+        with
+        | Some f -> f
+        | None ->
+            { (Source.load_cached (full ml_rel)) with Source.path = ml_path }
+      in
+      let findings, c_comments =
+        Cstub.analyze ~c_path ~c_file:(full c_rel) ~ml ~dune_path
+          ~dune_file:(full dune_rel) ()
+      in
+      all_findings := findings @ !all_findings;
+      take_suppressions c_path c_comments)
+    config.cstub_pairs;
   let sups = List.rev !all_sups in
   let suppressed, findings =
     List.partition_map
@@ -292,3 +352,113 @@ let render_rules () =
            r.Rules.detail)
        Rules.all_rules)
   ^ "\n"
+
+(* {2 Machine-readable output}
+
+   Hand-rolled JSON with a fixed key order so the output is byte-stable
+   across runs and can be golden-tested; no JSON library in the dependency
+   cone. *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_list f xs = "[" ^ String.concat "," (List.map f xs) ^ "]"
+
+let json_finding (f : Rules.finding) =
+  Printf.sprintf "{\"rule\":%s,\"path\":%s,\"line\":%d,\"msg\":%s}"
+    (json_string f.Rules.rule) (json_string f.Rules.path) f.Rules.line
+    (json_string f.Rules.msg)
+
+let json_suppression r s =
+  let used = List.length (List.filter (fun (_, s') -> s' == s) r.suppressed) in
+  Printf.sprintf
+    "{\"path\":%s,\"line\":%d,\"rules\":%s,\"reason\":%s,\"findings\":%d}"
+    (json_string s.sup_path) s.sup_line
+    (json_list json_string s.rules)
+    (json_string s.reason) used
+
+let render_json r =
+  Printf.sprintf
+    "{\"files_scanned\":%d,\"findings\":%s,\"suppressed\":%s,\"suppressions\":%s,\"safety_comments\":%d}\n"
+    r.files_scanned
+    (json_list json_finding r.findings)
+    (json_list
+       (fun (f, s) ->
+         Printf.sprintf
+           "{\"rule\":%s,\"path\":%s,\"line\":%d,\"by_path\":%s,\"by_line\":%d}"
+           (json_string f.Rules.rule) (json_string f.Rules.path) f.Rules.line
+           (json_string s.sup_path) s.sup_line)
+       r.suppressed)
+    (json_list (json_suppression r) r.suppressions)
+    (List.length r.safety)
+
+(* Per-rule posture: how many findings each rule produced, how many were
+   absorbed by suppressions, and how many allow comments name the rule. *)
+
+let stats_rows r =
+  let ids =
+    List.map (fun (ri : Rules.rule_info) -> ri.Rules.id) Rules.all_rules
+    @ [ "S1"; "P0" ]
+  in
+  List.map
+    (fun id ->
+      let findings =
+        List.length (List.filter (fun f -> f.Rules.rule = id) r.findings)
+      in
+      let suppressed =
+        List.length
+          (List.filter (fun (f, _) -> f.Rules.rule = id) r.suppressed)
+      in
+      let allows =
+        List.length
+          (List.filter (fun s -> List.mem id s.rules) r.suppressions)
+      in
+      (id, findings, suppressed, allows))
+    ids
+
+let render_stats r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "rule  findings  suppressed  allows\n";
+  List.iter
+    (fun (id, findings, suppressed, allows) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-4s  %8d  %10d  %6d\n" id findings suppressed
+           allows))
+    (stats_rows r);
+  Buffer.add_string b
+    (Printf.sprintf
+       "total: %d file(s), %d finding(s), %d suppressed, %d suppression \
+        comment(s), %d SAFETY comment(s)\n"
+       r.files_scanned (List.length r.findings) (List.length r.suppressed)
+       (List.length r.suppressions) (List.length r.safety));
+  Buffer.contents b
+
+let render_stats_json r =
+  Printf.sprintf
+    "{\"files_scanned\":%d,\"rules\":%s,\"totals\":{\"findings\":%d,\"suppressed\":%d,\"suppression_comments\":%d,\"safety_comments\":%d}}\n"
+    r.files_scanned
+    (json_list
+       (fun (id, findings, suppressed, allows) ->
+         Printf.sprintf
+           "{\"id\":%s,\"findings\":%d,\"suppressed\":%d,\"allows\":%d}"
+           (json_string id) findings suppressed allows)
+       (stats_rows r))
+    (List.length r.findings)
+    (List.length r.suppressed)
+    (List.length r.suppressions)
+    (List.length r.safety)

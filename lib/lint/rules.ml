@@ -85,11 +85,49 @@ let all_rules =
          through the Tensor API; tooling that genuinely needs raw buffers \
          suppresses with a reason.";
     };
+    {
+      id = "R7";
+      title = "domain-shared mutable state is mediated or confined";
+      detail =
+        "Any module that mentions Domain, Parallel, Coordinator or Thread \
+         seeds a concurrency closure; in every module that closure can \
+         reach, module-level mutable state — ref / Hashtbl.create / \
+         Buffer.create bound at structure level, and record types with \
+         mutable fields but no Mutex.t field — is a data-race candidate \
+         under OCaml 5 domains.  Mediate with Atomic.t (or a Mutex held \
+         around every access) or suppress with a confinement proof naming \
+         the single domain that owns the state.  Unix.fork is flagged \
+         everywhere outside the allowed units (default: Coordinator, whose \
+         pre-domain latch guarantees no domain has ever been spawned): \
+         forking a multi-domain runtime duplicates locks and domains in an \
+         undefined state.";
+    };
+    {
+      id = "R8";
+      title = "C stubs match their externals and the IEEE-strict contract";
+      detail =
+        "Every external in a registered stub pair is cross-checked against \
+         its CAMLprim definitions: the two-name byte/native convention \
+         (byte twin named <native>_byte), native parameter/return layout \
+         matching [@untagged] (intnat) / [@unboxed] (double) / boxed \
+         (value) declarations, byte twins taking all-value parameters (or \
+         the argv/argn form above arity 5), no OCaml heap interaction \
+         (caml_alloc*/caml_copy_*/CAMLparam/CAMLlocal/CAMLreturn) reachable \
+         from a [@@noalloc] native body, and no orphan CAMLprim without a \
+         binding.  The float contract bans fma(), libm calls outside the \
+         vetted allowlist (tanh exp log sqrt fabs), every #pragma, and \
+         __attribute__((optimize ...)) escapes; the stub dune must pin \
+         -fno-fast-math and -ffp-contract=off, otherwise every a*b+c \
+         multiply-add site is reported as a contraction risk.  Suppress in \
+         C with /* pnnlint:allow R8 reason */.";
+    };
   ]
 
 type ctx = {
   file : Source.file;
   r2_applies : bool;  (* file is in the dependency closure of the R2 roots *)
+  r7_applies : bool;  (* file is in the dependency closure of domain users *)
+  fork_allowed : string list;  (* units that may call Unix.fork *)
 }
 
 (* {2 Helpers} *)
@@ -135,6 +173,15 @@ let check_ident ctx lid line =
       f "R6"
         (String.concat "." p
         ^ " is backend-internal storage; go through the Tensor dispatch API")
+  | [ "Unix"; "fork" ]
+    when not (List.mem (Deps.unit_name ctx.file.Source.path) ctx.fork_allowed)
+    ->
+      f "R7"
+        (Printf.sprintf
+           "Unix.fork outside the pre-domain latch (allowed unit(s): %s); \
+            forking a runtime that may have spawned domains duplicates \
+            locks in an undefined state"
+           (String.concat ", " ctx.fork_allowed))
   | _ -> (
       (* R4 candidates: any qualified unsafe_* access *)
       match (p, last p) with
@@ -173,6 +220,101 @@ let check_apply ctx (fn : Parsetree.expression) args line =
                    Float.compare / Float.equal (or suppress where IEEE \
                    +/-0.0 / NaN semantics are intended)"
                   op;
+            }
+      | _ -> None)
+  | _ -> None
+
+(* {2 R7: module-level mutable state in the domain closure}
+
+   Two structure-level checks, both gated on [ctx.r7_applies] (the file is
+   reachable from a module that mentions Domain/Parallel/Coordinator/Thread):
+
+   - R7a: a structure-level [let] whose right-hand side *evaluates* a
+     mutable-state constructor ([ref], [Hashtbl.create], [Buffer.create])
+     creates state shared by every domain that can see the module.  The scan
+     does not descend into [fun]/[function]/[lazy] bodies — state created
+     per call (or per [Domain.DLS] key init) is not module-level.
+   - R7b: a record type with [mutable] fields and no [Mutex.t] field is an
+     invitation to unmediated cross-domain writes.  A [Mutex.t] field is
+     taken as evidence the record mediates itself; [Atomic.t] fields are
+     never [mutable], so a fully atomic record passes trivially.
+
+   [Atomic.make], [Mutex.create] and [Condition.create] are mediation
+   primitives, not findings. *)
+
+let mutable_creator p =
+  match p with
+  | [ "ref" ] -> Some "ref"
+  | [ "Hashtbl"; "create" ] -> Some "Hashtbl.create"
+  | [ "Buffer"; "create" ] -> Some "Buffer.create"
+  | _ -> None
+
+let scan_module_level_state ctx add (vb : Parsetree.value_binding) =
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          match e.Parsetree.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> ()
+          | Pexp_apply ({ pexp_desc = Pexp_ident l; _ }, _) ->
+              (match mutable_creator (norm_path (path_of l.Location.txt)) with
+              | Some what ->
+                  add
+                    (Some
+                       {
+                         rule = "R7";
+                         path = ctx.file.Source.path;
+                         line = line_of e;
+                         msg =
+                           Printf.sprintf
+                             "module-level %s in the domain-reachable \
+                              closure; every domain that sees this module \
+                              shares it — use Atomic.t / a Mutex, or \
+                              suppress with a confinement proof"
+                             what;
+                       })
+              | None -> ());
+              default_iterator.expr it e
+          | _ -> default_iterator.expr it e);
+    }
+  in
+  it.expr it vb.Parsetree.pvb_expr
+
+let check_mutable_type ctx (td : Parsetree.type_declaration) =
+  match td.ptype_kind with
+  | Ptype_record labels ->
+      let mutables =
+        List.filter
+          (fun (l : Parsetree.label_declaration) ->
+            l.pld_mutable = Asttypes.Mutable)
+          labels
+      in
+      let mediated =
+        List.exists
+          (fun (l : Parsetree.label_declaration) ->
+            match l.pld_type.Parsetree.ptyp_desc with
+            | Ptyp_constr (c, _) -> (
+                match norm_path (path_of c.Location.txt) with
+                | [ "Mutex"; "t" ] -> true
+                | _ -> false)
+            | _ -> false)
+          labels
+      in
+      (match mutables with
+      | first :: _ when not mediated ->
+          Some
+            {
+              rule = "R7";
+              path = ctx.file.Source.path;
+              line = first.pld_loc.Location.loc_start.Lexing.pos_lnum;
+              msg =
+                Printf.sprintf
+                  "type %s has %d mutable field(s) and no Mutex.t field in \
+                   the domain-reachable closure; make the fields Atomic.t, \
+                   add a mutex, or suppress with a confinement proof"
+                  td.ptype_name.Asttypes.txt (List.length mutables);
             }
       | _ -> None)
   | _ -> None
@@ -250,6 +392,10 @@ let run ctx =
               add
                 (check_primitive ctx vd
                    si.Parsetree.pstr_loc.Location.loc_start.Lexing.pos_lnum)
+          | Pstr_value (_, vbs) when ctx.r7_applies ->
+              List.iter (scan_module_level_state ctx add) vbs
+          | Pstr_type (_, tds) when ctx.r7_applies ->
+              List.iter (fun td -> add (check_mutable_type ctx td)) tds
           | _ -> ());
           default_iterator.structure_item it si);
       signature_item =

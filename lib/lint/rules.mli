@@ -12,6 +12,14 @@
       justification within {!safety_window} lines.
     - R5 — no polymorphic comparison at float-carrying types: bare
       [compare] anywhere, and [=]/[<>]/[==]/[!=] against float literals.
+    - R6 — no backend-internal storage access outside [lib/tensor].
+    - R7 — module-level mutable state ([ref]/[Hashtbl.create]/
+      [Buffer.create] at structure level, record types with [mutable]
+      fields and no [Mutex.t] field) in the dependency closure of
+      domain-spawning modules must be Atomic/Mutex-mediated or carry a
+      confinement proof; [Unix.fork] only in the allowed units.
+    - R8 — C-stub pairs match their externals and the IEEE-strict float
+      contract (checked by {!Cstub}, reported under this rule id).
 
     All checks are conservative approximations; intentional exceptions are
     silenced with counted [(* pnnlint:allow Rn reason *)] comments handled
@@ -27,6 +35,10 @@ type ctx = {
   file : Source.file;
   r2_applies : bool;
       (** the file is in the dependency closure of the R2 roots *)
+  r7_applies : bool;
+      (** the file is in the dependency closure of domain-using modules *)
+  fork_allowed : string list;
+      (** compilation units that may call [Unix.fork] *)
 }
 
 val run : ctx -> finding list

@@ -169,3 +169,23 @@ let load path =
         with exn -> ([], [], error_info path exn))
   in
   { path; kind; structure; signature; comments; parse_error }
+
+(* Process-level parse cache.  The engine asks for the same file once per
+   run, but a run consults each AST from several passes (rules, R2/R7
+   reachability, R8 stub pairing) and test harnesses run the engine over the
+   same fixture tree many times; one parse per path per process keeps the
+   whole-tree lint well under its latency budget.  Keyed by path only: the
+   tool's lifetime is one scan of a static tree, so invalidation is not a
+   concern (clear_cache exists for long-lived embedders). *)
+
+let cache : (string, file) Hashtbl.t = Hashtbl.create 256
+
+let clear_cache () = Hashtbl.reset cache
+
+let load_cached path =
+  match Hashtbl.find_opt cache path with
+  | Some f -> f
+  | None ->
+      let f = load path in
+      Hashtbl.add cache path f;
+      f

@@ -27,6 +27,15 @@ val load : string -> file
     [parse_error] rather than raised: an unparseable file must fail the lint
     gate with a diagnostic, not crash the tool. *)
 
+val load_cached : string -> file
+(** Like {!load}, memoized by path for the life of the process: every pass
+    of a run (rules, reachability closures, stub pairing) and every engine
+    run in a test harness shares one parse per file. *)
+
+val clear_cache : unit -> unit
+(** Drop the {!load_cached} memo table (for long-lived embedders that
+    rescan a changing tree). *)
+
 val scan_comments : string -> comment list
 (** Exposed for tests: extract every comment span from raw source text. *)
 

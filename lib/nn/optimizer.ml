@@ -10,6 +10,8 @@ type algo =
       table : (int, adam_state) Hashtbl.t;
     }
 
+(* pnnlint:allow R7 optimizer state is per-trainer and stays on the domain
+   running the update loop; parallel sweeps build one optimizer per worker *)
 type t = { mutable lr : float; algo : algo }
 
 let sgd ~lr = { lr; algo = Sgd }

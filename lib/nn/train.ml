@@ -18,6 +18,8 @@ type history = {
 }
 
 type state = {
+  (* pnnlint:allow R7 epoch-loop bookkeeping confined to the domain running
+     [fit]; parallel experiment replicas each own a private state *)
   mutable epoch : int;
   mutable train_hist : float list;
   mutable val_hist : float list;

@@ -168,6 +168,8 @@ module Pool = struct
     end
 end
 
+(* pnnlint:allow R7 every read and write of [shared] happens under
+   [shared_mutex] (get_pool/shutdown_shared below) *)
 let shared = ref None
 let shared_mutex = Mutex.create ()
 

@@ -21,6 +21,8 @@ type t = {
   dim : int;
   v : int array array; (* v.(d).(k): direction numbers, k in 0..bits-1 *)
   x : int array; (* current integer state per dimension *)
+  (* pnnlint:allow R7 a Sobol stream is sequential by construction; parallel
+     draws partition by leapfrogged copies, never by sharing one stream *)
   mutable count : int;
 }
 

@@ -63,6 +63,8 @@ let add_f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
 (* Decoding reads from a payload [bytes] with explicit bounds: every getter
    checks before it reads, so truncated payloads surface as [Error _]
    results, never as escaping exceptions. *)
+(* pnnlint:allow R7 a cursor decodes one payload on one domain; it lives for
+   the duration of a single [decode_*] call *)
 type cursor = { data : bytes; mutable pos : int; limit : int }
 
 exception Decode of string
@@ -268,6 +270,8 @@ let decode_response payload =
 (* Accumulates raw stream bytes and yields complete payloads.  A declared
    length beyond [max_frame] is unrecoverable (the stream can never resync),
    so it surfaces as [Error] and the connection should be dropped. *)
+(* pnnlint:allow R7 each reader belongs to one connection, fed only by the
+   domain that owns that connection's event loop *)
 type reader = { mutable buf : Bytes.t; mutable start : int; mutable len : int }
 
 let reader () = { buf = Bytes.create 4096; start = 0; len = 0 }

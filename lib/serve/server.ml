@@ -25,6 +25,8 @@ type conn = {
   fd : Unix.file_descr;
   rd : P.reader;
   out : Buffer.t; (* queued response bytes; [out_pos] already sent *)
+  (* pnnlint:allow R7 connection state is touched only by the select-loop
+     domain that accepted the socket *)
   mutable out_pos : int;
   mutable closing : bool; (* close once the out buffer drains *)
 }
@@ -40,14 +42,18 @@ type t = {
   wake_w : Unix.file_descr;
   stop_flag : bool Atomic.t;
   batcher : pending Batcher.t;
+  (* pnnlint:allow R7 conns/stopping are touched only by the select-loop
+     domain that owns this server; cross-domain control flows through
+     stop_flag (already Atomic) and the self-pipe *)
   mutable conns : conn list;
   mutable stopping : bool;
-  (* Observability counters: mutated only on the loop domain. *)
-  mutable served : int64;
-  mutable mc_served : int64;
-  mutable batches : int64;
-  mutable errors : int64;
-  occupancy : int64 array;
+  (* Observability counters: incremented on the loop domain, read by
+     [stats] from any domain — hence Atomic, not plain mutable. *)
+  served : int Atomic.t;
+  mc_served : int Atomic.t;
+  batches : int Atomic.t;
+  errors : int Atomic.t;
+  occupancy : int Atomic.t array;
   write_scratch : Bytes.t; (* per-server: the loop domain owns it *)
   read_scratch : Bytes.t;
 }
@@ -100,11 +106,11 @@ let create ?(config = default_config) model addr =
     batcher = Batcher.create ~max_batch:config.max_batch ~linger:config.linger;
     conns = [];
     stopping = false;
-    served = 0L;
-    mc_served = 0L;
-    batches = 0L;
-    errors = 0L;
-    occupancy = Array.make config.max_batch 0L;
+    served = Atomic.make 0;
+    mc_served = Atomic.make 0;
+    batches = Atomic.make 0;
+    errors = Atomic.make 0;
+    occupancy = Array.init config.max_batch (fun _ -> Atomic.make 0);
     write_scratch = Bytes.create 65536;
     read_scratch = Bytes.create 65536;
   }
@@ -115,13 +121,14 @@ let stop t =
   Atomic.set t.stop_flag true;
   try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with Unix.Unix_error _ -> ()
 
+(* Safe from any domain: every counter is an Atomic. *)
 let stats t =
   {
-    P.served = t.served;
-    mc_served = t.mc_served;
-    batches = t.batches;
-    errors = t.errors;
-    occupancy = Array.copy t.occupancy;
+    P.served = Int64.of_int (Atomic.get t.served);
+    mc_served = Int64.of_int (Atomic.get t.mc_served);
+    batches = Int64.of_int (Atomic.get t.batches);
+    errors = Int64.of_int (Atomic.get t.errors);
+    occupancy = Array.map (fun c -> Int64.of_int (Atomic.get c)) t.occupancy;
   }
 
 (* {1 Connection plumbing} *)
@@ -134,7 +141,7 @@ let close_conn t conn =
   t.conns <- List.filter (fun c -> c != conn) t.conns
 
 let respond t conn resp =
-  (match resp with P.Error _ -> t.errors <- Int64.add t.errors 1L | _ -> ());
+  (match resp with P.Error _ -> Atomic.incr t.errors | _ -> ());
   enqueue conn (P.encode_response resp)
 
 (* {1 Request dispatch} *)
@@ -171,7 +178,7 @@ let handle_request t conn ~admitted req =
             ~model:t.cfg.mc_model ~draws ~seed:(Int32.to_int seed land 0x3fffffff)
             features
         in
-        t.mc_served <- Int64.add t.mc_served 1L;
+        Atomic.incr t.mc_served;
         respond t conn (P.Mc_class { id; cls; mean_p; q05; q95 })
       end
   | P.Stats { id } -> respond t conn (P.Stats_reply { id; stats = stats t })
@@ -190,9 +197,9 @@ let run_batch t batch =
         (fun i p -> respond t p.p_conn (P.Class { id = p.p_id; cls = classes.(i) }))
         items;
       let k = Array.length items in
-      t.served <- Int64.add t.served (Int64.of_int k);
-      t.batches <- Int64.add t.batches 1L;
-      t.occupancy.(k - 1) <- Int64.add t.occupancy.(k - 1) 1L
+      ignore (Atomic.fetch_and_add t.served k);
+      Atomic.incr t.batches;
+      Atomic.incr t.occupancy.(k - 1)
 
 let flush_batches t ~force =
   if force then List.iter (run_batch t) (Batcher.drain t.batcher)

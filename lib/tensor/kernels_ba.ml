@@ -43,7 +43,7 @@ module Array1 = struct
 end
 
 let impl = TB.Bigarray64
-let checked = TB.checked
+let checked () = Atomic.get TB.checked
 
 let create n =
   let b = Array1.create float64 c_layout n in
@@ -94,7 +94,7 @@ let load b a =
    per element — results stay bitwise identical to the checked twin. *)
 
 let add a b dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       Array1.set dst i (Array1.get a i +. Array1.get b i)
     done
@@ -124,7 +124,7 @@ let add a b dst n =
   end
 
 let sub a b dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       Array1.set dst i (Array1.get a i -. Array1.get b i)
     done
@@ -154,7 +154,7 @@ let sub a b dst n =
   end
 
 let mul a b dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       Array1.set dst i (Array1.get a i *. Array1.get b i)
     done
@@ -184,7 +184,7 @@ let mul a b dst n =
   end
 
 let div a b dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       Array1.set dst i (Array1.get a i /. Array1.get b i)
     done
@@ -214,7 +214,7 @@ let div a b dst n =
   end
 
 let neg a dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       Array1.set dst i (-.Array1.get a i)
     done
@@ -241,7 +241,7 @@ let neg a dst n =
   end
 
 let scale k a dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       Array1.set dst i (k *. Array1.get a i)
     done
@@ -268,7 +268,7 @@ let scale k a dst n =
   end
 
 let add_scalar k a dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       Array1.set dst i (k +. Array1.get a i)
     done
@@ -297,7 +297,7 @@ let add_scalar k a dst n =
 (* Same comparison chain as the reference: NaN fails both compares and
    passes through unchanged (the documented clamp contract). *)
 let clamp ~lo ~hi a dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       let x = Array1.get a i in
       Array1.set dst i (if x < lo then lo else if x > hi then hi else x)
@@ -325,7 +325,7 @@ let map2 f a b dst n =
 (* {1 Broadcasts} *)
 
 let add_rowvec md vd dst rows cols =
-  if !checked then
+  if checked () then
     for r = 0 to rows - 1 do
       let base = r * cols in
       for c = 0 to cols - 1 do
@@ -344,7 +344,7 @@ let add_rowvec md vd dst rows cols =
     done
 
 let mul_rowvec md vd dst rows cols =
-  if !checked then
+  if checked () then
     for r = 0 to rows - 1 do
       let base = r * cols in
       for c = 0 to cols - 1 do
@@ -411,7 +411,7 @@ let div_colvec md vd dst rows cols =
    the last ulp (deterministically within this backend). *)
 let matmul ad bd cd m k n =
   let n8 = n - (n land 7) in
-  if !checked then
+  if checked () then
     for i = 0 to m - 1 do
       let a_base = i * k and c_base = i * n in
       let jt = ref 0 in
@@ -507,7 +507,7 @@ let matmul ad bd cd m k n =
    again deterministic but re-associated relative to the reference. *)
 let matmul_nt ad bd cd m k n =
   let k4 = k - (k land 3) in
-  if !checked then
+  if checked () then
     for i = 0 to m - 1 do
       let a_base = i * k and c_base = i * n in
       for j = 0 to n - 1 do
@@ -557,7 +557,7 @@ let matmul_nt ad bd cd m k n =
 (* Same 32x32 tiling as the reference (copies are exact either way). *)
 let transpose src dst rows cols =
   let bs = 32 in
-  if !checked then begin
+  if checked () then begin
     let r0 = ref 0 in
     while !r0 < rows do
       let rmax = Stdlib.min rows (!r0 + bs) in
@@ -604,7 +604,7 @@ let transpose src dst rows cols =
 
 let dot a b n =
   let acc = ref 0.0 in
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       acc := !acc +. (Array1.get a i *. Array1.get b i)
     done
@@ -617,7 +617,7 @@ let dot a b n =
 
 let sum a n =
   let acc = ref 0.0 in
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       acc := !acc +. Array1.get a i
     done
@@ -653,7 +653,7 @@ let max_value b n =
 
 (* [dst] must be pre-zeroed by the caller (column accumulators). *)
 let sum_rows src dst rows cols =
-  if !checked then
+  if checked () then
     for r = 0 to rows - 1 do
       let base = r * cols in
       for c = 0 to cols - 1 do
@@ -671,7 +671,7 @@ let sum_rows src dst rows cols =
     done
 
 let sum_cols src dst rows cols =
-  if !checked then
+  if checked () then
     for r = 0 to rows - 1 do
       let base = r * cols in
       let acc = ref 0.0 in
@@ -711,7 +711,7 @@ let argmax_rows b rows cols =
 let unary op src dst n =
   match (op : TB.unop) with
   | TB.Tanh ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           Array1.set dst i (Stdlib.tanh (Array1.get src i))
         done
@@ -721,7 +721,7 @@ let unary op src dst n =
           Array1.unsafe_set dst i (Stdlib.tanh (Array1.unsafe_get src i))
         done
   | TB.Sigmoid ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           Array1.set dst i (1.0 /. (1.0 +. Stdlib.exp (-.Array1.get src i)))
         done
@@ -732,7 +732,7 @@ let unary op src dst n =
             (1.0 /. (1.0 +. Stdlib.exp (-.Array1.unsafe_get src i)))
         done
   | TB.Exp ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           Array1.set dst i (Stdlib.exp (Array1.get src i))
         done
@@ -742,7 +742,7 @@ let unary op src dst n =
           Array1.unsafe_set dst i (Stdlib.exp (Array1.unsafe_get src i))
         done
   | TB.Log ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           Array1.set dst i (Stdlib.log (Array1.get src i))
         done
@@ -752,7 +752,7 @@ let unary op src dst n =
           Array1.unsafe_set dst i (Stdlib.log (Array1.unsafe_get src i))
         done
   | TB.Sqrt ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           Array1.set dst i (Stdlib.sqrt (Array1.get src i))
         done
@@ -762,7 +762,7 @@ let unary op src dst n =
           Array1.unsafe_set dst i (Stdlib.sqrt (Array1.unsafe_get src i))
         done
   | TB.Relu ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           let x = Array1.get src i in
           Array1.set dst i (if x > 0.0 then x else 0.0)
@@ -774,7 +774,7 @@ let unary op src dst n =
           Array1.unsafe_set dst i (if x > 0.0 then x else 0.0)
         done
   | TB.Abs ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           Array1.set dst i (Stdlib.abs_float (Array1.get src i))
         done
@@ -787,7 +787,7 @@ let unary op src dst n =
 let unary_bwd op ~x ~y ~g ~s n =
   match (op : TB.unop) with
   | TB.Tanh ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           let yi = Array1.get y i in
           Array1.set s i (Array1.get g i *. (1.0 -. (yi *. yi)))
@@ -799,7 +799,7 @@ let unary_bwd op ~x ~y ~g ~s n =
           Array1.unsafe_set s i (Array1.unsafe_get g i *. (1.0 -. (yi *. yi)))
         done
   | TB.Sigmoid ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           let yi = Array1.get y i in
           Array1.set s i (Array1.get g i *. (yi *. (1.0 -. yi)))
@@ -811,7 +811,7 @@ let unary_bwd op ~x ~y ~g ~s n =
           Array1.unsafe_set s i (Array1.unsafe_get g i *. (yi *. (1.0 -. yi)))
         done
   | TB.Exp ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           Array1.set s i (Array1.get g i *. Array1.get y i)
         done
@@ -821,7 +821,7 @@ let unary_bwd op ~x ~y ~g ~s n =
           Array1.unsafe_set s i (Array1.unsafe_get g i *. Array1.unsafe_get y i)
         done
   | TB.Log ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           Array1.set s i (Array1.get g i *. (1.0 /. Array1.get x i))
         done
@@ -832,7 +832,7 @@ let unary_bwd op ~x ~y ~g ~s n =
             (Array1.unsafe_get g i *. (1.0 /. Array1.unsafe_get x i))
         done
   | TB.Sqrt ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           Array1.set s i (Array1.get g i *. (0.5 /. Array1.get y i))
         done
@@ -843,7 +843,7 @@ let unary_bwd op ~x ~y ~g ~s n =
             (Array1.unsafe_get g i *. (0.5 /. Array1.unsafe_get y i))
         done
   | TB.Relu ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           Array1.set s i
             (Array1.get g i *. (if Array1.get x i > 0.0 then 1.0 else 0.0))
@@ -856,7 +856,7 @@ let unary_bwd op ~x ~y ~g ~s n =
             *. (if Array1.unsafe_get x i > 0.0 then 1.0 else 0.0))
         done
   | TB.Abs ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           let xi = Array1.get x i in
           Array1.set s i
@@ -875,7 +875,7 @@ let unary_bwd op ~x ~y ~g ~s n =
 (* {1 Training-path fused kernels} *)
 
 let softmax_rows src out rows cols =
-  if !checked then
+  if checked () then
     for r = 0 to rows - 1 do
       let base = r * cols in
       let mx = ref neg_infinity in
@@ -918,7 +918,7 @@ let softmax_rows src out rows cols =
 
 let ce_loss_sum p y n =
   let loss = ref 0.0 in
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       let yi = Array1.get y i in
       if yi > 0.0 then
@@ -935,7 +935,7 @@ let ce_loss_sum p y n =
   !loss
 
 let sgd_step ~lr ~grad ~value n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       Array1.set value i (Array1.get value i -. (lr *. Array1.get grad i))
     done
@@ -948,7 +948,7 @@ let sgd_step ~lr ~grad ~value n =
 
 let adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad ~value n =
   (* moments stay plain float arrays (optimizer-owned, see KERNELS) *)
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       let g = Array1.get grad i in
       m.(i) <- (beta1 *. m.(i)) +. ((1.0 -. beta1) *. g);

@@ -253,31 +253,31 @@ external c_adam_step_many :
 
 (* {2 Kernel catalogue} *)
 
-let add a b dst n = if !TB.checked then Kb.add a b dst n else c_add a b dst n
-let sub a b dst n = if !TB.checked then Kb.sub a b dst n else c_sub a b dst n
-let mul a b dst n = if !TB.checked then Kb.mul a b dst n else c_mul a b dst n
-let div a b dst n = if !TB.checked then Kb.div a b dst n else c_div a b dst n
-let neg a dst n = if !TB.checked then Kb.neg a dst n else c_neg a dst n
+let add a b dst n = if Atomic.get TB.checked then Kb.add a b dst n else c_add a b dst n
+let sub a b dst n = if Atomic.get TB.checked then Kb.sub a b dst n else c_sub a b dst n
+let mul a b dst n = if Atomic.get TB.checked then Kb.mul a b dst n else c_mul a b dst n
+let div a b dst n = if Atomic.get TB.checked then Kb.div a b dst n else c_div a b dst n
+let neg a dst n = if Atomic.get TB.checked then Kb.neg a dst n else c_neg a dst n
 
 let scale k a dst n =
-  if !TB.checked then Kb.scale k a dst n else c_scale k a dst n
+  if Atomic.get TB.checked then Kb.scale k a dst n else c_scale k a dst n
 
 let add_scalar k a dst n =
-  if !TB.checked then Kb.add_scalar k a dst n else c_add_scalar k a dst n
+  if Atomic.get TB.checked then Kb.add_scalar k a dst n else c_add_scalar k a dst n
 
 let clamp ~lo ~hi a dst n =
-  if !TB.checked then Kb.clamp ~lo ~hi a dst n else c_clamp lo hi a dst n
+  if Atomic.get TB.checked then Kb.clamp ~lo ~hi a dst n else c_clamp lo hi a dst n
 
 (* Closures cannot cross the FFI: map/map2 stay on the OCaml loops. *)
 let map = Kb.map
 let map2 = Kb.map2
 
 let add_rowvec m v dst rows cols =
-  if !TB.checked then Kb.add_rowvec m v dst rows cols
+  if Atomic.get TB.checked then Kb.add_rowvec m v dst rows cols
   else c_add_rowvec m v dst rows cols
 
 let mul_rowvec m v dst rows cols =
-  if !TB.checked then Kb.mul_rowvec m v dst rows cols
+  if Atomic.get TB.checked then Kb.mul_rowvec m v dst rows cols
   else c_mul_rowvec m v dst rows cols
 
 (* Cold column broadcasts: not on any hot path, OCaml loops are fine. *)
@@ -286,17 +286,17 @@ let mul_colvec = Kb.mul_colvec
 let div_colvec = Kb.div_colvec
 
 let matmul a b c m k n =
-  if !TB.checked then Kb.matmul a b c m k n else c_matmul a b c m k n
+  if Atomic.get TB.checked then Kb.matmul a b c m k n else c_matmul a b c m k n
 
 let matmul_nt a b c m k n =
-  if !TB.checked then Kb.matmul_nt a b c m k n else c_matmul_nt a b c m k n
+  if Atomic.get TB.checked then Kb.matmul_nt a b c m k n else c_matmul_nt a b c m k n
 
 let transpose src dst rows cols =
-  if !TB.checked then Kb.transpose src dst rows cols
+  if Atomic.get TB.checked then Kb.transpose src dst rows cols
   else c_transpose src dst rows cols
 
-let dot a b n = if !TB.checked then Kb.dot a b n else c_dot a b n
-let sum a n = if !TB.checked then Kb.sum a n else c_sum a n
+let dot a b n = if Atomic.get TB.checked then Kb.dot a b n else c_dot a b n
+let sum a n = if Atomic.get TB.checked then Kb.sum a n else c_sum a n
 
 (* IEEE-select edge kernels (NaN keeps the second operand / first-max wins):
    delegate to the OCaml loops rather than duplicating the quirks in C. *)
@@ -305,11 +305,11 @@ let max_value = Kb.max_value
 let argmax_rows = Kb.argmax_rows
 
 let sum_rows src dst rows cols =
-  if !TB.checked then Kb.sum_rows src dst rows cols
+  if Atomic.get TB.checked then Kb.sum_rows src dst rows cols
   else c_sum_rows src dst rows cols
 
 let sum_cols src dst rows cols =
-  if !TB.checked then Kb.sum_cols src dst rows cols
+  if Atomic.get TB.checked then Kb.sum_cols src dst rows cols
   else c_sum_cols src dst rows cols
 
 (* Codes match enum pnn_unop in pnn_kernels_stubs.c (declaration order). *)
@@ -323,26 +323,26 @@ let unop_code = function
   | TB.Abs -> 6
 
 let unary op src dst n =
-  if !TB.checked then Kb.unary op src dst n
+  if Atomic.get TB.checked then Kb.unary op src dst n
   else c_unary (unop_code op) src dst n
 
 let unary_bwd op ~x ~y ~g ~s n =
-  if !TB.checked then Kb.unary_bwd op ~x ~y ~g ~s n
+  if Atomic.get TB.checked then Kb.unary_bwd op ~x ~y ~g ~s n
   else c_unary_bwd (unop_code op) x y g s n
 
 let softmax_rows src out rows cols =
-  if !TB.checked then Kb.softmax_rows src out rows cols
+  if Atomic.get TB.checked then Kb.softmax_rows src out rows cols
   else c_softmax_rows src out rows cols
 
 let ce_loss_sum p y n =
-  if !TB.checked then Kb.ce_loss_sum p y n else c_ce_loss_sum p y n
+  if Atomic.get TB.checked then Kb.ce_loss_sum p y n else c_ce_loss_sum p y n
 
 let sgd_step ~lr ~grad ~value n =
-  if !TB.checked then Kb.sgd_step ~lr ~grad ~value n
+  if Atomic.get TB.checked then Kb.sgd_step ~lr ~grad ~value n
   else c_sgd_step lr grad value n
 
 let adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad ~value n =
-  if !TB.checked then
+  if Atomic.get TB.checked then
     Kb.adam_step ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 ~m ~v ~grad ~value n
   else c_adam_step lr beta1 beta2 eps bc1 bc2 m v grad value n
 

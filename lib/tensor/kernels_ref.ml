@@ -18,7 +18,7 @@ module TB = Tensor_backend
 type buf = float array
 
 let impl = TB.Reference
-let checked = TB.checked
+let checked () = Atomic.get TB.checked
 let create n = Array.make n 0.0
 let length = Array.length
 let get = Array.get
@@ -32,7 +32,7 @@ let load b a = Array.blit a 0 b 0 (Array.length a)
 (* {1 Elementwise} *)
 
 let add a b dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       dst.(i) <- a.(i) +. b.(i)
     done
@@ -44,7 +44,7 @@ let add a b dst n =
     done
 
 let sub a b dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       dst.(i) <- a.(i) -. b.(i)
     done
@@ -56,7 +56,7 @@ let sub a b dst n =
     done
 
 let mul a b dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       dst.(i) <- a.(i) *. b.(i)
     done
@@ -68,7 +68,7 @@ let mul a b dst n =
     done
 
 let div a b dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       dst.(i) <- a.(i) /. b.(i)
     done
@@ -80,7 +80,7 @@ let div a b dst n =
     done
 
 let neg a dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       dst.(i) <- -.a.(i)
     done
@@ -92,7 +92,7 @@ let neg a dst n =
     done
 
 let scale k a dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       dst.(i) <- k *. a.(i)
     done
@@ -104,7 +104,7 @@ let scale k a dst n =
     done
 
 let add_scalar k a dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       dst.(i) <- k +. a.(i)
     done
@@ -119,7 +119,7 @@ let add_scalar k a dst n =
    compare, so the final [else x] branch returns NaN unchanged.  This is the
    documented contract (Tensor.clamp) and both backends implement it. *)
 let clamp ~lo ~hi a dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       let x = a.(i) in
       dst.(i) <- (if x < lo then lo else if x > hi then hi else x)
@@ -133,7 +133,7 @@ let clamp ~lo ~hi a dst n =
     done
 
 let map f a dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       dst.(i) <- f a.(i)
     done
@@ -145,7 +145,7 @@ let map f a dst n =
     done
 
 let map2 f a b dst n =
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       dst.(i) <- f a.(i) b.(i)
     done
@@ -159,7 +159,7 @@ let map2 f a b dst n =
 (* {1 Broadcasts} *)
 
 let add_rowvec md vd dst rows cols =
-  if !checked then
+  if checked () then
     for r = 0 to rows - 1 do
       let base = r * cols in
       for c = 0 to cols - 1 do
@@ -178,7 +178,7 @@ let add_rowvec md vd dst rows cols =
     done
 
 let mul_rowvec md vd dst rows cols =
-  if !checked then
+  if checked () then
     for r = 0 to rows - 1 do
       let base = r * cols in
       for c = 0 to cols - 1 do
@@ -228,7 +228,7 @@ let div_colvec md vd dst rows cols =
 (* ikj loop order: streams through b rows, cache friendly for row-major.
    [cd] must be pre-zeroed by the caller. *)
 let matmul ad bd cd m k n =
-  if !checked then
+  if checked () then
     for i = 0 to m - 1 do
       let a_base = i * k and c_base = i * n in
       for p = 0 to k - 1 do
@@ -268,7 +268,7 @@ let matmul ad bd cd m k n =
    skip of exact-zero A entries) mirrors [matmul a (transpose b)], keeping
    results bit-identical to that formulation. *)
 let matmul_nt ad bd cd m k n =
-  if !checked then
+  if checked () then
     for i = 0 to m - 1 do
       let a_base = i * k and c_base = i * n in
       for j = 0 to n - 1 do
@@ -308,7 +308,7 @@ let matmul_nt ad bd cd m k n =
    always cache-resident. *)
 let transpose src dst rows cols =
   let bs = 32 in
-  if !checked then begin
+  if checked () then begin
     let r0 = ref 0 in
     while !r0 < rows do
       let rmax = Stdlib.min rows (!r0 + bs) in
@@ -351,7 +351,7 @@ let transpose src dst rows cols =
 
 let dot a b n =
   let acc = ref 0.0 in
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       acc := !acc +. (a.(i) *. b.(i))
     done
@@ -366,7 +366,7 @@ let dot a b n =
 let sum a n =
   (* left-to-right accumulation, same order as [Array.fold_left ( +. ) 0.0] *)
   let acc = ref 0.0 in
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       acc := !acc +. a.(i)
     done
@@ -386,7 +386,7 @@ let max_value a _n = Array.fold_left Stdlib.max a.(0) a
 
 (* [dst] must be pre-zeroed by the caller (column accumulators). *)
 let sum_rows src dst rows cols =
-  if !checked then
+  if checked () then
     for r = 0 to rows - 1 do
       let base = r * cols in
       for c = 0 to cols - 1 do
@@ -405,7 +405,7 @@ let sum_rows src dst rows cols =
     done
 
 let sum_cols src dst rows cols =
-  if !checked then
+  if checked () then
     for r = 0 to rows - 1 do
       let base = r * cols in
       let acc = ref 0.0 in
@@ -449,7 +449,7 @@ let argmax_rows a rows cols =
 let unary op src dst n =
   match (op : TB.unop) with
   | TB.Tanh ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           dst.(i) <- Stdlib.tanh src.(i)
         done
@@ -459,7 +459,7 @@ let unary op src dst n =
           Array.unsafe_set dst i (Stdlib.tanh (Array.unsafe_get src i))
         done
   | TB.Sigmoid ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           dst.(i) <- 1.0 /. (1.0 +. Stdlib.exp (-.src.(i)))
         done
@@ -470,7 +470,7 @@ let unary op src dst n =
             (1.0 /. (1.0 +. Stdlib.exp (-.Array.unsafe_get src i)))
         done
   | TB.Exp ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           dst.(i) <- Stdlib.exp src.(i)
         done
@@ -480,7 +480,7 @@ let unary op src dst n =
           Array.unsafe_set dst i (Stdlib.exp (Array.unsafe_get src i))
         done
   | TB.Log ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           dst.(i) <- Stdlib.log src.(i)
         done
@@ -490,7 +490,7 @@ let unary op src dst n =
           Array.unsafe_set dst i (Stdlib.log (Array.unsafe_get src i))
         done
   | TB.Sqrt ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           dst.(i) <- Stdlib.sqrt src.(i)
         done
@@ -500,7 +500,7 @@ let unary op src dst n =
           Array.unsafe_set dst i (Stdlib.sqrt (Array.unsafe_get src i))
         done
   | TB.Relu ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           let x = src.(i) in
           dst.(i) <- (if x > 0.0 then x else 0.0)
@@ -512,7 +512,7 @@ let unary op src dst n =
           Array.unsafe_set dst i (if x > 0.0 then x else 0.0)
         done
   | TB.Abs ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           dst.(i) <- Stdlib.abs_float src.(i)
         done
@@ -525,7 +525,7 @@ let unary op src dst n =
 let unary_bwd op ~x ~y ~g ~s n =
   match (op : TB.unop) with
   | TB.Tanh ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           let yi = y.(i) in
           s.(i) <- g.(i) *. (1.0 -. (yi *. yi))
@@ -537,7 +537,7 @@ let unary_bwd op ~x ~y ~g ~s n =
           Array.unsafe_set s i (Array.unsafe_get g i *. (1.0 -. (yi *. yi)))
         done
   | TB.Sigmoid ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           let yi = y.(i) in
           s.(i) <- g.(i) *. (yi *. (1.0 -. yi))
@@ -549,7 +549,7 @@ let unary_bwd op ~x ~y ~g ~s n =
           Array.unsafe_set s i (Array.unsafe_get g i *. (yi *. (1.0 -. yi)))
         done
   | TB.Exp ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           s.(i) <- g.(i) *. y.(i)
         done
@@ -559,7 +559,7 @@ let unary_bwd op ~x ~y ~g ~s n =
           Array.unsafe_set s i (Array.unsafe_get g i *. Array.unsafe_get y i)
         done
   | TB.Log ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           s.(i) <- g.(i) *. (1.0 /. x.(i))
         done
@@ -569,7 +569,7 @@ let unary_bwd op ~x ~y ~g ~s n =
           Array.unsafe_set s i (Array.unsafe_get g i *. (1.0 /. Array.unsafe_get x i))
         done
   | TB.Sqrt ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           s.(i) <- g.(i) *. (0.5 /. y.(i))
         done
@@ -579,7 +579,7 @@ let unary_bwd op ~x ~y ~g ~s n =
           Array.unsafe_set s i (Array.unsafe_get g i *. (0.5 /. Array.unsafe_get y i))
         done
   | TB.Relu ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           s.(i) <- g.(i) *. (if x.(i) > 0.0 then 1.0 else 0.0)
         done
@@ -591,7 +591,7 @@ let unary_bwd op ~x ~y ~g ~s n =
             *. (if Array.unsafe_get x i > 0.0 then 1.0 else 0.0))
         done
   | TB.Abs ->
-      if !checked then
+      if checked () then
         for i = 0 to n - 1 do
           let xi = x.(i) in
           s.(i) <- g.(i) *. (if xi > 0.0 then 1.0 else if xi < 0.0 then -1.0 else 0.0)
@@ -610,7 +610,7 @@ let unary_bwd op ~x ~y ~g ~s n =
 (* Stable row-wise softmax; raw loops for the same unboxed-float reason as
    the nonlinearities above. *)
 let softmax_rows src out rows cols =
-  if !checked then
+  if checked () then
     for r = 0 to rows - 1 do
       let base = r * cols in
       let mx = ref neg_infinity in
@@ -655,7 +655,7 @@ let softmax_rows src out rows cols =
    every backend shares one division point. *)
 let ce_loss_sum p y n =
   let loss = ref 0.0 in
-  if !checked then
+  if checked () then
     for i = 0 to n - 1 do
       let yi = y.(i) in
       if yi > 0.0 then

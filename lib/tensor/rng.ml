@@ -1,3 +1,5 @@
+(* pnnlint:allow R7 generators are sequential by contract: parallel code
+   derives an independent stream per domain via [split], never sharing one *)
 type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
 
 (* splitmix64: expands a single seed into well-distributed 64-bit words; the

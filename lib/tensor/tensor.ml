@@ -32,13 +32,13 @@ type t = { rows : int; cols : int; store : storage }
 
 type backend = TB.id = Reference | Bigarray64 | C64
 
-let backend () = !TB.current
-let set_backend b = TB.current := b
+let backend () = (Atomic.get TB.current)
+let set_backend b = Atomic.set TB.current b
 let backend_of_string = TB.of_string
 let backend_name = TB.name
 let backends = TB.all
 let backend_choices = TB.names_string
-let backend_tag () = TB.tag !TB.current
+let backend_tag () = TB.tag (Atomic.get TB.current)
 
 let storage_backend = function
   | F _ -> Reference
@@ -47,8 +47,8 @@ let storage_backend = function
 
 let backend_of t = storage_backend t.store
 
-let set_checked b = TB.checked := b
-let checked () = !TB.checked
+let set_checked b = Atomic.set TB.checked b
+let checked () = (Atomic.get TB.checked)
 
 (* {1 Storage helpers} *)
 
@@ -58,7 +58,7 @@ let alloc_for b n =
   | Bigarray64 -> B1 (Kb.create n)
   | C64 -> C (Kc.create n)
 
-let alloc_active n = alloc_for !TB.current n
+let alloc_active n = alloc_for (Atomic.get TB.current) n
 let alloc_like t n = alloc_for (storage_backend t.store) n
 
 (* B1 and C buffers are the same bigarray type, so the scalar storage
@@ -134,7 +134,7 @@ let create rows cols data =
       (Printf.sprintf "Tensor.create: data length %d <> %d*%d"
          (Array.length data) rows cols);
   let store =
-    match !TB.current with
+    match (Atomic.get TB.current) with
     | Reference -> F data (* wraps without copy, as before the backend split *)
     | Bigarray64 -> B1 (Kb.of_float_array data)
     | C64 -> C (Kc.of_float_array data)
@@ -738,7 +738,7 @@ let matmul_bias_unop_into ?op x w b ~pre ~out =
   shape_check_dst "matmul_bias_unop_into" pre m n;
   shape_check_dst "matmul_bias_unop_into" out m n;
   let fused =
-    if !TB.checked then None
+    if (Atomic.get TB.checked) then None
     else
       match (x.store, w.store, b.store, pre.store, out.store) with
       | C xb, C wb, C bb, C pb, C ob -> (
@@ -773,7 +773,7 @@ let adam_step_many ~lr ~beta1 ~beta2 ~eps ~bc1 ~bc2 items =
       items
   in
   match Kc.adam_step_many with
-  | Some f when all_c && not !TB.checked ->
+  | Some f when all_c && not (Atomic.get TB.checked) ->
       let arr =
         Array.of_list
           (List.map

@@ -47,13 +47,13 @@ let names_string = String.concat "|" names
 let tag = function Reference -> "ref" | Bigarray64 -> "ba64" | C64 -> "c64"
 
 let checked =
-  ref
+  Atomic.make
     (match Sys.getenv_opt "PNN_CHECKED" with
     | Some ("1" | "true" | "yes") -> true
     | _ -> false)
 
 let current =
-  ref
+  Atomic.make
     (match Sys.getenv_opt "PNN_BACKEND" with
     | None | Some "" -> Reference
     | Some s -> (

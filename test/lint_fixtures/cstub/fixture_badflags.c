@@ -1,0 +1,16 @@
+/* R8 fixture: correct ABI, but its dune pair lacks the float-contract
+   flags, so the multiply-add below is a contraction risk. */
+#include <caml/mlvalues.h>
+
+CAMLprim value fixbad_axpy(value va, value vb, double k, intnat n)
+{
+  double *a = (double *) va;
+  double *b = (double *) vb;
+  for (intnat i = 0; i < n; i++)
+    b[i] = b[i] + k * a[i];
+  return Val_unit;
+}
+CAMLprim value fixbad_axpy_byte(value va, value vb, value vk, value vn)
+{
+  return fixbad_axpy(va, vb, Double_val(vk), Long_val(vn));
+}

@@ -1,0 +1,8 @@
+(* R8 fixture: a correct pair whose dune contract is missing the
+   IEEE-strict flags — the analyzer reports each missing flag and every
+   multiply-add line as a contraction risk. *)
+type buf = unit
+
+external axpy : buf -> buf -> (float[@unboxed]) -> (int[@untagged]) -> unit
+  = "fixbad_axpy_byte" "fixbad_axpy"
+[@@noalloc]

@@ -1,0 +1,36 @@
+(* R8 fixture externals: cross-checked against fixture_stubs.c (the pair is
+   registered in test_lint's fixture config). *)
+type buf = unit
+
+external ok_add : buf -> buf -> (int[@untagged]) -> unit
+  = "fix_ok_add_byte" "fix_ok_add"
+[@@noalloc]
+
+(* byte name breaks the <native>_byte twin convention *)
+external bad_twin : buf -> (int[@untagged]) -> unit
+  = "fix_bad_twin_bytecode" "fix_bad_twin"
+[@@noalloc]
+
+(* OCaml declares 2 arguments, the C native takes 3 *)
+external bad_arity : buf -> (int[@untagged]) -> unit
+  = "fix_bad_arity_byte" "fix_bad_arity"
+[@@noalloc]
+
+(* [@@noalloc] but the native stub reaches the OCaml heap via a helper *)
+external bad_alloc : buf -> unit = "fix_bad_alloc_byte" "fix_bad_alloc"
+[@@noalloc]
+
+(* single name: no byte/native twin *)
+external bad_single : buf -> unit = "fix_bad_single"
+
+external uses_fma : buf -> (int[@untagged]) -> unit
+  = "fix_uses_fma_byte" "fix_uses_fma"
+[@@noalloc]
+
+external uses_libm : buf -> (int[@untagged]) -> unit
+  = "fix_uses_libm_byte" "fix_uses_libm"
+[@@noalloc]
+
+external ok_fma : buf -> (int[@untagged]) -> unit
+  = "fix_ok_fma_byte" "fix_ok_fma"
+[@@noalloc]

@@ -1,0 +1,8 @@
+(* R7 fixture: mentions Domain, so its whole dependency closure (including
+   Fixture_r7_state) is shared-state territory. *)
+let spawn () = Domain.spawn (fun () -> Fixture_r7_state.bump ())
+
+let bad_fork () = Unix.fork ()
+
+(* pnnlint:allow R7 fixture: latch held, no domain has ever been spawned *)
+let ok_fork () = Unix.fork ()

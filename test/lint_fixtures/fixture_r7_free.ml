@@ -1,0 +1,4 @@
+(* R7 control: the same mutable state with no domain user in reach — must
+   stay silent (reachability-gated, like R2). *)
+let lonely = ref 0
+let touch () = incr lonely

@@ -384,6 +384,36 @@ let test_mixed_storage () =
 
 (* {2 Construction / surface} *)
 
+(* Regression for the selection representation: [set_backend]/[set_checked]
+   are Atomics, so a write made inside one domain is visible to another as
+   soon as the writer is joined. *)
+let test_selection_atomic_across_domains () =
+  let prev_b = T.backend () and prev_c = T.checked () in
+  Fun.protect ~finally:(fun () ->
+      T.set_backend prev_b;
+      T.set_checked prev_c)
+  @@ fun () ->
+  Domain.join
+    (Domain.spawn (fun () ->
+         T.set_backend T.Bigarray64;
+         T.set_checked true));
+  Alcotest.(check string)
+    "backend set by a joined domain is visible" "bigarray"
+    (T.backend_name (T.backend ()));
+  Alcotest.(check bool) "checked flag set by a joined domain is visible" true
+    (T.checked ());
+  (* and the other direction: our write is visible inside a fresh domain *)
+  T.set_backend T.C64;
+  T.set_checked false;
+  let seen =
+    Domain.join (Domain.spawn (fun () -> (T.backend (), T.checked ())))
+  in
+  Alcotest.(check string)
+    "backend visible inside a fresh domain" "c"
+    (T.backend_name (fst seen));
+  Alcotest.(check bool) "checked visible inside a fresh domain" false
+    (snd seen)
+
 let test_surface () =
   List.iter
     (fun be ->
@@ -636,6 +666,8 @@ let () =
       ( "surface",
         [
           Alcotest.test_case "construction and tags" `Quick test_surface;
+          Alcotest.test_case "selection atomic across domains" `Quick
+            test_selection_atomic_across_domains;
           Alcotest.test_case "cache isolation" `Quick test_cache_isolation;
         ] );
     ]

@@ -13,6 +13,19 @@ let fixture_config =
        the serving stack and the orchestration stack *)
     r2_roots =
       [ "Fixture_r2_root"; "Fixture_r2_serve"; "Fixture_r2_orchestrate" ];
+    (* R7 seeds are the live defaults: fixture_r7 mentions Domain, so it is
+       picked up by auto-detection like real spawning code *)
+    r7_seeds = [ "Domain"; "Parallel"; "Coordinator"; "Thread" ];
+    fork_allowed = [ "Coordinator" ];
+    cstub_pairs =
+      [
+        ( "lint_fixtures/cstub/fixture_stubs.c",
+          "lint_fixtures/cstub/fixture_kernels.ml",
+          "lint_fixtures/cstub/fixture_dune_ok" );
+        ( "lint_fixtures/cstub/fixture_badflags.c",
+          "lint_fixtures/cstub/fixture_badflags_kernels.ml",
+          "lint_fixtures/cstub/fixture_dune_bad" );
+      ];
   }
 
 let run_fixtures ?(config = fixture_config) () = E.run ~config ~root:"." ()
@@ -45,6 +58,32 @@ let test_golden_diagnostics () =
       "R5 lint_fixtures/fixture_r5.ml:3";
       "S1 lint_fixtures/fixture_s1.ml:2";
       "R5 lint_fixtures/fixture_s1.ml:3";
+      (* R7: fork outside the latch + module-level mutable state in the
+         closure of the Domain-mentioning fixture *)
+      "R7 lint_fixtures/fixture_r7.ml:5";
+      "R7 lint_fixtures/fixture_r7_state.ml:3";
+      "R7 lint_fixtures/fixture_r7_state.ml:4";
+      "R7 lint_fixtures/fixture_r7_state.ml:9";
+      (* R8 pair 1: twin/arity/single-name on the OCaml side; noalloc
+         violation, fma, stray libm, orphan, pragma and attribute on the C
+         side *)
+      "R8 lint_fixtures/cstub/fixture_kernels.ml:10";
+      "R8 lint_fixtures/cstub/fixture_kernels.ml:15";
+      "R8 lint_fixtures/cstub/fixture_kernels.ml:24";
+      (* cascade of the seeded arity bug: the byte twin's shape no longer
+         matches the declared arity either *)
+      "R8 lint_fixtures/cstub/fixture_stubs.c:32";
+      "R8 lint_fixtures/cstub/fixture_stubs.c:39";
+      "R8 lint_fixtures/cstub/fixture_stubs.c:60";
+      "R8 lint_fixtures/cstub/fixture_stubs.c:71";
+      "R8 lint_fixtures/cstub/fixture_stubs.c:91";
+      "R8 lint_fixtures/cstub/fixture_stubs.c:97";
+      "R8 lint_fixtures/cstub/fixture_stubs.c:99";
+      (* R8 pair 2: both contract flags missing from the dune stanza, and
+         the multiply-add line reported as a contraction risk *)
+      "R8 lint_fixtures/cstub/fixture_dune_bad:1";
+      "R8 lint_fixtures/cstub/fixture_dune_bad:1";
+      "R8 lint_fixtures/cstub/fixture_badflags.c:10";
     ]
   in
   Alcotest.(check (list string))
@@ -59,9 +98,9 @@ let test_golden_diagnostics () =
 
 let test_suppressions_counted () =
   let report = run_fixtures () in
-  Alcotest.(check int) "nine suppressed findings" 9
+  Alcotest.(check int) "thirteen suppressed findings" 13
     (List.length report.E.suppressed);
-  Alcotest.(check int) "nine valid suppression comments" 9
+  Alcotest.(check int) "thirteen valid suppression comments" 13
     (List.length report.E.suppressions);
   List.iter
     (fun (s : E.suppression) ->
@@ -100,11 +139,51 @@ let test_r2_needs_reachability () =
   in
   Alcotest.(check int) "no R2 outside the closure" 0 (List.length r2)
 
+let test_r7_needs_reachability () =
+  (* with seeds nothing references, no module is in the domain closure and
+     only the closure-independent fork check may fire *)
+  let config = { fixture_config with E.r7_seeds = [ "Fixture_no_such" ] } in
+  let report = run_fixtures ~config () in
+  let r7 =
+    List.filter (fun (f : R.finding) -> f.R.rule = "R7") report.E.findings
+  in
+  Alcotest.(check (list string))
+    "only the fork finding survives without reachability"
+    [ "R7 lint_fixtures/fixture_r7.ml:5" ]
+    (List.map site r7)
+
 let test_rule_catalogue () =
   Alcotest.(check (list string))
-    "six documented rules"
-    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
+    "eight documented rules"
+    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8" ]
     (List.map (fun (r : R.rule_info) -> r.R.id) R.all_rules)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_json_output () =
+  let report = run_fixtures () in
+  let js = E.render_json report in
+  Alcotest.(check bool) "json carries a known finding" true
+    (contains
+       ~needle:
+         {|{"rule":"R7","path":"lint_fixtures/fixture_r7.ml","line":5|}
+       js);
+  Alcotest.(check bool) "json carries suppression records" true
+    (contains ~needle:{|"suppressions":[{|} js);
+  Alcotest.(check bool) "json is a single terminated document" true
+    (String.length js > 2 && js.[String.length js - 1] = '\n')
+
+let test_stats_golden () =
+  let report = run_fixtures () in
+  let expected =
+    {|{"files_scanned":17,"rules":[{"id":"R1","findings":1,"suppressed":1,"allows":1},{"id":"R2","findings":4,"suppressed":3,"allows":3},{"id":"R3","findings":2,"suppressed":1,"allows":1},{"id":"R4","findings":3,"suppressed":2,"allows":2},{"id":"R5","findings":3,"suppressed":1,"allows":1},{"id":"R6","findings":2,"suppressed":1,"allows":1},{"id":"R7","findings":4,"suppressed":3,"allows":3},{"id":"R8","findings":13,"suppressed":1,"allows":1},{"id":"S1","findings":1,"suppressed":0,"allows":0},{"id":"P0","findings":1,"suppressed":0,"allows":0}],"totals":{"findings":34,"suppressed":13,"suppression_comments":13,"safety_comments":3}}
+|}
+  in
+  Alcotest.(check string) "stats json is byte-stable" expected
+    (E.render_stats_json report)
 
 let test_render_shapes () =
   let report = run_fixtures () in
@@ -146,11 +225,15 @@ let () =
           Alcotest.test_case "SAFETY tracked" `Quick test_safety_comments_tracked;
           Alcotest.test_case "R2 needs reachability" `Quick
             test_r2_needs_reachability;
+          Alcotest.test_case "R7 needs reachability" `Quick
+            test_r7_needs_reachability;
         ] );
       ( "surface",
         [
           Alcotest.test_case "rule catalogue" `Quick test_rule_catalogue;
           Alcotest.test_case "render shapes" `Quick test_render_shapes;
+          Alcotest.test_case "json output" `Quick test_json_output;
+          Alcotest.test_case "stats golden" `Quick test_stats_golden;
         ] );
       ( "live-tree",
         [ Alcotest.test_case "clean" `Quick test_live_tree_clean ] );

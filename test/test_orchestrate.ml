@@ -255,6 +255,9 @@ let test_sigkill_recovery () =
   in
   flush stdout;
   flush stderr;
+  (* pnnlint:allow R7 deliberate crash-test fork: this test process has
+     spawned no domains when it forks, and the child only exercises the
+     worker lease path before _exit *)
   (match Unix.fork () with
   | 0 ->
       (try ignore (O.Worker.run q ctx ~units ~owner:"victim" ~lease:0.5 ())

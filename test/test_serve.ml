@@ -486,6 +486,46 @@ let test_concurrent_clients_bit_identical () =
         stats.P.served;
       Alcotest.(check int64) "no errors" 0L stats.P.errors)
 
+(* Regression for the counter representation: served/mc_served/batches/
+   errors/occupancy are Atomics written by the loop domain, and
+   [Server.stats] reads them from any other domain.  Sequential RPCs make
+   every count exact: each predict flushes a batch of one. *)
+let test_stats_counters_atomic () =
+  with_temp_dir (fun dir ->
+      let live = start_server ~max_batch:4 dir in
+      Fun.protect ~finally:(fun () -> stop_server live) @@ fun () ->
+      let client = Serving.Client.connect (Unix.ADDR_UNIX live.sock) in
+      Fun.protect ~finally:(fun () -> Serving.Client.close client) @@ fun () ->
+      let n = 7 in
+      for i = 0 to n - 1 do
+        ignore
+          (Serving.Client.predict client ~id:(Int32.of_int i)
+             (features_of ~inputs:4 i))
+      done;
+      for i = 0 to 1 do
+        ignore
+          (Serving.Client.predict_mc client ~id:(Int32.of_int (100 + i))
+             ~draws:8 ~seed:5l
+             (features_of ~inputs:4 (50 + i)))
+      done;
+      (match Serving.Client.rpc client (P.Predict { id = 99l; features = [| 1.0 |] }) with
+      | P.Error _ -> ()
+      | _ -> Alcotest.fail "bad width must error");
+      (* cross-domain read: the loop domain wrote these, we read them here *)
+      let s = Serving.Server.stats live.server in
+      Alcotest.(check int64) "served" (Int64.of_int n) s.P.served;
+      Alcotest.(check int64) "mc_served" 2L s.P.mc_served;
+      Alcotest.(check int64) "batches" (Int64.of_int n) s.P.batches;
+      Alcotest.(check int64) "errors" 1L s.P.errors;
+      Alcotest.(check int64) "occupancy(1)" (Int64.of_int n) s.P.occupancy.(0);
+      Array.iteri
+        (fun i c -> if i > 0 then Alcotest.(check int64) "occupancy rest" 0L c)
+        s.P.occupancy;
+      (* and the wire view agrees with the direct view *)
+      let wire = Serving.Client.stats client in
+      Alcotest.(check int64) "wire served" s.P.served wire.P.served;
+      Alcotest.(check int64) "wire batches" s.P.batches wire.P.batches)
+
 let test_shutdown_request_stops_server () =
   with_temp_dir (fun dir ->
       let live = start_server dir in
@@ -532,6 +572,8 @@ let () =
         [
           Alcotest.test_case "matches in-process" `Quick test_wire_matches_inprocess;
           Alcotest.test_case "rejects bad requests" `Quick test_wire_rejects_bad_requests;
+          Alcotest.test_case "atomic stats counters" `Quick
+            test_stats_counters_atomic;
           Alcotest.test_case "concurrent clients" `Quick
             test_concurrent_clients_bit_identical;
           Alcotest.test_case "shutdown request" `Quick test_shutdown_request_stops_server;

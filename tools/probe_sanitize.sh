@@ -1,0 +1,53 @@
+# Emits a dune ordered-set-language sexp of sanitizer flags.
+#
+#   probe_sanitize.sh <c|link> <profile> <output-file>
+#
+# Outside the `sanitize` profile, or when the C toolchain cannot link an
+# ASan+UBSan binary, the output is the empty set `()` — the build stays
+# byte-identical to a plain build and tools/run_sanitized.sh turns the
+# @sanitize alias into a graceful skip.  With a supporting toolchain the
+# stubs are compiled with -fsanitize=address,undefined (no recovery: the
+# first violation aborts the test) and every test executable links the
+# runtime in via -ccopt.
+set -eu
+
+mode="$1"
+profile="$2"
+out="$3"
+
+SAN="-fsanitize=address,undefined -fno-sanitize-recover=all"
+
+supported() {
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN 2>/dev/null || true
+  echo 'int main(void){return 0;}' > "$tmp/probe.c"
+  if ${CC:-cc} $SAN "$tmp/probe.c" -o "$tmp/probe.out" >/dev/null 2>&1 \
+     && "$tmp/probe.out" >/dev/null 2>&1; then
+    rm -rf "$tmp"
+    return 0
+  fi
+  rm -rf "$tmp"
+  return 1
+}
+
+if [ "$profile" != "sanitize" ] || ! supported; then
+  echo "()" > "$out"
+  exit 0
+fi
+
+case "$mode" in
+  c)
+    echo "($SAN -fno-omit-frame-pointer -g)" > "$out"
+    ;;
+  link)
+    printf '(' > "$out"
+    for f in $SAN; do
+      printf -- '-ccopt %s ' "$f" >> "$out"
+    done
+    printf ')\n' >> "$out"
+    ;;
+  *)
+    echo "probe_sanitize.sh: unknown mode $mode" >&2
+    exit 2
+    ;;
+esac

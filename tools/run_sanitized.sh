@@ -1,0 +1,23 @@
+# Runs a sanitizer-built test executable: tools/run_sanitized.sh
+# <flags-sexp> <exe> [args...].  The flags sexp is the probe output the
+# executable was built with; when it is the empty set the binary carries no
+# instrumentation (unsupported toolchain or wrong profile), so the run is a
+# recorded skip rather than a false green.
+#
+# detect_leaks=0: the OCaml runtime intentionally leaves its heap to the OS
+# at exit, which ASan's leak checker would report as noise.  UBSan halts on
+# the first violation with a stack trace.
+set -eu
+
+flags_file="$1"
+shift
+
+if ! grep -q fsanitize "$flags_file" 2>/dev/null; then
+  echo "sanitize: no ASan/UBSan toolchain support detected; skipping: $*"
+  exit 0
+fi
+
+ASAN_OPTIONS="detect_leaks=0:abort_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}"
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}"
+export ASAN_OPTIONS UBSAN_OPTIONS
+exec "$@"
